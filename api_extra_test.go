@@ -1,0 +1,115 @@
+package matopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"matopt/internal/calibrate"
+	"matopt/internal/costmodel"
+	"matopt/internal/tensor"
+)
+
+func TestWithCalibratedModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the calibration battery")
+	}
+	cl := costmodel.LocalTest(3)
+	rng := rand.New(rand.NewSource(9))
+	m, fitted, err := calibrate.Fit(rng, cl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted) == 0 {
+		t.Fatal("nothing fitted")
+	}
+	b := NewBuilder()
+	x := b.Input("x", 2000, 2000, Tiles(1000))
+	y := b.Input("y", 2000, 2000, Tiles(1000))
+	out := b.MatMul(x, y)
+	plan, err := NewOptimizer(cl, WithModel(m)).Optimize(b, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PredictedSeconds() <= 0 {
+		t.Fatal("calibrated prediction degenerate")
+	}
+}
+
+func TestRunAdaptiveAPI(t *testing.T) {
+	b := NewBuilder()
+	x := b.SparseInput("x", 300, 300, 0.2, SparseCSR())
+	y := b.SparseInput("y", 300, 300, 0.2, SparseCSR())
+	had := b.Hadamard(x, y)
+	b.Scale(3, had)
+
+	cl := costmodel.LocalTest(3)
+	opt := NewOptimizer(cl)
+	exec := NewExecutor(cl)
+	rng := rand.New(rand.NewSource(4))
+	base := tensor.RandSparse(rng, 300, 300, 0.2)
+	res, err := exec.RunAdaptive(opt, b, map[string]*Dense{"x": base, "y": base.Clone()}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reoptimized == 0 {
+		t.Fatal("correlated supports must trigger a re-optimization")
+	}
+}
+
+func TestFormatStringsAndAccessors(t *testing.T) {
+	cases := map[string]Format{
+		"single":             Single(),
+		"tile[500]":          Tiles(500),
+		"rowstrip[100]":      RowStrips(100),
+		"colstrip[1000]":     ColStrips(1000),
+		"coo":                Triples(),
+		"csr-single":         SparseCSR(),
+		"csr-rowstrip[1000]": SparseCSRStrips(1000),
+	}
+	for want, f := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	b := NewBuilder()
+	m := b.Input("m", 7, 9, Single())
+	if m.Rows() != 7 || m.Cols() != 9 {
+		t.Errorf("accessors: %dx%d", m.Rows(), m.Cols())
+	}
+	tr := b.Transpose(m)
+	if tr.Rows() != 9 || tr.Cols() != 7 {
+		t.Errorf("transpose accessors: %dx%d", tr.Rows(), tr.Cols())
+	}
+}
+
+func TestAllUnaryBuilders(t *testing.T) {
+	b := NewBuilder()
+	m := b.Input("m", 50, 50, Single())
+	bias := b.Input("bias", 1, 50, Single())
+	vs := []Matrix{
+		b.Neg(m), b.ReLU(m), b.ReLUGrad(m), b.Sigmoid(m), b.Exp(m),
+		b.Softmax(m), b.RowSums(m), b.ColSums(m), b.AddBias(m, bias),
+		b.Inverse(m), b.Sub(m, m), b.Hadamard(m, m), b.Scale(0.5, m),
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if v.v == nil {
+			t.Errorf("builder %d returned invalid matrix", i)
+		}
+	}
+	plan, err := NewOptimizer(ClusterR5D(2)).Optimize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.OptimizerSeconds() < 0 {
+		t.Fatal("negative optimizer time")
+	}
+	if plan.Annotation() == nil {
+		t.Fatal("no annotation exposed")
+	}
+}

@@ -1,0 +1,182 @@
+package matopt
+
+// One benchmark per table and figure of the paper's evaluation (§8).
+// Each benchmark regenerates its figure through internal/figures — the
+// same code path as cmd/experiments — reporting the optimizer's own
+// runtime where the paper reports it, and printing the reproduced rows
+// once (use -v to see them). Simulated plan seconds stand in for the
+// paper's EC2 wall-clock; see DESIGN.md §2 and EXPERIMENTS.md for the
+// paper-vs-measured record.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/figures"
+	"matopt/internal/format"
+	"matopt/internal/workload"
+)
+
+// printOnce renders each figure at most once per process so -bench runs
+// stay readable across b.N iterations.
+var printOnce sync.Map
+
+func report(b *testing.B, t figures.Table) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(t.Name, true); !done {
+		b.Log("\n" + t.String())
+	}
+}
+
+func BenchmarkFig01_Motivating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig1())
+	}
+}
+
+func BenchmarkFig04_ChainSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig4())
+	}
+}
+
+func BenchmarkFig05_FFNNThreePass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig5())
+	}
+}
+
+func BenchmarkFig06_FFNNLayerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig6())
+	}
+}
+
+func BenchmarkFig07_FFNNClusterSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig7())
+	}
+}
+
+func BenchmarkFig08_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig8())
+	}
+}
+
+func BenchmarkFig09_BlockInverse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig9())
+	}
+}
+
+func BenchmarkFig10_MatMulChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig10())
+	}
+}
+
+func BenchmarkFig11_AmazonCat1K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig11())
+	}
+}
+
+func BenchmarkFig12_AmazonCat10K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig12())
+	}
+}
+
+func BenchmarkFig13_OptimizerRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, figures.Fig13(2*time.Second))
+	}
+}
+
+// --- optimizer micro-benchmarks: the quantities Figure 13 plots ---
+
+func benchOptimizer(b *testing.B, kind workload.ScaleKind, scale int, fs []format.Format) {
+	g, err := workload.ScaleGraph(kind, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.EC2R5D(10), fs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(g, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizerTreeScale4AllFormats(b *testing.B) {
+	benchOptimizer(b, workload.ScaleTree, 4, format.All())
+}
+
+func BenchmarkOptimizerDAG1Scale4AllFormats(b *testing.B) {
+	benchOptimizer(b, workload.ScaleDAG1, 4, format.All())
+}
+
+func BenchmarkOptimizerDAG2Scale4AllFormats(b *testing.B) {
+	benchOptimizer(b, workload.ScaleDAG2, 4, format.All())
+}
+
+func BenchmarkOptimizerDAG2Scale4SingleBlock(b *testing.B) {
+	benchOptimizer(b, workload.ScaleDAG2, 4, format.SingleBlock())
+}
+
+func BenchmarkOptimizerFFNNW2Update80K(b *testing.B) {
+	g, err := workload.FFNNW2Update(workload.PaperFFNN(80000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.EC2R5D(10), format.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(g, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// Ablation: how much the global optimizer buys over SystemDS-style local
+// choice on the FFNN (the transformation-cost integration is the paper's
+// key idea).
+func BenchmarkAblationGlobalVsLocal(b *testing.B) {
+	g, err := workload.FFNNW2Update(workload.PaperFFNN(80000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.EC2R5D(10), format.All())
+	for i := 0; i < b.N; i++ {
+		auto, err := core.Optimize(g, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(auto.Total(), "auto-sim-sec")
+	}
+}
+
+// Ablation: format-universe restriction (the §8.4 sets) on plan quality.
+func BenchmarkAblationFormatUniverse(b *testing.B) {
+	g, err := workload.MatMulChain(workload.ChainSizeSets()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, fs := range [][]format.Format{format.All(), format.SingleStripBlock(), format.SingleBlock()} {
+			env := core.NewEnv(costmodel.EC2R5D(10), fs)
+			ann, err := core.Optimize(g, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = ann.Total()
+		}
+	}
+}

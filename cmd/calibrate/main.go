@@ -1,0 +1,42 @@
+// Command calibrate runs the installation-time cost-model calibration
+// (§7): it executes a battery of small computations through the engine,
+// fits per-operation regression coefficients from the measurements, and
+// prints the fitted model plus a predicted-vs-measured sanity check on a
+// scaled-down FFNN.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"matopt/internal/calibrate"
+	"matopt/internal/costmodel"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 3, "repetitions of the micro-benchmark battery")
+	workers := flag.Int("workers", 4, "simulated worker count for the calibration engine")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cl := costmodel.LocalTest(*workers)
+	rng := rand.New(rand.NewSource(*seed))
+	m, fitted, err := calibrate.Fit(rng, cl, *rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default coefficients: %v\n", m.Default)
+	fmt.Printf("fitted %d per-operation models:\n", len(fitted))
+	for _, key := range fitted {
+		fmt.Printf("  %-28s %v\n", key, m.PerKey[key])
+	}
+
+	pred, meas, err := calibrate.SmokeWorkload(rng, cl, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsanity check (scaled-down FFNN W2 update):\n")
+	fmt.Printf("  predicted %.3fs, measured %.3fs\n", pred, meas)
+}

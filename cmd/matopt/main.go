@@ -1,0 +1,109 @@
+// Command matopt optimizes one of the built-in workloads and prints the
+// chosen physical design: per-vertex implementations, storage formats,
+// edge re-layouts and the predicted running time.
+//
+//	matopt -workload ffnn -hidden 80000 -workers 10
+//	matopt -workload chain -sizeset 2
+//	matopt -workload inverse
+//	matopt -workload motivating
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "motivating", "motivating | ffnn | ffnn3 | chain | inverse")
+	hidden := flag.Int64("hidden", 80000, "FFNN hidden layer size")
+	sizeSet := flag.Int("sizeset", 1, "chain size set (1-3)")
+	workers := flag.Int("workers", 10, "cluster size")
+	sparse := flag.Bool("sparse", false, "allow sparse formats")
+	formatSet := flag.String("formats", "all", "format universe: all | ssb (single/strip/block) | sb (single/block)")
+	alg := flag.String("alg", "auto", "optimization algorithm: auto (tree DP / frontier) | brute")
+	budget := flag.Duration("brute-budget", 30*time.Second, "brute-force time budget")
+	dot := flag.Bool("dot", false, "emit the annotated compute graph in Graphviz format (Figure 2 style)")
+	flag.Parse()
+
+	var g *core.Graph
+	var err error
+	switch *wl {
+	case "motivating":
+		g, err = workload.MotivatingChain()
+	case "ffnn":
+		g, err = workload.FFNNW2Update(workload.PaperFFNN(*hidden))
+	case "ffnn3":
+		g, err = workload.FFNNThreePass(workload.PaperFFNN(*hidden))
+	case "chain":
+		sets := workload.ChainSizeSets()
+		if *sizeSet < 1 || *sizeSet > len(sets) {
+			log.Fatalf("sizeset must be in 1..%d", len(sets))
+		}
+		g, err = workload.MatMulChain(sets[*sizeSet-1])
+	case "inverse":
+		g, err = workload.BlockInverse2(workload.PaperBlockInverse())
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var universe []format.Format
+	switch *formatSet {
+	case "all":
+		universe = format.All()
+	case "ssb":
+		universe = format.SingleStripBlock()
+	case "sb":
+		universe = format.SingleBlock()
+	default:
+		log.Fatalf("unknown format set %q", *formatSet)
+	}
+	env := core.NewEnv(costmodel.EC2R5D(*workers), universe)
+	if !*sparse {
+		env.DisableSparse()
+	}
+	var ann *core.Annotation
+	switch *alg {
+	case "auto":
+		ann, err = core.Optimize(g, env)
+	case "brute":
+		ann, err = core.Brute(g, env, *budget)
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	if *dot {
+		fmt.Print(ann.DOT())
+		return
+	}
+	fmt.Print(ann.Describe())
+	rep, err := engine.Simulate(ann, env)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	fmt.Printf("\nsimulated time on %d workers: %s   (optimizer: %.2fs)\n",
+		*workers, fmtSec(rep.Seconds), ann.OptSeconds)
+	fmt.Printf("features: %.3g FLOPs, %.3g net bytes, %.3g intermediate bytes, %.0f tuples\n",
+		rep.Features.FLOPs, rep.Features.NetBytes, rep.Features.InterBytes, rep.Features.Tuples)
+	fmt.Printf("peak per-worker working set: %.1f GB\n", rep.PeakWorkerBytes/(1<<30))
+}
+
+func fmtSec(s float64) string {
+	d := int(s + 0.5)
+	if d >= 3600 {
+		return fmt.Sprintf("%d:%02d:%02d", d/3600, d%3600/60, d%60)
+	}
+	return fmt.Sprintf("%d:%02d", d/60, d%60)
+}

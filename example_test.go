@@ -1,0 +1,31 @@
+package matopt_test
+
+import (
+	"fmt"
+	"log"
+
+	"matopt"
+)
+
+// Example reproduces the paper's §2.1 motivating example: the optimizer
+// discovers that the small product matA×matB should collapse into a
+// single tuple and be broadcast against matC's column strips.
+func Example() {
+	b := matopt.NewBuilder()
+	matA := b.Input("matA", 100, 10000, matopt.RowStrips(10))
+	matB := b.Input("matB", 10000, 100, matopt.ColStrips(10))
+	matC := b.Input("matC", 100, 1000000, matopt.ColStrips(10000))
+	ab := b.MatMul(matA, matB)
+	out := b.MatMul(ab, matC)
+
+	plan, err := matopt.NewOptimizer(matopt.ClusterR5D(5)).Optimize(b, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann := plan.Annotation()
+	fmt.Println("matAB:", ann.VertexFormat[3], "via", ann.VertexImpl[3].Name)
+	fmt.Println("matABC:", ann.VertexFormat[4], "via", ann.VertexImpl[4].Name)
+	// Output:
+	// matAB: single via mm-colstrip-rowstrip-agg
+	// matABC: colstrip[10000] via mm-bcast-single-colstrip
+}

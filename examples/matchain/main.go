@@ -1,0 +1,62 @@
+// Command matchain reproduces the matrix-multiplication-chain study of
+// §8.2 (Figures 4 and 10) in miniature: for each of the three input size
+// sets it optimizes T1←A×B; T2←C×D; O←((T1×E)×(T1×T2))×(T2×F) and prints
+// the auto-generated plan's predicted time against the hand-written and
+// all-tile baselines, plus the physical design the optimizer picked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"matopt/internal/baseline"
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/workload"
+)
+
+func main() {
+	env := core.NewEnv(costmodel.EC2R5D(10), format.All())
+	for _, sz := range workload.ChainSizeSets() {
+		g, err := workload.MatMulChain(sz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auto, err := core.Optimize(g, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		autoRep, err := engine.Simulate(auto, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := func(ann *core.Annotation, err error) string {
+			if err != nil {
+				return "Fail"
+			}
+			rep, err := engine.Simulate(ann, env)
+			if err != nil {
+				return "Fail"
+			}
+			return fmt.Sprintf("%8.0fs", rep.Seconds)
+		}
+		fmt.Printf("%s: auto %8.0fs (opt %.1fs)   hand %s   all-tile %s\n",
+			sz.Name, autoRep.Seconds, auto.OptSeconds,
+			sim(baseline.HandWritten(g, env)),
+			sim(baseline.AllTile(g, env)))
+	}
+
+	// Show the full physical design for Size Set 1.
+	g, err := workload.MatMulChain(workload.ChainSizeSets()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOptimizer's physical design for Size Set 1:")
+	fmt.Print(ann.Describe())
+}

@@ -1,0 +1,3 @@
+module matopt
+
+go 1.22

@@ -1,0 +1,81 @@
+// Package baseline implements the comparison plans and systems of §8:
+// the all-tile heuristic, the hand-written expert plan, the three
+// recruited-user policies of Experiment 4, a PyTorch-style data-parallel
+// engine model, and a SystemDS-style local optimizer.
+package baseline
+
+import (
+	"matopt/internal/core"
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// tileTargets are tried largest-first when tiling a matrix.
+var tileTargets = []int64{1000, 500, 200, 100}
+
+// largestValidTile returns the biggest standard tile (≤ 1000) that can
+// store the shape, or ok=false when none can (vectors, tiny matrices).
+func largestValidTile(s shape.Shape, density float64, maxTuple int64) (format.Format, bool) {
+	for _, b := range tileTargets {
+		f := format.NewTile(b)
+		if f.Valid(s, density, maxTuple) {
+			return f, true
+		}
+	}
+	return format.Format{}, false
+}
+
+// tileable lists the atomic computations whose output the all-tile
+// heuristic forces into tiles; the rest (softmax, bias, reductions,
+// inverse) have no tiled implementation and are left to the local greedy
+// choice.
+func tileable(k op.Kind) bool {
+	switch k {
+	case op.MatMul, op.Add, op.Sub, op.Hadamard, op.Transpose,
+		op.ReLU, op.ReLUGrad, op.Sigmoid, op.Exp, op.Neg, op.ScalarMul:
+		return true
+	}
+	return false
+}
+
+// naiveEnv restricts the environment to the "plain SQL" implementations
+// the §1 example uses: matrix multiplies run only as the tile×tile
+// shuffle join (single×single kept for unchunkable vector cases). All
+// other operations keep their implementations.
+func naiveEnv(env *core.Env) *core.Env {
+	restricted := *env
+	restricted.Impls = make(map[op.Kind][]*impl.Impl, len(env.Impls))
+	for k, ims := range env.Impls {
+		restricted.Impls[k] = ims
+	}
+	restricted.Impls[op.MatMul] = []*impl.Impl{impl.MMTileTileShuffle, impl.MMSingleSingle}
+	return &restricted
+}
+
+// AllTile annotates g with the §8.2 heuristic of "simply tiling every
+// matrix in 1K×1K chunks" and running the textbook shuffle-join multiply
+// over them. The returned error is the plan's Fail outcome.
+func AllTile(g *core.Graph, env *core.Env) (*core.Annotation, error) {
+	want := make(map[int]format.Format)
+	for _, v := range g.Vertices {
+		if v.IsSource || !tileable(v.Op.Kind) {
+			continue
+		}
+		// The shuffle join needs one tile grid across the operation, so
+		// the tile size must be valid for the output and every input.
+		for _, b := range tileTargets {
+			f := format.NewTile(b)
+			ok := f.Valid(v.Shape, v.Density, env.Cluster.MaxTupleBytes)
+			for _, in := range v.Ins {
+				ok = ok && f.Valid(in.Shape, in.Density, env.Cluster.MaxTupleBytes)
+			}
+			if ok {
+				want[v.ID] = f
+				break
+			}
+		}
+	}
+	return core.GreedyAnnotate(g, naiveEnv(env), want)
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"testing"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/workload"
+)
+
+func env(workers int) *core.Env {
+	return core.NewEnv(costmodel.EC2R5D(workers), format.All())
+}
+
+func TestOrderingOnMotivatingChain(t *testing.T) {
+	g, err := workload.MotivatingChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env(5)
+	auto, err := core.Optimize(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := HandWritten(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := AllTile(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At this small scale the per-job overhead dominates, compressing
+	// the baselines toward each other; the optimizer must still win.
+	if auto.Total() > hand.Total()+1e-9 || auto.Total() > tile.Total()+1e-9 {
+		t.Errorf("ordering violated: auto %.2f, hand %.2f, all-tile %.2f",
+			auto.Total(), hand.Total(), tile.Total())
+	}
+}
+
+func TestOrderingOnMatMulChain(t *testing.T) {
+	for _, sz := range workload.ChainSizeSets() {
+		g, err := workload.MatMulChain(sz)
+		if err != nil {
+			t.Fatalf("%s: %v", sz.Name, err)
+		}
+		e := env(10)
+		auto, err := core.Optimize(g, e)
+		if err != nil {
+			t.Fatalf("%s: %v", sz.Name, err)
+		}
+		hand, err := HandWritten(g, e)
+		if err != nil {
+			t.Fatalf("%s hand: %v", sz.Name, err)
+		}
+		tile, err := AllTile(g, e)
+		if err != nil {
+			t.Fatalf("%s all-tile: %v", sz.Name, err)
+		}
+		if auto.Total() > hand.Total()+1e-9 {
+			t.Errorf("%s: auto %.1f > hand %.1f", sz.Name, auto.Total(), hand.Total())
+		}
+		if auto.Total() > tile.Total()+1e-9 {
+			t.Errorf("%s: auto %.1f > all-tile %.1f", sz.Name, auto.Total(), tile.Total())
+		}
+	}
+}
+
+func TestAllTileUsesShuffleJoin(t *testing.T) {
+	g, err := workload.MatMulChain(workload.ChainSizeSets()[2]) // all 50K squares
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := AllTile(g, env(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			continue
+		}
+		if im := ann.VertexImpl[v.ID]; im.Name != "mm-tile-tile-shuffle" {
+			t.Errorf("vertex %d uses %s, all-tile must use the shuffle join", v.ID, im.Name)
+		}
+	}
+}
+
+func TestUserPlansTrackExpertise(t *testing.T) {
+	g, err := workload.FFNNW2Update(workload.PaperFFNN(80000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := env(10)
+	auto, err := core.Optimize(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totals [3]float64
+	for _, ex := range []Expertise{ExpertiseLow, ExpertiseMedium, ExpertiseHigh} {
+		res, err := UserPlan(g, e, ex)
+		if err != nil {
+			t.Fatalf("%v: %v", ex, err)
+		}
+		totals[ex] = res.Annotation.Total()
+		if ex != ExpertiseHigh && !res.FirstCrashed {
+			t.Errorf("%v: first labeling should have crashed (paper's asterisks)", ex)
+		}
+		if ex == ExpertiseHigh && res.FirstCrashed {
+			t.Errorf("high expertise should not crash")
+		}
+		if res.Annotation.Total() < auto.Total()-1e-9 {
+			t.Errorf("%v beat the optimizer: %.1f < %.1f", ex, res.Annotation.Total(), auto.Total())
+		}
+	}
+	if !(totals[ExpertiseHigh] <= totals[ExpertiseMedium] && totals[ExpertiseMedium] <= totals[ExpertiseLow]) {
+		t.Errorf("runtimes do not track expertise: low %.1f, med %.1f, high %.1f",
+			totals[ExpertiseLow], totals[ExpertiseMedium], totals[ExpertiseHigh])
+	}
+}
+
+func TestTorchLikeFailsAtLargeHidden(t *testing.T) {
+	for _, workers := range []int{2, 5, 10} {
+		cl := costmodel.EC2R5DN(workers)
+		small := TorchLike(workload.AmazonCatConfig(1000, 4000, false), cl)
+		if small.Failed {
+			t.Errorf("%d workers: h=4000 should run, failed: %s", workers, small.Reason)
+		}
+		big := TorchLike(workload.AmazonCatConfig(1000, 7000, false), cl)
+		if !big.Failed {
+			t.Errorf("%d workers: h=7000 should fail (model replica ≈ 69GB)", workers)
+		}
+	}
+	// 10K batch: fails already at h=5000 on 2 workers, runs on 5.
+	if r := TorchLike(workload.AmazonCatConfig(10000, 5000, false), costmodel.EC2R5DN(2)); !r.Failed {
+		t.Error("10K batch h=5000 on 2 workers should fail")
+	}
+	if r := TorchLike(workload.AmazonCatConfig(10000, 5000, false), costmodel.EC2R5DN(5)); r.Failed {
+		t.Errorf("10K batch h=5000 on 5 workers should run: %s", r.Reason)
+	}
+}
+
+func TestTorchLikeGrowsWithClusterSize(t *testing.T) {
+	c := workload.AmazonCatConfig(1000, 4000, false)
+	t2 := TorchLike(c, costmodel.EC2R5DN(2)).Seconds
+	t10 := TorchLike(c, costmodel.EC2R5DN(10)).Seconds
+	if t10 <= t2*0.9 {
+		t.Errorf("data-parallel time should not improve much with workers: 2w=%.1f, 10w=%.1f", t2, t10)
+	}
+}
+
+func TestSystemDSLikeNeverBeatsOptimizer(t *testing.T) {
+	g, err := workload.FFNNBackprop(workload.AmazonCatConfig(1000, 4000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEnv(costmodel.EC2R5DN(5), format.All())
+	auto, err := core.Optimize(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := SystemDSLike(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Total() > ds.Total()+1e-9 {
+		t.Errorf("optimizer %.1f worse than SystemDS-like %.1f", auto.Total(), ds.Total())
+	}
+}
+
+func TestLargestValidTile(t *testing.T) {
+	f, ok := largestValidTile(shape.New(50000, 50000), 1, 1<<30)
+	if !ok || f != format.NewTile(1000) {
+		t.Errorf("50K square → %v, %v", f, ok)
+	}
+	f, ok = largestValidTile(shape.New(300, 300), 1, 1<<30)
+	if !ok || f != format.NewTile(200) {
+		t.Errorf("300 square → %v, %v", f, ok)
+	}
+	if _, ok := largestValidTile(shape.New(50, 50), 1, 1<<30); ok {
+		t.Error("50×50 has no standard tile")
+	}
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"matopt/internal/core"
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// expertFormat is the static layout rule a competent distributed-ML
+// programmer applies (derived, like the paper's hand-written plans, from
+// the published FFNN code of Jankov et al.): matrices small enough to
+// move freely are kept whole, transposed matrices ride the strip
+// transpose, and everything else is tiled 1K×1K. The rule is applied per
+// matrix in isolation — the expert does not weigh the re-layout chains
+// the choices induce across operations, which is exactly the gap the
+// global optimizer exploits.
+func expertFormat(kind op.Kind, s shape.Shape, density float64, maxTuple int64) (format.Format, bool) {
+	single := format.NewSingle()
+	if s.Bytes() <= 64<<20 && single.Valid(s, density, maxTuple) {
+		return single, true
+	}
+	if kind == op.Transpose {
+		if s.Rows >= 4*s.Cols {
+			if f := format.NewRowStrip(1000); f.Valid(s, density, maxTuple) {
+				return f, true
+			}
+		}
+		if s.Cols >= 4*s.Rows {
+			if f := format.NewColStrip(1000); f.Valid(s, density, maxTuple) {
+				return f, true
+			}
+		}
+	}
+	if f, ok := largestValidTile(s, density, maxTuple); ok {
+		return f, true
+	}
+	if single.Valid(s, density, maxTuple) {
+		return single, true
+	}
+	return format.Format{}, false
+}
+
+// expertMatMulTile picks the tile size the expert's strip-pipelined
+// multiply can build: the largest block whose row strips of the left
+// operand and column strips of the right operand still fit a tuple.
+func expertMatMulTile(v *core.Vertex, maxTuple int64) (format.Format, bool) {
+	// Only strip extents that actually exist can feed the pipelined
+	// strip×strip multiply.
+	for _, b := range []int64{1000, 100} {
+		tile := format.NewTile(b)
+		if !tile.Valid(v.Shape, v.Density, maxTuple) {
+			continue
+		}
+		a, c := v.Ins[0], v.Ins[1]
+		if format.NewRowStrip(b).Valid(a.Shape, a.Density, maxTuple) &&
+			format.NewColStrip(b).Valid(c.Shape, c.Density, maxTuple) {
+			return tile, true
+		}
+	}
+	return format.Format{}, false
+}
+
+// HandWritten annotates g the way the paper's expert-written plans do:
+// a fixed per-matrix layout rule plus the locally cheapest
+// implementation for each operation. Operations with no layout under the
+// rule fall back to the local greedy choice. The one strategy the
+// published hand code never used is broadcasting a whole *chunked*
+// matrix (tile×tile broadcast join) — the experts broadcast only
+// unchunked singles — so that implementation is withheld here.
+func HandWritten(g *core.Graph, env *core.Env) (*core.Annotation, error) {
+	want := make(map[int]format.Format)
+	for _, v := range g.Vertices {
+		if v.IsSource || !tileable(v.Op.Kind) {
+			continue
+		}
+		if v.Op.Kind == op.MatMul && v.Shape.Bytes() > 64<<20 {
+			if f, ok := expertMatMulTile(v, env.Cluster.MaxTupleBytes); ok {
+				want[v.ID] = f
+				continue
+			}
+		}
+		if f, ok := expertFormat(v.Op.Kind, v.Shape, v.Density, env.Cluster.MaxTupleBytes); ok {
+			want[v.ID] = f
+		}
+	}
+	restricted := *env
+	restricted.Impls = make(map[op.Kind][]*impl.Impl, len(env.Impls))
+	for k, ims := range env.Impls {
+		restricted.Impls[k] = ims
+	}
+	var mm []*impl.Impl
+	for _, im := range env.Impls[op.MatMul] {
+		if im != impl.MMTileTileBcast {
+			mm = append(mm, im)
+		}
+	}
+	restricted.Impls[op.MatMul] = mm
+	return core.GreedyAnnotate(g, &restricted, want)
+}

@@ -1,0 +1,41 @@
+package baseline
+
+import (
+	"matopt/internal/core"
+	"matopt/internal/format"
+)
+
+// SystemDSLike annotates g the way the paper characterizes SystemDS
+// (§9): each operation's layout is chosen locally — single-tuple for
+// matrices that fit one block, 1000×1000 blocks otherwise, and a sparse
+// layout when the matrix is sparse enough to pay off — with the locally
+// cheapest implementation per operation. Crucially there is no global
+// optimization and no accounting for the re-layout (transformation)
+// chains the local choices induce; those costs are still paid at
+// execution time, which is the gap the paper's optimizer closes.
+func SystemDSLike(g *core.Graph, env *core.Env) (*core.Annotation, error) {
+	const sparseThreshold = 0.05 // SystemDS-style sparse-block switch
+	want := make(map[int]format.Format)
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			continue
+		}
+		if v.Density < sparseThreshold {
+			if f := format.NewCSRSingle(); f.Valid(v.Shape, v.Density, env.Cluster.MaxTupleBytes) && env.HasFormat(f) {
+				want[v.ID] = f
+				continue
+			}
+		}
+		if !tileable(v.Op.Kind) {
+			continue
+		}
+		if f := format.NewSingle(); v.Shape.Bytes() <= 64<<20 && f.Valid(v.Shape, v.Density, env.Cluster.MaxTupleBytes) {
+			want[v.ID] = f
+			continue
+		}
+		if f, ok := largestValidTile(v.Shape, v.Density, env.Cluster.MaxTupleBytes); ok {
+			want[v.ID] = f
+		}
+	}
+	return core.GreedyAnnotate(g, env, want)
+}

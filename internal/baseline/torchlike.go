@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"math"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/workload"
+)
+
+// TorchResult reports a data-parallel run: the predicted seconds, or a
+// Fail with the resource that overflowed.
+type TorchResult struct {
+	Seconds float64
+	Failed  bool
+	Reason  string
+}
+
+// TorchLike models the paper's PyTorch comparison (§8.3): the standard
+// data-parallel recipe — shard the input by examples, replicate the
+// entire model on every worker, run native-speed dense local kernels,
+// and all-reduce dense gradients every step. Its two characteristic
+// behaviours are reproduced from first principles:
+//
+//   - it fails when one worker cannot hold the model replica, its dense
+//     gradients, the densified data shard and the activations ("PyTorch
+//     is unable to multiply the matrix storing the input data with the
+//     entire matrix connecting the inputs to the first input layer
+//     without failing"), and
+//   - its time grows with the cluster size at a fixed problem, because
+//     the dense-model all-reduce dominates while per-worker compute
+//     shrinks.
+//
+// Unlike the optimizer's sparse plans, the data-parallel path densifies
+// the design matrix, so it cannot exploit AmazonCat's sparsity.
+func TorchLike(c workload.FFNNConfig, cl costmodel.Cluster) TorchResult {
+	w := float64(cl.Workers)
+	f, h, l, b := float64(c.Features), float64(c.Hidden), float64(c.Labels), float64(c.Batch)
+
+	modelBytes := (f*h + h*h + h*l + 2*h + l) * 8
+	shardRows := b / w
+	shardBytes := shardRows * f * 8
+	activBytes := shardRows * (2*h + l) * 8 * 2 // activations + their gradients
+	peak := 2*modelBytes + shardBytes + activBytes
+	if peak > float64(cl.RAMPerWorker) {
+		return TorchResult{Failed: true, Reason: "model replica + dense shard exceed worker RAM"}
+	}
+
+	// Dense forward + backward: ≈ 6 flops per weight per example.
+	flops := 6 * shardRows * (f*h + h*h + h*l)
+	computeSec := flops / cl.FlopsPerSec
+
+	// Communication: one model broadcast plus a dense-gradient
+	// all-reduce (2·bytes·(w−1)/w per link).
+	bcastSec := modelBytes * math.Ceil(math.Log2(w)) / cl.NetBytesPerSec
+	allreduceSec := 2 * modelBytes * (w - 1) / w / cl.NetBytesPerSec
+	if cl.Workers == 1 {
+		bcastSec, allreduceSec = 0, 0
+	}
+	return TorchResult{Seconds: computeSec + bcastSec + allreduceSec}
+}

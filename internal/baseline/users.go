@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"matopt/internal/core"
+	"matopt/internal/format"
+)
+
+// Expertise grades the recruited programmers of Experiment 4 by their
+// distributed-ML experience.
+type Expertise int
+
+const (
+	// ExpertiseLow is the ML-applications PhD student: strong ML, no
+	// distributed-systems instincts.
+	ExpertiseLow Expertise = iota
+	// ExpertiseMedium is the federated-learning student.
+	ExpertiseMedium
+	// ExpertiseHigh is the high-performance distributed-ML student,
+	// whose plan nearly matched the optimizer's.
+	ExpertiseHigh
+)
+
+func (e Expertise) String() string {
+	switch e {
+	case ExpertiseLow:
+		return "low"
+	case ExpertiseMedium:
+		return "medium"
+	case ExpertiseHigh:
+		return "high"
+	}
+	return "unknown"
+}
+
+// UserResult reports a recruited user's labeling outcome: the plan that
+// eventually ran, and whether the first labeling crashed and had to be
+// re-designed (the paper's asterisked entries).
+type UserResult struct {
+	Annotation   *core.Annotation
+	FirstCrashed bool
+}
+
+// UserPlan reproduces the Experiment 4 labelings. Low and medium
+// expertise users first produce an infeasible labeling (single-tuple
+// layouts for matrices that cannot fit one tuple); after the crash they
+// re-design: the low-expertise user falls back to tiling everything with
+// the textbook multiply, the medium user to an all-tile plan with free
+// implementation choice. The high-expertise user's labeling is the
+// locally-optimal greedy plan and succeeds on the first attempt.
+func UserPlan(g *core.Graph, env *core.Env, e Expertise) (UserResult, error) {
+	switch e {
+	case ExpertiseHigh:
+		ann, err := core.GreedyAnnotate(g, env, nil)
+		return UserResult{Annotation: ann}, err
+	case ExpertiseMedium, ExpertiseLow:
+		crashed := false
+		// First attempt: whole-matrix layouts everywhere, as a
+		// single-node ML mindset suggests.
+		wantSingle := make(map[int]format.Format)
+		for _, v := range g.Vertices {
+			if !v.IsSource {
+				wantSingle[v.ID] = format.NewSingle()
+			}
+		}
+		if _, err := core.GreedyAnnotate(g, env, wantSingle); err != nil {
+			crashed = true
+		}
+		var ann *core.Annotation
+		var err error
+		if e == ExpertiseLow {
+			ann, err = AllTile(g, env) // textbook shuffle-join re-design
+		} else {
+			// The medium user keeps the tiled layouts but lets the
+			// engine pick per-op implementations.
+			want := make(map[int]format.Format)
+			for _, v := range g.Vertices {
+				if v.IsSource || !tileable(v.Op.Kind) {
+					continue
+				}
+				if f, ok := largestValidTile(v.Shape, v.Density, env.Cluster.MaxTupleBytes); ok {
+					want[v.ID] = f
+				}
+			}
+			ann, err = core.GreedyAnnotate(g, env, want)
+		}
+		return UserResult{Annotation: ann, FirstCrashed: crashed}, err
+	}
+	return UserResult{}, nil
+}

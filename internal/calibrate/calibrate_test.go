@@ -1,0 +1,53 @@
+package calibrate
+
+import (
+	"math/rand"
+	"testing"
+
+	"matopt/internal/costmodel"
+)
+
+func TestCollectProducesSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cl := costmodel.LocalTest(3)
+	samples, err := Collect(rng, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < len(cases()) {
+		t.Fatalf("only %d samples from %d cases", len(samples), len(cases()))
+	}
+	for _, s := range samples {
+		if s.Key == "" || s.Seconds < 0 {
+			t.Fatalf("malformed sample %+v", s)
+		}
+	}
+}
+
+func TestFitProducesPerOpModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration executes real kernels")
+	}
+	rng := rand.New(rand.NewSource(2))
+	cl := costmodel.LocalTest(3)
+	m, fitted, err := Fit(rng, cl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted) == 0 {
+		t.Fatal("no per-operation models fitted")
+	}
+	for _, key := range fitted {
+		co := m.PerKey[key]
+		if co.PerFLOP < 0 || co.PerTuple < 0 {
+			t.Fatalf("%s: negative coefficients %v", key, co)
+		}
+	}
+	pred, meas, err := SmokeWorkload(rng, cl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 || meas <= 0 {
+		t.Fatalf("smoke check degenerate: pred=%v meas=%v", pred, meas)
+	}
+}

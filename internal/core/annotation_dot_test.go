@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+func TestDOTExport(t *testing.T) {
+	g := NewGraph()
+	a := g.Input("a", shape.New(100, 10000), 1, format.NewRowStrip(10))
+	b := g.Input("b", shape.New(10000, 100), 1, format.NewColStrip(10))
+	g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	env := NewEnv(costmodel.EC2R5D(5), format.All())
+	ann, err := Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := ann.DOT()
+	for _, want := range []string{"digraph annotated", "v0 -> v2", "v1 -> v2", "matmul", "fillcolor=lightgray"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Non-identity edge transformations must be labeled.
+	if !strings.Contains(dot, "label=\"to-") {
+		t.Errorf("expected a transformation label on some edge:\n%s", dot)
+	}
+}

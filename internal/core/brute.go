@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"matopt/internal/format"
+	"matopt/internal/trans"
+)
+
+// ErrTimeout is returned by Brute when the time budget expires before the
+// search completes (the paper's "Fail" at 30 minutes in Figure 13).
+var ErrTimeout = errors.New("core: brute-force search exceeded its time budget")
+
+// bruteChoice is the decision recorded for one vertex during the search.
+type bruteChoice struct {
+	im       int // index into env.Impls[v.Op.Kind]
+	pins     []format.Format
+	trs      []*trans.Transform
+	trCosts  []float64
+	outF     format.Format
+	implCost float64
+}
+
+// Brute exhaustively enumerates type-correct annotations (Algorithm 2):
+// for every vertex in topological order it tries every implementation and
+// every feasible transformation of each argument, recursing on the rest
+// of the graph with branch-and-bound pruning against the best complete
+// annotation found so far. Complexity is exponential in the number of
+// vertices; budget bounds the wall time.
+func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
+	start := time.Now()
+	deadline := start.Add(budget)
+	cache := make(transCache)
+
+	var order []*Vertex
+	curFormat := make([]format.Format, len(g.Vertices))
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			curFormat[v.ID] = v.SrcFormat
+		} else {
+			order = append(order, v)
+		}
+	}
+
+	choices := make([]bruteChoice, len(order))
+	var bestChoices []bruteChoice
+	bestCost := -1.0
+	timedOut := false
+	steps := 0
+
+	var rec func(k int, costSoFar float64)
+	rec = func(k int, costSoFar float64) {
+		if timedOut {
+			return
+		}
+		steps++
+		if steps&1023 == 0 && time.Now().After(deadline) {
+			timedOut = true
+			return
+		}
+		if bestCost >= 0 && costSoFar >= bestCost {
+			return // branch and bound
+		}
+		if k == len(order) {
+			bestCost = costSoFar
+			bestChoices = append(bestChoices[:0], choices...)
+			return
+		}
+		v := order[k]
+		pouts := make([]format.Format, len(v.Ins))
+		trs := make([]*trans.Transform, len(v.Ins))
+		trCosts := make([]float64, len(v.Ins))
+		pins := make([]format.Format, len(v.Ins))
+		var args func(j int, trCost float64)
+		args = func(j int, trCost float64) {
+			if timedOut {
+				return
+			}
+			if j == len(v.Ins) {
+				for ii, im := range env.Impls[v.Op.Kind] {
+					outF, implCost, ok := env.applyImpl(v, im, pouts)
+					if !ok {
+						continue
+					}
+					choices[k] = bruteChoice{
+						im:       ii,
+						pins:     append([]format.Format(nil), pins...),
+						trs:      append([]*trans.Transform(nil), trs...),
+						trCosts:  append([]float64(nil), trCosts...),
+						outF:     outF,
+						implCost: implCost,
+					}
+					saved := curFormat[v.ID]
+					curFormat[v.ID] = outF
+					rec(k+1, costSoFar+trCost+implCost)
+					curFormat[v.ID] = saved
+				}
+				return
+			}
+			in := v.Ins[j]
+			pins[j] = curFormat[in.ID]
+			for _, to := range env.transOptions(cache, in, curFormat[in.ID]) {
+				pouts[j] = to.pout
+				trs[j] = to.tr
+				trCosts[j] = to.cost
+				args(j+1, trCost+to.cost)
+			}
+		}
+		args(0, 0)
+	}
+	rec(0, 0)
+
+	if timedOut {
+		return nil, ErrTimeout
+	}
+	if bestCost < 0 {
+		return nil, ErrInfeasible
+	}
+	ann := newAnnotation(g)
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			ann.VertexFormat[v.ID] = v.SrcFormat
+		}
+	}
+	for k, v := range order {
+		ch := bestChoices[k]
+		ann.VertexImpl[v.ID] = env.Impls[v.Op.Kind][ch.im]
+		ann.VertexFormat[v.ID] = ch.outF
+		ann.VertexCost[v.ID] = ch.implCost
+		for j := range v.Ins {
+			ek := EdgeKey{To: v.ID, Arg: j}
+			ann.EdgeTrans[ek] = ch.trs[j]
+			ann.EdgeCost[ek] = ch.trCosts[j]
+		}
+	}
+	ann.OptSeconds = time.Since(start).Seconds()
+	return ann, nil
+}

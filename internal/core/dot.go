@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the annotated compute graph in Graphviz format — the
+// artifact the paper's Figure 2 draws: vertices labeled with their
+// atomic computation, chosen implementation and resulting physical
+// format, and edges labeled with their physical matrix transformations.
+func (a *Annotation) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph annotated {\n")
+	b.WriteString("  rankdir=BT;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, v := range a.Graph.Vertices {
+		if v.IsSource {
+			fmt.Fprintf(&b, "  v%d [label=\"%s\\n%v\\n%v\", style=filled, fillcolor=lightgray];\n",
+				v.ID, escapeDOT(v.Name), v.Shape, a.VertexFormat[v.ID])
+			continue
+		}
+		im := "?"
+		if a.VertexImpl[v.ID] != nil {
+			im = a.VertexImpl[v.ID].Name
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"%v\\n%s\\n→ %v\"];\n",
+			v.ID, v.Op, escapeDOT(im), a.VertexFormat[v.ID])
+	}
+	for _, v := range a.Graph.Vertices {
+		for j, in := range v.Ins {
+			tr := a.EdgeTrans[EdgeKey{To: v.ID, Arg: j}]
+			label := ""
+			if tr != nil && !tr.Identity() {
+				label = fmt.Sprintf(" [label=\"%s\", color=blue]", escapeDOT(tr.Name))
+			}
+			fmt.Fprintf(&b, "  v%d -> v%d%s;\n", in.ID, v.ID, label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	return strings.NewReplacer(`"`, `\"`, `\`, `\\`).Replace(s)
+}

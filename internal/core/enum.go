@@ -1,0 +1,66 @@
+package core
+
+import (
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/trans"
+)
+
+// transOption is one feasible way to re-layout a vertex's output from a
+// given physical format: the transformation, the format it produces, and
+// its predicted cost.
+type transOption struct {
+	tr   *trans.Transform
+	pout format.Format
+	cost float64
+}
+
+// transOptions enumerates the feasible transformations of v's matrix out
+// of format pin, including the free identity. Results are memoized per
+// (vertex, pin) in the cache owned by the calling optimizer run.
+type transCache map[transCacheKey][]transOption
+
+type transCacheKey struct {
+	vertex int
+	pin    format.Format
+}
+
+func (env *Env) transOptions(cache transCache, v *Vertex, pin format.Format) []transOption {
+	key := transCacheKey{vertex: v.ID, pin: pin}
+	if opts, ok := cache[key]; ok {
+		return opts
+	}
+	opts := []transOption{{tr: trans.IdentityTransform, pout: pin}}
+	for _, tr := range env.Transforms {
+		if tr.Identity() {
+			continue
+		}
+		out, ok := tr.Apply(v.Shape, v.Density, pin, env.Cluster)
+		if !ok {
+			continue
+		}
+		opts = append(opts, transOption{tr: tr, pout: out.Format, cost: tr.Cost(env.Model, out)})
+	}
+	cache[key] = opts
+	return opts
+}
+
+// applyImpl evaluates implementation im on vertex v with the given
+// (already transformed) input formats. It returns the output format and
+// the implementation's predicted cost; ok is false when the
+// implementation is ⊥ on these inputs or its output format falls outside
+// the environment's format universe.
+func (env *Env) applyImpl(v *Vertex, im *impl.Impl, pouts []format.Format) (format.Format, float64, bool) {
+	ins := make([]impl.Input, len(v.Ins))
+	for j, in := range v.Ins {
+		ins[j] = impl.Input{Shape: in.Shape, Density: in.Density, Format: pouts[j]}
+	}
+	out, ok := im.Apply(v.Op, ins, v.Shape, v.Density, env.Cluster)
+	if !ok {
+		return format.Format{}, 0, false
+	}
+	if !env.HasFormat(out.Format) {
+		return format.Format{}, 0, false
+	}
+	return out.Format, im.Cost(env.Model, out), true
+}

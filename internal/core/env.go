@@ -1,0 +1,70 @@
+package core
+
+import (
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/op"
+	"matopt/internal/trans"
+)
+
+// Env is the optimization environment: the cluster profile, the cost
+// model, and the universes of physical formats, transformations and
+// implementations the optimizer may use. Restricting Formats (as in the
+// §8.4 experiments) automatically restricts the transformations and the
+// reachable implementations.
+type Env struct {
+	Cluster    costmodel.Cluster
+	Model      *costmodel.Model
+	Formats    []format.Format
+	Transforms []*trans.Transform
+	Impls      map[op.Kind][]*impl.Impl
+	// MaxClassEntries bounds the joint cost table of one frontier
+	// equivalence class. The paper's Algorithm 4 is exact but its
+	// tables are Θ(|P|^c) for class size c; graphs with pathological
+	// sharing (the two-level block inverse) can make c large. When a
+	// table exceeds the bound, only the cheapest entries are kept — a
+	// beam search over formats. 0 means the default (20,000); the
+	// exactness tests against Brute stay far below any bound.
+	MaxClassEntries int
+}
+
+// NewEnv returns an environment over the given format universe with every
+// registered implementation available and the analytic default cost model.
+func NewEnv(cl costmodel.Cluster, formats []format.Format) *Env {
+	e := &Env{
+		Cluster:    cl,
+		Model:      costmodel.NewModel(cl),
+		Formats:    formats,
+		Transforms: trans.ForFormats(formats),
+		Impls:      make(map[op.Kind][]*impl.Impl),
+	}
+	for _, k := range op.Kinds() {
+		e.Impls[k] = impl.ForOp(k)
+	}
+	return e
+}
+
+// DisableSparse removes the sparse formats and the implementations that
+// require them, reproducing the Figure 12 "no sparsity" configuration.
+func (e *Env) DisableSparse() *Env {
+	var dense []format.Format
+	for _, f := range e.Formats {
+		if !f.IsSparse() {
+			dense = append(dense, f)
+		}
+	}
+	e.Formats = dense
+	e.Transforms = trans.ForFormats(dense)
+	return e
+}
+
+// HasFormat reports whether f is in the environment's format universe.
+func (e *Env) HasFormat(f format.Format) bool {
+	for _, g := range e.Formats {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}

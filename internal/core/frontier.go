@@ -1,0 +1,412 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/trans"
+)
+
+// The Frontier algorithm (Algorithm 4) generalizes the tree DP to DAGs
+// with shared sub-computations. The frontier cuts the graph into an
+// optimized and an unoptimized portion; vertices along the frontier that
+// share ancestors are grouped into equivalence classes, and F is
+// maintained jointly per class: F(V, p) is the minimum cost to compute
+// every vertex in class V with the output formats fixed to the vector p.
+
+// fclass is one equivalence class along the frontier with its joint cost
+// table.
+type fclass struct {
+	members []int // sorted vertex IDs still on the frontier
+	entries map[string]*fentry
+}
+
+// fentry is one F(V, p) cell plus the back-pointers that reconstruct the
+// annotation: the vertex whose processing created the entry, its chosen
+// implementation and format, the per-argument transformations, and the
+// consumed entries of the previous classes.
+type fentry struct {
+	cost    float64
+	formats []format.Format // parallel to the class's members
+
+	vertex   int
+	vFormat  format.Format
+	im       *impl.Impl // nil for source entries
+	implCost float64
+	pins     []format.Format
+	trs      []*trans.Transform
+	trCosts  []float64
+	parents  []*fentry
+}
+
+// fmtIntern assigns dense byte IDs to the formats seen during one
+// Frontier run, so that cost-table keys are cheap byte strings rather
+// than formatted text (key construction sits on the DP's hot path).
+type fmtIntern struct {
+	ids map[format.Format]byte
+}
+
+func newFmtIntern() *fmtIntern { return &fmtIntern{ids: make(map[format.Format]byte)} }
+
+func (in *fmtIntern) id(f format.Format) byte {
+	if id, ok := in.ids[f]; ok {
+		return id
+	}
+	id := byte(len(in.ids))
+	if int(id) != len(in.ids) {
+		panic("core: more than 255 distinct formats in one optimization")
+	}
+	in.ids[f] = id
+	return id
+}
+
+func (in *fmtIntern) key(formats []format.Format) string {
+	b := make([]byte, len(formats))
+	for i, f := range formats {
+		b[i] = in.id(f)
+	}
+	return string(b)
+}
+
+// pruneEntries beam-limits a class table to the cheapest max entries
+// (see Env.MaxClassEntries).
+func pruneEntries(entries map[string]*fentry, max int) {
+	if max <= 0 {
+		max = 20000
+	}
+	if len(entries) <= max {
+		return
+	}
+	costs := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		costs = append(costs, e.cost)
+	}
+	sort.Float64s(costs)
+	cut := costs[max-1]
+	kept := 0
+	for k, e := range entries {
+		if e.cost > cut || (e.cost == cut && kept >= max) {
+			delete(entries, k)
+			continue
+		}
+		kept++
+	}
+}
+
+// Frontier computes the optimal annotation of a general compute DAG.
+func Frontier(g *Graph, env *Env) (*Annotation, error) {
+	start := time.Now()
+	cache := make(transCache)
+	intern := newFmtIntern()
+	visited := make([]bool, len(g.Vertices))
+	classOf := make(map[int]*fclass) // frontier vertex → its class
+	var front []*fclass
+
+	addClass := func(c *fclass) {
+		front = append(front, c)
+		for _, id := range c.members {
+			classOf[id] = c
+		}
+	}
+	removeClass := func(c *fclass) {
+		for i, x := range front {
+			if x == c {
+				front = append(front[:i], front[i+1:]...)
+				break
+			}
+		}
+		for _, id := range c.members {
+			delete(classOf, id)
+		}
+	}
+
+	for _, v := range g.Vertices {
+		if !v.IsSource {
+			continue
+		}
+		visited[v.ID] = true
+		e := &fentry{formats: []format.Format{v.SrcFormat}, vertex: v.ID, vFormat: v.SrcFormat}
+		addClass(&fclass{
+			members: []int{v.ID},
+			entries: map[string]*fentry{intern.key(e.formats): e},
+		})
+	}
+
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			continue
+		}
+		visited[v.ID] = true
+
+		// The classes feeding v (line 10 of Algorithm 4).
+		var argClasses []*fclass
+		seen := map[*fclass]bool{}
+		for _, in := range v.Ins {
+			c := classOf[in.ID]
+			if c == nil {
+				panic("core: parent left the frontier before its consumer was optimized")
+			}
+			if !seen[c] {
+				seen[c] = true
+				argClasses = append(argClasses, c)
+			}
+		}
+
+		// New class: merged members plus v, minus vertices whose
+		// out-edges all lead to visited vertices (line 13).
+		var merged []int
+		for _, c := range argClasses {
+			merged = append(merged, c.members...)
+		}
+		stillLive := func(id int) bool {
+			for _, out := range g.Vertices[id].Outs {
+				if !visited[out.ID] {
+					return true
+				}
+			}
+			return false
+		}
+		var newMembers []int
+		for _, id := range merged {
+			if stillLive(id) {
+				newMembers = append(newMembers, id)
+			}
+		}
+		if stillLive(v.ID) {
+			newMembers = append(newMembers, v.ID)
+		}
+		sort.Ints(newMembers)
+
+		// Locate every vertex the combo key needs inside its class, so
+		// the cross product below can splice entry-key bytes directly
+		// instead of re-hashing formats.
+		type slot struct{ cls, idx int }
+		locate := func(id int) slot {
+			for ci, c := range argClasses {
+				for mi, m := range c.members {
+					if m == id {
+						return slot{cls: ci, idx: mi}
+					}
+				}
+			}
+			panic("core: combo vertex not found in any consumed class")
+		}
+		var retainedSlots []slot // newMembers minus v, in order
+		for _, id := range newMembers {
+			if id != v.ID {
+				retainedSlots = append(retainedSlots, locate(id))
+			}
+		}
+		argSlots := make([]slot, len(v.Ins))
+		for j, in := range v.Ins {
+			argSlots[j] = locate(in.ID)
+		}
+
+		// Phase 1: cross product of the consumed classes' entries,
+		// deduplicated on (retained formats, argument pins) keeping the
+		// cheapest base cost. Keys splice the classes' own entry-key
+		// bytes, so no format hashing happens on this hot path.
+		type comboInfo struct {
+			baseCost float64
+			parents  []*fentry
+		}
+		combos := make(map[string]*comboInfo)
+		chosenKeys := make([]string, len(argClasses))
+		chosenEntries := make([]*fentry, len(argClasses))
+		comboKey := make([]byte, len(retainedSlots)+len(v.Ins))
+		var cross func(i int, cost float64)
+		cross = func(i int, cost float64) {
+			if i == len(argClasses) {
+				for p, sl := range retainedSlots {
+					comboKey[p] = chosenKeys[sl.cls][sl.idx]
+				}
+				for j, sl := range argSlots {
+					comboKey[len(retainedSlots)+j] = chosenKeys[sl.cls][sl.idx]
+				}
+				k := string(comboKey)
+				if cur, ok := combos[k]; !ok || cost < cur.baseCost {
+					combos[k] = &comboInfo{
+						baseCost: cost,
+						parents:  append([]*fentry(nil), chosenEntries...),
+					}
+				}
+				return
+			}
+			for k, e := range argClasses[i].entries {
+				chosenKeys[i] = k
+				chosenEntries[i] = e
+				cross(i+1, cost+e.cost)
+			}
+		}
+		cross(0, 0)
+		// fmtAt reads a combo's format for a located vertex from its
+		// parent entry.
+		fmtAt := func(combo *comboInfo, sl slot) format.Format {
+			return combo.parents[sl.cls].formats[sl.idx]
+		}
+
+		// Phase 2: Equation (2). For every deduplicated combo, choose
+		// transformations per argument and an implementation; impl
+		// evaluations are memoized per delivered-format combination.
+		type implEval struct {
+			outF   format.Format
+			outKey byte
+			cost   float64
+			ok     bool
+		}
+		impls := env.Impls[v.Op.Kind]
+		implCache := make(map[string][]implEval) // pout-combo key → per-impl results
+		entries := make(map[string]*fentry)
+
+		pouts := make([]format.Format, len(v.Ins))
+		poutIDs := make([]byte, len(v.Ins))
+		trsBuf := make([]*trans.Transform, len(v.Ins))
+		trCostBuf := make([]float64, len(v.Ins))
+		vIdx := -1
+		for i, id := range newMembers {
+			if id == v.ID {
+				vIdx = i
+			}
+		}
+		for comboK, combo := range combos {
+			// The retained-member portion of the new table key is fixed
+			// for this combo (it is the combo key's prefix); only v's
+			// slot, if retained, varies by implementation.
+			keyBytes := make([]byte, len(newMembers))
+			p := 0
+			for i := range newMembers {
+				if i == vIdx {
+					continue
+				}
+				keyBytes[i] = comboK[p]
+				p++
+			}
+			pins := make([]format.Format, len(v.Ins))
+			optsPerArg := make([][]transOption, len(v.Ins))
+			optIDs := make([][]byte, len(v.Ins))
+			for a, in := range v.Ins {
+				pins[a] = fmtAt(combo, argSlots[a])
+				optsPerArg[a] = env.transOptions(cache, in, pins[a])
+				ids := make([]byte, len(optsPerArg[a]))
+				for k, to := range optsPerArg[a] {
+					ids[k] = intern.id(to.pout)
+				}
+				optIDs[a] = ids
+			}
+			var rec func(j int, trCost float64)
+			rec = func(j int, trCost float64) {
+				if j == len(v.Ins) {
+					poutKey := string(poutIDs)
+					evs, ok := implCache[poutKey]
+					if !ok {
+						evs = make([]implEval, len(impls))
+						for ii, im := range impls {
+							var ev implEval
+							ev.outF, ev.cost, ev.ok = env.applyImpl(v, im, pouts)
+							if ev.ok {
+								ev.outKey = intern.id(ev.outF)
+							}
+							evs[ii] = ev
+						}
+						implCache[poutKey] = evs
+					}
+					for ii := range evs {
+						ev := &evs[ii]
+						if !ev.ok {
+							continue
+						}
+						total := combo.baseCost + trCost + ev.cost
+						if vIdx >= 0 {
+							keyBytes[vIdx] = ev.outKey
+						}
+						k := string(keyBytes)
+						if cur, exists := entries[k]; !exists || total < cur.cost {
+							formats := make([]format.Format, len(newMembers))
+							ri := 0
+							for i, id := range newMembers {
+								if id == v.ID {
+									formats[i] = ev.outF
+								} else {
+									formats[i] = fmtAt(combo, retainedSlots[ri])
+									ri++
+								}
+							}
+							entries[k] = &fentry{
+								cost:     total,
+								formats:  formats,
+								vertex:   v.ID,
+								vFormat:  ev.outF,
+								im:       impls[ii],
+								implCost: ev.cost,
+								pins:     pins,
+								trs:      append([]*trans.Transform(nil), trsBuf...),
+								trCosts:  append([]float64(nil), trCostBuf...),
+								parents:  combo.parents,
+							}
+						}
+					}
+					return
+				}
+				for k, to := range optsPerArg[j] {
+					pouts[j] = to.pout
+					poutIDs[j] = optIDs[j][k]
+					trsBuf[j] = to.tr
+					trCostBuf[j] = to.cost
+					rec(j+1, trCost+to.cost)
+				}
+			}
+			rec(0, 0)
+		}
+		if len(entries) == 0 {
+			return nil, ErrInfeasible
+		}
+		pruneEntries(entries, env.MaxClassEntries)
+
+		for _, c := range argClasses {
+			removeClass(c)
+		}
+		addClass(&fclass{members: newMembers, entries: entries})
+	}
+
+	// Every class remaining on the frontier contributes its cheapest
+	// entry; classes are ancestor-disjoint, so costs add.
+	ann := newAnnotation(g)
+	done := make(map[*fentry]bool)
+	for _, c := range front {
+		var best *fentry
+		for _, e := range c.entries {
+			if best == nil || e.cost < best.cost {
+				best = e
+			}
+		}
+		if best == nil {
+			return nil, ErrInfeasible
+		}
+		backtrackFrontier(g, best, ann, done)
+	}
+	ann.OptSeconds = time.Since(start).Seconds()
+	return ann, nil
+}
+
+func backtrackFrontier(g *Graph, e *fentry, ann *Annotation, done map[*fentry]bool) {
+	if done[e] {
+		return
+	}
+	done[e] = true
+	v := g.Vertices[e.vertex]
+	ann.VertexFormat[v.ID] = e.vFormat
+	if e.im != nil {
+		ann.VertexImpl[v.ID] = e.im
+		ann.VertexCost[v.ID] = e.implCost
+		for j := range v.Ins {
+			ek := EdgeKey{To: v.ID, Arg: j}
+			ann.EdgeTrans[ek] = e.trs[j]
+			ann.EdgeCost[ek] = e.trCosts[j]
+		}
+	}
+	for _, p := range e.parents {
+		backtrackFrontier(g, p, ann, done)
+	}
+}

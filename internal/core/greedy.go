@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"matopt/internal/format"
+	"matopt/internal/trans"
+)
+
+// GreedyAnnotate builds a type-correct annotation from a per-vertex
+// format policy without global optimization: each vertex in topological
+// order is bound to the cheapest (implementation, transformations)
+// combination that produces the format requested by want, given the
+// formats its inputs already have. Vertices absent from want take the
+// locally cheapest output format. This is how the baseline plans (the
+// hand-written experts, the all-tile heuristic, and the SystemDS-style
+// local optimizer) are expressed; a vertex with no feasible combination
+// makes the whole plan Fail, reproducing the paper's crashed baselines.
+func GreedyAnnotate(g *Graph, env *Env, want map[int]format.Format) (*Annotation, error) {
+	start := time.Now()
+	cache := make(transCache)
+	ann := newAnnotation(g)
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			ann.VertexFormat[v.ID] = v.SrcFormat
+			continue
+		}
+		type choice struct {
+			cost     float64
+			im       int
+			outF     format.Format
+			trs      []*trans.Transform
+			trCosts  []float64
+			implCost float64
+		}
+		var best *choice
+		pouts := make([]format.Format, len(v.Ins))
+		trs := make([]*trans.Transform, len(v.Ins))
+		trCosts := make([]float64, len(v.Ins))
+		target, constrained := want[v.ID]
+		var args func(j int, trCost float64)
+		args = func(j int, trCost float64) {
+			if j == len(v.Ins) {
+				for ii, im := range env.Impls[v.Op.Kind] {
+					outF, implCost, ok := env.applyImpl(v, im, pouts)
+					if !ok {
+						continue
+					}
+					if constrained && outF != target {
+						continue
+					}
+					total := trCost + implCost
+					if best == nil || total < best.cost {
+						best = &choice{
+							cost:     total,
+							im:       ii,
+							outF:     outF,
+							trs:      append([]*trans.Transform(nil), trs...),
+							trCosts:  append([]float64(nil), trCosts...),
+							implCost: implCost,
+						}
+					}
+				}
+				return
+			}
+			in := v.Ins[j]
+			for _, to := range env.transOptions(cache, in, ann.VertexFormat[in.ID]) {
+				pouts[j] = to.pout
+				trs[j] = to.tr
+				trCosts[j] = to.cost
+				args(j+1, trCost+to.cost)
+			}
+		}
+		args(0, 0)
+		if best == nil {
+			return nil, fmt.Errorf("%w: vertex %d (%v) has no feasible plan for target %v",
+				ErrInfeasible, v.ID, v.Op, formatOrAny(target, constrained))
+		}
+		ann.VertexImpl[v.ID] = env.Impls[v.Op.Kind][best.im]
+		ann.VertexFormat[v.ID] = best.outF
+		ann.VertexCost[v.ID] = best.implCost
+		for j := range v.Ins {
+			ek := EdgeKey{To: v.ID, Arg: j}
+			ann.EdgeTrans[ek] = best.trs[j]
+			ann.EdgeCost[ek] = best.trCosts[j]
+		}
+	}
+	ann.OptSeconds = time.Since(start).Seconds()
+	return ann, nil
+}
+
+func formatOrAny(f format.Format, constrained bool) string {
+	if !constrained {
+		return "any"
+	}
+	return f.String()
+}

@@ -1,0 +1,15 @@
+package core
+
+// Optimize computes the optimal annotation of g, dispatching to the
+// linear-time tree DP when the graph is tree-shaped and to the Frontier
+// algorithm otherwise, exactly as the paper's prototype does (§8.2 notes
+// the FFNN graph is not a tree, so the frontier algorithm is used).
+func Optimize(g *Graph, env *Env) (*Annotation, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.IsTree() {
+		return TreeDP(g, env)
+	}
+	return Frontier(g, env)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// randomDAG generates a small random compute DAG over square matrices:
+// a few inputs, then ops drawn over random existing vertices, with
+// sharing arising naturally from re-use. Square shapes keep every
+// binary op type-correct so the generator never dead-ends.
+func randomDAG(rng *rand.Rand, nInputs, nOps int) *Graph {
+	g := NewGraph()
+	const n = 3000
+	s := shape.New(n, n)
+	srcFormats := []format.Format{
+		format.NewSingle(), format.NewTile(1000), format.NewRowStrip(1000), format.NewColStrip(1000),
+	}
+	for i := 0; i < nInputs; i++ {
+		g.Input(string(rune('A'+i)), s, 1, srcFormats[rng.Intn(len(srcFormats))])
+	}
+	kinds := []op.Kind{op.MatMul, op.Add, op.Sub, op.Hadamard, op.Transpose, op.ReLU, op.ScalarMul, op.Neg}
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		o := op.Op{Kind: k}
+		if k == op.ScalarMul {
+			o.Scalar = rng.Float64()*4 - 2
+		}
+		pick := func() *Vertex { return g.Vertices[rng.Intn(len(g.Vertices))] }
+		var err error
+		if o.Arity() == 2 {
+			_, err = g.Apply(o, pick(), pick())
+		} else {
+			_, err = g.Apply(o, pick())
+		}
+		if err != nil {
+			panic(err) // square shapes make every op well-typed
+		}
+	}
+	return g
+}
+
+// TestFrontierMatchesBruteOnRandomDAGs is the core exactness property:
+// on every random DAG small enough to search exhaustively, the Frontier
+// dynamic program must find a plan with exactly the brute-force optimum's
+// cost, and that plan must be type-correct.
+func TestFrontierMatchesBruteOnRandomDAGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search cross-check")
+	}
+	// A small format universe keeps the brute force tractable.
+	universe := []format.Format{format.NewSingle(), format.NewTile(1000), format.NewRowStrip(1000), format.NewColStrip(1000)}
+	env := NewEnv(costmodel.EC2R5D(4), universe)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(2), 3+rng.Intn(2))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fr, frErr := Frontier(g, env)
+		br, brErr := Brute(g, env, 2*time.Minute)
+		if (frErr == nil) != (brErr == nil) {
+			t.Fatalf("seed %d: feasibility disagreement: frontier=%v brute=%v", seed, frErr, brErr)
+		}
+		if frErr != nil {
+			continue
+		}
+		if d := math.Abs(fr.Total() - br.Total()); d > 1e-9*math.Max(1, br.Total()) {
+			t.Errorf("seed %d: Frontier %.9f vs Brute %.9f\n%s\n--- brute ---\n%s",
+				seed, fr.Total(), br.Total(), fr.Describe(), br.Describe())
+		}
+		if err := fr.Verify(env); err != nil {
+			t.Errorf("seed %d: frontier annotation invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestTreeDPMatchesBruteOnRandomChains checks the tree algorithm the
+// same way on random-format chains.
+func TestTreeDPMatchesBruteOnRandomChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search cross-check")
+	}
+	universe := []format.Format{format.NewSingle(), format.NewTile(1000), format.NewRowStrip(1000), format.NewColStrip(1000)}
+	env := NewEnv(costmodel.EC2R5D(4), universe)
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		g := NewGraph()
+		s := shape.New(3000, 3000)
+		cur := g.Input("a", s, 1, universe[rng.Intn(len(universe))])
+		nOps := 2 + rng.Intn(3)
+		for i := 0; i < nOps; i++ {
+			if rng.Intn(2) == 0 {
+				nxt := g.Input(string(rune('b'+i)), s, 1, universe[rng.Intn(len(universe))])
+				cur = g.MustApply(op.Op{Kind: op.MatMul}, cur, nxt)
+			} else {
+				cur = g.MustApply(op.Op{Kind: op.ReLU}, cur)
+			}
+		}
+		dp, dpErr := TreeDP(g, env)
+		br, brErr := Brute(g, env, 2*time.Minute)
+		if (dpErr == nil) != (brErr == nil) {
+			t.Fatalf("seed %d: feasibility disagreement: dp=%v brute=%v", seed, dpErr, brErr)
+		}
+		if dpErr != nil {
+			continue
+		}
+		if d := math.Abs(dp.Total() - br.Total()); d > 1e-9*math.Max(1, br.Total()) {
+			t.Errorf("seed %d: TreeDP %.9f vs Brute %.9f", seed, dp.Total(), br.Total())
+		}
+	}
+}
+
+// TestFrontierVerifyOnRandomDAGs runs larger random DAGs (beyond brute's
+// reach) through the frontier algorithm and checks type-correctness and
+// the greedy upper bound.
+func TestFrontierVerifyOnRandomDAGs(t *testing.T) {
+	env := NewEnv(costmodel.EC2R5D(8), format.All())
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		g := randomDAG(rng, 3, 8)
+		fr, err := Frontier(g, env)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := fr.Verify(env); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		greedy, err := GreedyAnnotate(g, env, nil)
+		if err != nil {
+			t.Fatalf("seed %d greedy: %v", seed, err)
+		}
+		if fr.Total() > greedy.Total()+1e-9 {
+			t.Errorf("seed %d: frontier %.4f worse than greedy %.4f", seed, fr.Total(), greedy.Total())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	g := smallDAG(t)
+	env := testEnv(5)
+	ann, err := Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"impl\"") {
+		t.Fatalf("encoded plan lacks implementations:\n%s", data)
+	}
+	got, err := DecodePlan(g, env, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Total()-ann.Total()) > 1e-9 {
+		t.Fatalf("round trip cost %v, want %v", got.Total(), ann.Total())
+	}
+	for id, im := range ann.VertexImpl {
+		if got.VertexImpl[id] != im {
+			t.Errorf("vertex %d: impl %v, want %v", id, got.VertexImpl[id], im)
+		}
+	}
+	for id, f := range ann.VertexFormat {
+		if got.VertexFormat[id] != f {
+			t.Errorf("vertex %d: format %v, want %v", id, got.VertexFormat[id], f)
+		}
+	}
+}
+
+func TestDecodePlanRejectsWrongGraph(t *testing.T) {
+	g := smallDAG(t)
+	env := testEnv(5)
+	ann, err := Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewGraph()
+	other.Input("x", shape.New(10, 10), 1, format.NewSingle())
+	if _, err := DecodePlan(other, env, data); err == nil {
+		t.Error("plan decoded against a mismatched graph")
+	}
+	if _, err := DecodePlan(g, env, []byte("not json")); err == nil {
+		t.Error("garbage decoded")
+	}
+	// Tampered implementation name must be rejected.
+	bad := strings.Replace(string(data), "mm-", "zz-", 1)
+	if _, err := DecodePlan(g, env, []byte(bad)); err == nil {
+		t.Error("unknown implementation accepted")
+	}
+}
+
+func TestDecodePlanRejectsInfeasibleCluster(t *testing.T) {
+	// Encode a plan on a big cluster, decode against one whose tuple
+	// bound the plan violates.
+	g := NewGraph()
+	a := g.Input("a", shape.New(5000, 5000), 1, format.NewSingle())
+	b := g.Input("b", shape.New(5000, 5000), 1, format.NewSingle())
+	g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	env := testEnv(5)
+	ann, err := Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := NewEnv(costmodel.EC2R5D(5), format.All())
+	tiny.Cluster.MaxTupleBytes = 1 << 20 // 1 MB: 200 MB singles no longer fit
+	if _, err := DecodePlan(g, tiny, data); err == nil {
+		t.Error("infeasible plan decoded without error")
+	}
+}
+
+func TestFormatParse(t *testing.T) {
+	for _, f := range format.All() {
+		got, err := format.Parse(f.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", f.String(), err)
+			continue
+		}
+		if got != f {
+			t.Errorf("Parse(%q) = %v", f.String(), got)
+		}
+	}
+	for _, bad := range []string{"", "tile", "tile[]", "tile[0]", "tile[-3]", "single[5]", "wat[9]", "tile[9"} {
+		if _, err := format.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/trans"
+)
+
+// ErrInfeasible is returned when no type-correct annotation exists within
+// the environment (for example, every implementation is memory-infeasible
+// on the given cluster).
+var ErrInfeasible = errors.New("core: no type-correct annotation exists")
+
+// ErrNotTree is returned by TreeDP on graphs with shared sub-computations.
+var ErrNotTree = errors.New("core: graph is not tree-shaped; use Frontier")
+
+// treeEntry is one F(v, ρ) table cell with the back-pointers needed to
+// reconstruct the optimal annotation.
+type treeEntry struct {
+	cost float64
+	im   *impl.Impl
+	// Per argument: the child's table format and the edge transformation.
+	pins []format.Format
+	trs  []*trans.Transform
+}
+
+// childChoice is the cheapest way to obtain format pout from a child:
+// its own optimal sub-annotation ending in pin, plus one transformation.
+type childChoice struct {
+	cost float64
+	pin  format.Format
+	tr   *trans.Transform
+}
+
+// TreeDP computes the optimal annotation of a tree-shaped compute graph
+// with the Felsenstein-style dynamic program of Algorithm 3, in time
+// O(n·|P|·|I|·|V|).
+func TreeDP(g *Graph, env *Env) (*Annotation, error) {
+	if !g.IsTree() {
+		return nil, ErrNotTree
+	}
+	start := time.Now()
+	cache := make(transCache)
+	tables := make([]map[format.Format]*treeEntry, len(g.Vertices))
+
+	for _, v := range g.Vertices { // construction order is topological
+		table := make(map[format.Format]*treeEntry)
+		if v.IsSource {
+			table[v.SrcFormat] = &treeEntry{}
+			tables[v.ID] = table
+			continue
+		}
+		// The cheapest way to hand each argument to this vertex in any
+		// given format: min over the child's table and a transformation.
+		best := make([]map[format.Format]childChoice, len(v.Ins))
+		for j, in := range v.Ins {
+			best[j] = make(map[format.Format]childChoice)
+			for pin, e := range tables[in.ID] {
+				for _, to := range env.transOptions(cache, in, pin) {
+					cand := e.cost + to.cost
+					if cur, ok := best[j][to.pout]; !ok || cand < cur.cost {
+						best[j][to.pout] = childChoice{cost: cand, pin: pin, tr: to.tr}
+					}
+				}
+			}
+			if len(best[j]) == 0 {
+				return nil, ErrInfeasible
+			}
+		}
+		// Equation (1): minimize over implementations and delivered
+		// input formats.
+		pouts := make([]format.Format, len(v.Ins))
+		for _, im := range env.Impls[v.Op.Kind] {
+			enumerateCombos(best, 0, pouts, func() {
+				outF, implCost, ok := env.applyImpl(v, im, pouts)
+				if !ok {
+					return
+				}
+				total := implCost
+				for j := range pouts {
+					total += best[j][pouts[j]].cost
+				}
+				if cur, ok := table[outF]; !ok || total < cur.cost {
+					pins := make([]format.Format, len(pouts))
+					trs := make([]*trans.Transform, len(pouts))
+					for j, p := range pouts {
+						pins[j] = best[j][p].pin
+						trs[j] = best[j][p].tr
+					}
+					table[outF] = &treeEntry{cost: total, im: im, pins: pins, trs: trs}
+				}
+			})
+		}
+		if len(table) == 0 {
+			return nil, ErrInfeasible
+		}
+		tables[v.ID] = table
+	}
+
+	ann := newAnnotation(g)
+	for _, sink := range g.Sinks() {
+		var bestF format.Format
+		bestCost := -1.0
+		for f, e := range tables[sink.ID] {
+			if bestCost < 0 || e.cost < bestCost {
+				bestF, bestCost = f, e.cost
+			}
+		}
+		if bestCost < 0 {
+			return nil, ErrInfeasible
+		}
+		backtrackTree(g, env, tables, sink, bestF, ann)
+	}
+	ann.OptSeconds = time.Since(start).Seconds()
+	return ann, nil
+}
+
+// enumerateCombos walks the cross product of the per-argument format
+// domains, filling pouts and invoking fn for every combination.
+func enumerateCombos(best []map[format.Format]childChoice, j int, pouts []format.Format, fn func()) {
+	if j == len(best) {
+		fn()
+		return
+	}
+	for f := range best[j] {
+		pouts[j] = f
+		enumerateCombos(best, j+1, pouts, fn)
+	}
+}
+
+// backtrackTree labels the annotation along the optimal sub-plan that
+// leaves vertex v in format f.
+func backtrackTree(g *Graph, env *Env, tables []map[format.Format]*treeEntry, v *Vertex, f format.Format, ann *Annotation) {
+	ann.VertexFormat[v.ID] = f
+	if v.IsSource {
+		return
+	}
+	e := tables[v.ID][f]
+	ann.VertexImpl[v.ID] = e.im
+	// Re-derive the impl cost for the cost breakdown.
+	pouts := make([]format.Format, len(v.Ins))
+	for j, in := range v.Ins {
+		tout, ok := e.trs[j].Apply(in.Shape, in.Density, e.pins[j], env.Cluster)
+		if !ok {
+			panic("core: recorded transformation became infeasible during backtracking")
+		}
+		pouts[j] = tout.Format
+		ek := EdgeKey{To: v.ID, Arg: j}
+		ann.EdgeTrans[ek] = e.trs[j]
+		ann.EdgeCost[ek] = e.trs[j].Cost(env.Model, tout)
+	}
+	_, implCost, ok := env.applyImpl(v, e.im, pouts)
+	if !ok {
+		panic("core: recorded implementation became infeasible during backtracking")
+	}
+	ann.VertexCost[v.ID] = implCost
+	for j, in := range v.Ins {
+		backtrackTree(g, env, tables, in, e.pins[j], ann)
+	}
+}

@@ -1,0 +1,114 @@
+// Package costmodel holds the cluster profiles and the feature-based cost
+// model of §7 of the paper: every atomic computation implementation and
+// physical transformation describes itself with four analytic features —
+// floating point operations, worst-case network bytes, worst-case
+// intermediate bytes, and tuple count — and a regression model maps those
+// features to predicted seconds. Models ship with analytically derived
+// defaults and can be re-fitted from micro-benchmark measurements with
+// ordinary least squares (see Fit).
+package costmodel
+
+import "fmt"
+
+// Cluster describes the hardware profile plans are costed against. The
+// defaults mirror the paper's EC2 r5d.2xlarge / r5dn.2xlarge nodes.
+type Cluster struct {
+	Name    string
+	Workers int
+	// FlopsPerSec is the effective per-worker dense floating-point
+	// throughput of the engine (not the silicon peak: a relational
+	// engine pays interpretation overhead, which is what calibration
+	// measures).
+	FlopsPerSec float64
+	// NetBytesPerSec is the per-link network bandwidth.
+	NetBytesPerSec float64
+	// DiskBytesPerSec is the bandwidth at which intermediate tuples are
+	// spilled and re-read.
+	DiskBytesPerSec float64
+	// TupleOverheadSec is the fixed per-tuple processing cost.
+	TupleOverheadSec float64
+	// JobOverheadSec is the fixed cost of launching one physical
+	// operator (a MapReduce job on the SimSQL substrate; near zero on
+	// PlinyCompute). It becomes the cost model's base term.
+	JobOverheadSec float64
+	// RAMPerWorker bounds any plan's per-worker working set; exceeding
+	// it makes an implementation infeasible (the paper's "Fail").
+	RAMPerWorker int64
+	// ScratchPerWorker bounds the intermediate bytes any one operator
+	// may spill per worker. The nodes have 300 GB of NVMe, but a
+	// shuffle join holds both the map output and its reduce-side copy,
+	// so the usable bound is half that; an operator exceeding it Fails
+	// with "too much intermediate data".
+	ScratchPerWorker int64
+	// MaxTupleBytes bounds a single tuple (e.g. a "single" matrix).
+	MaxTupleBytes int64
+}
+
+// EC2R5D returns the paper's experimental cluster profile with the given
+// number of workers: 8 cores, 64 GB RAM, 10 Gb/s network, NVMe SSD.
+func EC2R5D(workers int) Cluster {
+	if workers <= 0 {
+		panic(fmt.Sprintf("costmodel: invalid worker count %d", workers))
+	}
+	return Cluster{
+		Name:             fmt.Sprintf("r5d-%dw", workers),
+		Workers:          workers,
+		FlopsPerSec:      6e10,   // per worker: 8 cores through JNI BLAS
+		NetBytesPerSec:   1.1e9,  // ~10 Gb/s
+		DiskBytesPerSec:  6e8,    // HDFS-style replicated intermediate writes
+		TupleOverheadSec: 1.2e-4, // per-tuple fixed cost of a JVM engine
+		JobOverheadSec:   8,      // Hadoop job launch per physical operator
+		RAMPerWorker:     64 << 30,
+		ScratchPerWorker: 150 << 30,
+		MaxTupleBytes:    1 << 30,
+	}
+}
+
+// EC2R5DN returns the profile of the paper's PlinyCompute / PyTorch /
+// SystemDS experiments (§8.3): the same r5dn nodes, but a C++ engine
+// running near-native BLAS rates with far lower per-tuple overhead.
+func EC2R5DN(workers int) Cluster {
+	c := EC2R5D(workers)
+	c.Name = fmt.Sprintf("r5dn-%dw", workers)
+	c.FlopsPerSec = 1.2e11
+	c.DiskBytesPerSec = 1.5e9 // local NVMe, no replication
+	c.TupleOverheadSec = 1e-5
+	c.JobOverheadSec = 0.05
+	return c
+}
+
+// LocalTest returns a tiny profile used by unit tests and Execute-mode
+// calibration runs.
+func LocalTest(workers int) Cluster {
+	c := EC2R5D(workers)
+	c.Name = fmt.Sprintf("local-%dw", workers)
+	c.JobOverheadSec = 1e-3
+	c.RAMPerWorker = 1 << 30
+	c.ScratchPerWorker = 8 << 30
+	c.MaxTupleBytes = 256 << 20
+	return c
+}
+
+// Features is the analytic feature vector of §7.
+type Features struct {
+	FLOPs      float64 // critical-path floating point operations
+	NetBytes   float64 // worst-case bytes through the busiest link
+	InterBytes float64 // worst-case intermediate bytes materialized per worker
+	Tuples     float64 // tuples processed per worker
+}
+
+// Add returns the component-wise sum, used when an implementation is a
+// pipeline of phases.
+func (f Features) Add(g Features) Features {
+	return Features{
+		FLOPs:      f.FLOPs + g.FLOPs,
+		NetBytes:   f.NetBytes + g.NetBytes,
+		InterBytes: f.InterBytes + g.InterBytes,
+		Tuples:     f.Tuples + g.Tuples,
+	}
+}
+
+// Vec returns the regression design vector (1, flops, net, inter, tuples).
+func (f Features) Vec() []float64 {
+	return []float64{1, f.FLOPs, f.NetBytes, f.InterBytes, f.Tuples}
+}

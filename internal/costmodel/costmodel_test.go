@@ -1,0 +1,164 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterProfiles(t *testing.T) {
+	c := EC2R5D(10)
+	if c.Workers != 10 || c.RAMPerWorker != 64<<30 {
+		t.Fatalf("EC2R5D(10) = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EC2R5D(0) should panic")
+		}
+	}()
+	EC2R5D(0)
+}
+
+func TestFeaturesAddAndVec(t *testing.T) {
+	f := Features{FLOPs: 1, NetBytes: 2, InterBytes: 3, Tuples: 4}
+	g := f.Add(Features{FLOPs: 10, NetBytes: 20, InterBytes: 30, Tuples: 40})
+	if g != (Features{11, 22, 33, 44}) {
+		t.Fatalf("Add = %+v", g)
+	}
+	v := f.Vec()
+	if len(v) != 5 || v[0] != 1 || v[4] != 4 {
+		t.Fatalf("Vec = %v", v)
+	}
+}
+
+func TestPredictUsesPerKeyThenDefault(t *testing.T) {
+	m := NewModel(EC2R5D(4))
+	f := Features{FLOPs: 1e9}
+	def := m.Predict("whatever", f)
+	if def <= 0 {
+		t.Fatalf("default prediction = %v", def)
+	}
+	m.PerKey["special"] = Coeffs{Base: 42}
+	if got := m.Predict("special", Features{}); got != 42 {
+		t.Fatalf("per-key prediction = %v", got)
+	}
+	if got := m.Predict("other", f); got != def {
+		t.Fatalf("fallback prediction changed: %v vs %v", got, def)
+	}
+}
+
+func TestDefaultCoeffsMatchClusterRates(t *testing.T) {
+	c := EC2R5D(4)
+	m := NewModel(c)
+	// 1 second of pure flops should predict ≈ 1s + base.
+	got := m.Predict("x", Features{FLOPs: c.FlopsPerSec})
+	if math.Abs(got-1-m.Default.Base) > 1e-9 {
+		t.Errorf("flops second = %v", got)
+	}
+	got = m.Predict("x", Features{NetBytes: c.NetBytesPerSec})
+	if math.Abs(got-1-m.Default.Base) > 1e-9 {
+		t.Errorf("net second = %v", got)
+	}
+}
+
+func TestFitRecoversPlantedCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := Coeffs{Base: 0.05, PerFLOP: 2e-9, PerNetByte: 1e-9, PerInterByte: 5e-10, PerTuple: 1e-4}
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		f := Features{
+			FLOPs:      rng.Float64() * 1e10,
+			NetBytes:   rng.Float64() * 1e9,
+			InterBytes: rng.Float64() * 1e9,
+			Tuples:     rng.Float64() * 1e5,
+		}
+		noise := 1 + 0.01*rng.NormFloat64()
+		samples = append(samples, Sample{Key: "mm", Features: f, Seconds: truth.Predict(f) * noise})
+	}
+	m := NewModel(EC2R5D(2))
+	fitted := m.Fit(samples, 6)
+	if len(fitted) != 1 || fitted[0] != "mm" {
+		t.Fatalf("fitted keys = %v", fitted)
+	}
+	co := m.PerKey["mm"]
+	rel := func(got, want float64) float64 { return math.Abs(got-want) / want }
+	if rel(co.PerFLOP, truth.PerFLOP) > 0.1 || rel(co.PerNetByte, truth.PerNetByte) > 0.1 ||
+		rel(co.PerInterByte, truth.PerInterByte) > 0.1 || rel(co.PerTuple, truth.PerTuple) > 0.1 {
+		t.Fatalf("recovered %v, want %v", co, truth)
+	}
+}
+
+func TestFitSkipsSmallKeysAndClampsNegatives(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 3; i++ {
+		samples = append(samples, Sample{Key: "rare", Features: Features{FLOPs: float64(i)}, Seconds: 1})
+	}
+	// A key engineered so OLS would pick a negative weight: time falls
+	// as flops grow.
+	for i := 0; i < 50; i++ {
+		f := Features{FLOPs: float64(i + 1)}
+		samples = append(samples, Sample{Key: "neg", Features: f, Seconds: 100 - float64(i)})
+	}
+	m := NewModel(EC2R5D(2))
+	m.Fit(samples, 6)
+	if _, ok := m.PerKey["rare"]; ok {
+		t.Error("key with 3 samples must not be fitted")
+	}
+	co, ok := m.PerKey["neg"]
+	if !ok {
+		t.Fatal("neg key should be fitted")
+	}
+	if co.PerFLOP < 0 || co.Base < 0 {
+		t.Errorf("negative coefficients must be clamped: %v", co)
+	}
+}
+
+func TestNetworkHelpers(t *testing.T) {
+	if BroadcastBytes(100, 1) != 0 || ShuffleBytes(100, 1) != 0 ||
+		GatherBytes(100, 1) != 0 || AggregateBytes(100, 1) != 0 {
+		t.Error("single-worker network costs must be zero")
+	}
+	if got := BroadcastBytes(100, 2); got != 100 {
+		t.Errorf("BroadcastBytes(100, 2) = %v", got)
+	}
+	if got := BroadcastBytes(100, 8); got != 300 {
+		t.Errorf("BroadcastBytes(100, 8) = %v (log2(8)=3 hops)", got)
+	}
+	if got := ShuffleBytes(1000, 10); got != 100 {
+		t.Errorf("ShuffleBytes = %v", got)
+	}
+	if got := GatherBytes(1000, 10); got != 900 {
+		t.Errorf("GatherBytes = %v", got)
+	}
+	if got := ParallelFLOPs(1000, 10, 4); got != 250 {
+		t.Errorf("ParallelFLOPs limited by tasks: %v", got)
+	}
+	if got := ParallelFLOPs(1000, 10, 100); got != 100 {
+		t.Errorf("ParallelFLOPs limited by workers: %v", got)
+	}
+	if got := ParallelFLOPs(1000, 10, 0); got != 1000 {
+		t.Errorf("ParallelFLOPs with zero tasks: %v", got)
+	}
+}
+
+func TestBroadcastMonotoneInWorkers(t *testing.T) {
+	f := func(w8 uint8) bool {
+		w := int(w8%30) + 1
+		return BroadcastBytes(1e6, w+1) >= BroadcastBytes(1e6, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictNonNegativeProperty(t *testing.T) {
+	m := NewModel(EC2R5D(5))
+	f := func(a, b, c, d uint32) bool {
+		fe := Features{FLOPs: float64(a), NetBytes: float64(b), InterBytes: float64(c), Tuples: float64(d)}
+		return m.Predict("k", fe) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coeffs are the learned weights mapping features to seconds.
+type Coeffs struct {
+	Base         float64 // fixed start-up cost
+	PerFLOP      float64
+	PerNetByte   float64
+	PerInterByte float64
+	PerTuple     float64
+}
+
+// Predict returns the predicted seconds for a feature vector.
+func (c Coeffs) Predict(f Features) float64 {
+	return c.Base +
+		c.PerFLOP*f.FLOPs +
+		c.PerNetByte*f.NetBytes +
+		c.PerInterByte*f.InterBytes +
+		c.PerTuple*f.Tuples
+}
+
+// Model predicts the running time of implementations and transformations.
+// Each operation key (an implementation or transformation name) may carry
+// its own fitted coefficients, as in the paper's per-operation regression;
+// keys without a fitted model fall back to the analytic default derived
+// from the cluster profile.
+type Model struct {
+	Default Coeffs
+	PerKey  map[string]Coeffs
+}
+
+// NewModel returns a model whose default coefficients are derived
+// analytically from the cluster profile. Calibration (Fit) replaces or
+// augments them with measured per-operation coefficients.
+func NewModel(c Cluster) *Model {
+	base := c.JobOverheadSec
+	if base <= 0 {
+		base = 2e-3
+	}
+	return &Model{
+		Default: Coeffs{
+			Base:         base,
+			PerFLOP:      1 / c.FlopsPerSec,
+			PerNetByte:   1 / c.NetBytesPerSec,
+			PerInterByte: 1 / c.DiskBytesPerSec,
+			PerTuple:     c.TupleOverheadSec,
+		},
+		PerKey: make(map[string]Coeffs),
+	}
+}
+
+// Predict returns the predicted seconds for operation key with features f.
+func (m *Model) Predict(key string, f Features) float64 {
+	if co, ok := m.PerKey[key]; ok {
+		return co.Predict(f)
+	}
+	return m.Default.Predict(f)
+}
+
+// Sample is one calibration observation: the features of an operation and
+// the measured seconds it took in Execute mode.
+type Sample struct {
+	Key      string
+	Features Features
+	Seconds  float64
+}
+
+// Fit performs the paper's installation-time calibration: for every key
+// with at least minSamples observations it fits per-key coefficients by
+// ordinary least squares (clamped to be non-negative, since a negative
+// unit cost is physically meaningless); all observations together refit
+// the default coefficients. Keys with too few observations keep the
+// default. Fit returns the list of keys that received their own model.
+func (m *Model) Fit(samples []Sample, minSamples int) []string {
+	if minSamples < 6 {
+		minSamples = 6 // need more rows than the 5 regression columns
+	}
+	byKey := make(map[string][]Sample)
+	for _, s := range samples {
+		byKey[s.Key] = append(byKey[s.Key], s)
+	}
+	if co, ok := fitOLS(samples); ok {
+		m.Default = co
+	}
+	var fitted []string
+	for key, ss := range byKey {
+		if len(ss) < minSamples {
+			continue
+		}
+		if co, ok := fitOLS(ss); ok {
+			m.PerKey[key] = co
+			fitted = append(fitted, key)
+		}
+	}
+	sort.Strings(fitted)
+	return fitted
+}
+
+// fitOLS solves the normal equations XᵀX β = Xᵀy with ridge damping for
+// stability, then clamps negative coefficients to zero.
+func fitOLS(samples []Sample) (Coeffs, bool) {
+	const dim = 5
+	if len(samples) < dim+1 {
+		return Coeffs{}, false
+	}
+	var xtx [dim][dim]float64
+	var xty [dim]float64
+	for _, s := range samples {
+		v := s.Features.Vec()
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				xtx[i][j] += v[i] * v[j]
+			}
+			xty[i] += v[i] * s.Seconds
+		}
+	}
+	// Ridge damping scaled to the diagonal keeps near-collinear feature
+	// columns (e.g. net bytes ∝ intermediate bytes on some ops) solvable.
+	for i := 0; i < dim; i++ {
+		xtx[i][i] += 1e-9 * (xtx[i][i] + 1)
+	}
+	beta, ok := solveLinear(xtx, xty)
+	if !ok {
+		return Coeffs{}, false
+	}
+	clamp := func(x float64) float64 {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return x
+	}
+	return Coeffs{
+		Base:         clamp(beta[0]),
+		PerFLOP:      clamp(beta[1]),
+		PerNetByte:   clamp(beta[2]),
+		PerInterByte: clamp(beta[3]),
+		PerTuple:     clamp(beta[4]),
+	}, true
+}
+
+// solveLinear performs Gaussian elimination with partial pivoting on the
+// fixed 5×5 system.
+func solveLinear(a [5][5]float64, b [5]float64) ([5]float64, bool) {
+	const n = 5
+	for col := 0; col < n; col++ {
+		p, best := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				p, best = r, v
+			}
+		}
+		if best < 1e-30 {
+			return [5]float64{}, false
+		}
+		a[p], a[col] = a[col], a[p]
+		b[p], b[col] = b[col], b[p]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [5]float64
+	for i := 0; i < n; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}
+
+func (c Coeffs) String() string {
+	return fmt.Sprintf("base=%.3g perFLOP=%.3g perNet=%.3g perInter=%.3g perTuple=%.3g",
+		c.Base, c.PerFLOP, c.PerNetByte, c.PerInterByte, c.PerTuple)
+}

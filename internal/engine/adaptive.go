@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// MeasuredDensity returns the relation's true non-zero fraction from its
+// materialized payloads.
+func (r *Relation) MeasuredDensity() float64 {
+	var nnz int64
+	for _, p := range r.Parts {
+		for _, t := range p {
+			switch {
+			case t.Dense != nil:
+				for _, v := range t.Dense.Data {
+					if v != 0 {
+						nnz++
+					}
+				}
+			case t.CSR != nil:
+				nnz += int64(t.CSR.NNZ())
+			case t.IsVal && t.Val != 0:
+				nnz++
+			}
+		}
+	}
+	return float64(nnz) / float64(r.Shape.Elems())
+}
+
+// DensityCorrection records one place the adaptive executor found the
+// optimizer's density estimate off by more than the threshold.
+type DensityCorrection struct {
+	Vertex    int
+	Estimated float64
+	Measured  float64
+	RelErr    float64
+}
+
+// AdaptiveResult is the outcome of RunAdaptive.
+type AdaptiveResult struct {
+	Relations   map[int]*Relation
+	Reoptimized int
+	Corrections []DensityCorrection
+}
+
+// RunAdaptive implements the re-optimization scheme §7 sketches as
+// future work: execute the optimal plan vertex by vertex, measure the
+// true density of every intermediate, and when the estimate's relative
+// error (Sommer's measure, 1.0 = perfect) exceeds threshold — the paper
+// suggests 1.2 — halt, re-optimize the remaining computation with the
+// measured densities substituted in, and continue under the new plan.
+func (e *Engine) RunAdaptive(g *core.Graph, env *core.Env, inputs map[string]*tensor.Dense, threshold float64) (*AdaptiveResult, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("engine: relative-error threshold %v must be ≥ 1", threshold)
+	}
+	res := &AdaptiveResult{Relations: make(map[int]*Relation)}
+
+	// measured densities override the graph's estimates after a drift.
+	measured := make(map[int]float64)
+
+	for {
+		sub, idmap, err := remainderGraph(g, res.Relations, measured)
+		if err != nil {
+			return nil, err
+		}
+		if sub.NumOps() == 0 {
+			return res, nil
+		}
+		ann, err := core.Optimize(sub, env)
+		if err != nil {
+			return nil, fmt.Errorf("engine: adaptive re-optimization: %w", err)
+		}
+		drifted, err := e.runUntilDrift(g, sub, idmap, ann, inputs, threshold, res)
+		if err != nil {
+			return nil, err
+		}
+		if !drifted {
+			return res, nil
+		}
+		res.Reoptimized++
+	}
+}
+
+// remainderGraph rebuilds the not-yet-computed portion of g: computed
+// vertices whose results are still needed become sources carrying their
+// materialized format and measured density. idmap maps original vertex
+// IDs to the new graph's vertices.
+func remainderGraph(g *core.Graph, done map[int]*Relation, measured map[int]float64) (*core.Graph, map[int]*core.Vertex, error) {
+	sub := core.NewGraph()
+	idmap := make(map[int]*core.Vertex)
+	for _, v := range g.Vertices {
+		if r, ok := done[v.ID]; ok {
+			// Only re-declare it if some remaining vertex consumes it.
+			needed := false
+			for _, out := range v.Outs {
+				if _, did := done[out.ID]; !did {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				continue
+			}
+			d := r.Density
+			if md, ok := measured[v.ID]; ok {
+				d = md
+			}
+			idmap[v.ID] = sub.Input(fmt.Sprintf("done-%d", v.ID), v.Shape, d, r.Format)
+			continue
+		}
+		if v.IsSource {
+			idmap[v.ID] = sub.Input(v.Name, v.Shape, v.Density, v.SrcFormat)
+			continue
+		}
+		ins := make([]*core.Vertex, len(v.Ins))
+		for j, in := range v.Ins {
+			m, ok := idmap[in.ID]
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: vertex %d consumed before being scheduled", in.ID)
+			}
+			ins[j] = m
+		}
+		nv, err := sub.Apply(v.Op, ins...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: rebuilding vertex %d: %w", v.ID, err)
+		}
+		idmap[v.ID] = nv
+	}
+	return sub, idmap, nil
+}
+
+// runUntilDrift executes the sub-plan vertex by vertex, publishing each
+// result into res under the ORIGINAL vertex IDs, until either the plan
+// finishes (false) or a density estimate drifts beyond threshold (true).
+func (e *Engine) runUntilDrift(g, sub *core.Graph, idmap map[int]*core.Vertex, ann *core.Annotation,
+	inputs map[string]*tensor.Dense, threshold float64, res *AdaptiveResult) (bool, error) {
+	// Reverse map: sub vertex ID → original vertex ID.
+	back := make(map[int]int, len(idmap))
+	for orig, nv := range idmap {
+		back[nv.ID] = orig
+	}
+	rels := make(map[int]*Relation, len(sub.Vertices))
+	for _, v := range sub.Vertices {
+		orig := back[v.ID]
+		if v.IsSource {
+			if r, ok := res.Relations[orig]; ok {
+				rels[v.ID] = r
+				continue
+			}
+			m, ok := inputs[v.Name]
+			if !ok {
+				return false, fmt.Errorf("engine: no input matrix for source %q", v.Name)
+			}
+			r, err := e.Load(m, v.SrcFormat)
+			if err != nil {
+				return false, fmt.Errorf("engine: loading %q: %w", v.Name, err)
+			}
+			rels[v.ID] = r
+			continue
+		}
+		out, err := e.execVertex(ann, v, rels)
+		if err != nil {
+			return false, err
+		}
+		rels[v.ID] = out
+		res.Relations[orig] = out
+
+		got := out.MeasuredDensity()
+		if re := sparse.RelativeError(v.Density, got); re > threshold {
+			res.Corrections = append(res.Corrections, DensityCorrection{
+				Vertex: orig, Estimated: v.Density, Measured: got, RelErr: re,
+			})
+			// Record the truth for the re-optimization and halt.
+			out.Density = got
+			return true, nil
+		}
+		out.Density = got
+	}
+	return false, nil
+}
+
+// execVertex runs one annotated vertex given its inputs' relations.
+func (e *Engine) execVertex(ann *core.Annotation, v *core.Vertex, rels map[int]*Relation) (*Relation, error) {
+	im := ann.VertexImpl[v.ID]
+	if im == nil {
+		return nil, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
+	}
+	exec, ok := executors[im.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no executor for implementation %q", im.Name)
+	}
+	ins := make([]*Relation, len(v.Ins))
+	for j, in := range v.Ins {
+		tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
+		if tr == nil {
+			return nil, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
+		}
+		r := rels[in.ID]
+		if !tr.Identity() {
+			var err error
+			r, err = e.Transform(r, tr.Target())
+			if err != nil {
+				return nil, fmt.Errorf("engine: transforming input %d of vertex %d: %w", j, v.ID, err)
+			}
+		}
+		ins[j] = r
+	}
+	out, err := exec(e, v.Op, v.Shape, ins)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executing vertex %d (%s): %w", v.ID, im.Name, err)
+	}
+	return out, nil
+}

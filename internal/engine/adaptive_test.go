@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+)
+
+func TestMeasuredDensity(t *testing.T) {
+	e := New(costmodel.LocalTest(3))
+	m := tensor.FromRows([][]float64{{1, 0}, {0, 2}})
+	for _, f := range []format.Format{format.NewSingle(), format.NewCSRSingle(), format.NewCOO()} {
+		r, err := e.Load(m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := r.MeasuredDensity(); d != 0.5 {
+			t.Errorf("%v: MeasuredDensity = %v, want 0.5", f, d)
+		}
+	}
+}
+
+// A Hadamard chain over sparse inputs: the independence assumption
+// under-estimates density when the operands share their support, so the
+// adaptive executor must detect the drift, re-optimize, and still
+// produce the right numbers.
+func TestRunAdaptiveDetectsDensityDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := core.NewGraph()
+	s := shape.New(200, 200)
+	// Declared density 0.2 ⇒ the optimizer estimates 0.2·0.2 = 0.04 for
+	// the product; the actual inputs share an identical support, so the
+	// true product density is 0.2 — a relative error of 5.
+	a := g.Input("a", s, 0.2, format.NewCSRSingle())
+	b := g.Input("b", s, 0.2, format.NewCSRSingle())
+	had := g.MustApply(op.Op{Kind: op.Hadamard}, a, b)
+	g.MustApply(op.Op{Kind: op.ScalarMul, Scalar: 2}, had)
+
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	base := tensor.RandSparse(rng, 200, 200, 0.2)
+	inputs := map[string]*tensor.Dense{"a": base, "b": base.Clone()}
+
+	e := New(env.Cluster)
+	res, err := e.RunAdaptive(g, env, inputs, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reoptimized == 0 || len(res.Corrections) == 0 {
+		t.Fatalf("drift not detected: %+v", res)
+	}
+	c := res.Corrections[0]
+	if c.RelErr <= 1.2 {
+		t.Errorf("recorded relative error %v should exceed the threshold", c.RelErr)
+	}
+	// Numerics must survive the re-planning.
+	sink := g.Sinks()[0]
+	got, err := e.Collect(res.Relations[sink.ID])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Scale(tensor.Hadamard(base, base), 2)
+	if diff := tensor.MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Errorf("adaptive result deviates by %g", diff)
+	}
+}
+
+// With accurate estimates the adaptive executor must not re-optimize.
+func TestRunAdaptiveNoDriftNoReplan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := core.NewGraph()
+	s := shape.New(150, 150)
+	a := g.Input("a", s, 1, format.NewTile(100))
+	b := g.Input("b", s, 1, format.NewTile(100))
+	mm := g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	g.MustApply(op.Op{Kind: op.ReLU}, mm)
+
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	inputs := map[string]*tensor.Dense{
+		// Strictly positive inputs keep every intermediate fully dense,
+		// matching the declared density exactly (relu keeps density 1).
+		"a": tensor.Apply(tensor.RandNormal(rng, 150, 150), abs1),
+		"b": tensor.Apply(tensor.RandNormal(rng, 150, 150), abs1),
+	}
+	e := New(env.Cluster)
+	res, err := e.RunAdaptive(g, env, inputs, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reoptimized != 0 {
+		t.Fatalf("spurious re-optimization: %+v", res.Corrections)
+	}
+	sink := g.Sinks()[0]
+	got, err := e.Collect(res.Relations[sink.ID])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.ReLU(tensor.MatMul(inputs["a"], inputs["b"]))
+	if diff := tensor.MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Errorf("result deviates by %g", diff)
+	}
+}
+
+func TestRunAdaptiveRejectsBadThreshold(t *testing.T) {
+	e := New(costmodel.LocalTest(2))
+	if _, err := e.RunAdaptive(core.NewGraph(), nil, nil, 0.5); err == nil {
+		t.Fatal("threshold < 1 accepted")
+	}
+}
+
+func abs1(x float64) float64 {
+	if x < 0 {
+		return -x + 0.1
+	}
+	return x + 0.1
+}

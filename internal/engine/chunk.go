@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// Load chunks a dense matrix into the given physical format and
+// distributes the tuples across workers. Sparse target formats extract
+// the non-zeros.
+func (e *Engine) Load(m *tensor.Dense, f format.Format) (*Relation, error) {
+	s := shape.New(int64(m.Rows), int64(m.Cols))
+	density := m.Density()
+	if !f.Valid(s, density, e.Cluster.MaxTupleBytes) {
+		return nil, fmt.Errorf("engine: %v cannot store a %v matrix", f, s)
+	}
+	var tuples []Tuple
+	switch f.Kind {
+	case format.Single:
+		tuples = []Tuple{{Key: Key{0, 0}, Dense: m.Clone()}}
+	case format.Tile:
+		b := int(f.Block)
+		for i := 0; i < m.Rows; i += b {
+			for j := 0; j < m.Cols; j += b {
+				tuples = append(tuples, Tuple{
+					Key:   Key{int64(i / b), int64(j / b)},
+					Dense: m.Slice(i, minInt(i+b, m.Rows), j, minInt(j+b, m.Cols)),
+				})
+			}
+		}
+	case format.RowStrip:
+		h := int(f.Block)
+		for i := 0; i < m.Rows; i += h {
+			tuples = append(tuples, Tuple{
+				Key:   Key{int64(i / h), 0},
+				Dense: m.Slice(i, minInt(i+h, m.Rows), 0, m.Cols),
+			})
+		}
+	case format.ColStrip:
+		w := int(f.Block)
+		for j := 0; j < m.Cols; j += w {
+			tuples = append(tuples, Tuple{
+				Key:   Key{0, int64(j / w)},
+				Dense: m.Slice(0, m.Rows, j, minInt(j+w, m.Cols)),
+			})
+		}
+	case format.COO:
+		for _, tr := range sparse.FromDenseCOO(m).Triples {
+			tuples = append(tuples, Tuple{Key: Key{int64(tr.Row), int64(tr.Col)}, Val: tr.Val, IsVal: true})
+		}
+		if len(tuples) == 0 { // an all-zero matrix still needs presence
+			tuples = []Tuple{{Key: Key{0, 0}, Val: 0, IsVal: true}}
+		}
+	case format.CSRSingle:
+		tuples = []Tuple{{Key: Key{0, 0}, CSR: sparse.FromDense(m)}}
+	case format.CSRRowStrip:
+		h := int(f.Block)
+		whole := sparse.FromDense(m)
+		for i := 0; i < m.Rows; i += h {
+			tuples = append(tuples, Tuple{
+				Key: Key{int64(i / h), 0},
+				CSR: whole.RowSlice(i, minInt(i+h, m.Rows)),
+			})
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown format %v", f)
+	}
+	return e.place(f, s, density, tuples), nil
+}
+
+// Collect assembles a relation back into a dense matrix, validating that
+// its tuples tile the shape exactly.
+func (e *Engine) Collect(r *Relation) (*tensor.Dense, error) {
+	m := tensor.NewDense(int(r.Shape.Rows), int(r.Shape.Cols))
+	tuples := e.all(r, false)
+	switch r.Format.Kind {
+	case format.Single:
+		if len(tuples) != 1 || tuples[0].Dense == nil {
+			return nil, fmt.Errorf("engine: malformed single relation (%d tuples)", len(tuples))
+		}
+		return tuples[0].Dense.Clone(), nil
+	case format.Tile:
+		b := int(r.Format.Block)
+		for _, t := range tuples {
+			if t.Dense == nil {
+				return nil, fmt.Errorf("engine: tile tuple without dense payload")
+			}
+			m.SetSlice(int(t.Key.I)*b, int(t.Key.J)*b, t.Dense)
+		}
+	case format.RowStrip:
+		h := int(r.Format.Block)
+		for _, t := range tuples {
+			m.SetSlice(int(t.Key.I)*h, 0, t.Dense)
+		}
+	case format.ColStrip:
+		w := int(r.Format.Block)
+		for _, t := range tuples {
+			m.SetSlice(0, int(t.Key.J)*w, t.Dense)
+		}
+	case format.COO:
+		for _, t := range tuples {
+			if !t.IsVal {
+				return nil, fmt.Errorf("engine: COO tuple without value payload")
+			}
+			m.Set(int(t.Key.I), int(t.Key.J), t.Val)
+		}
+	case format.CSRSingle:
+		if len(tuples) != 1 || tuples[0].CSR == nil {
+			return nil, fmt.Errorf("engine: malformed csr-single relation")
+		}
+		return tuples[0].CSR.ToDense(), nil
+	case format.CSRRowStrip:
+		h := int(r.Format.Block)
+		for _, t := range tuples {
+			m.SetSlice(int(t.Key.I)*h, 0, t.CSR.ToDense())
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown format %v", r.Format)
+	}
+	return m, nil
+}
+
+// Transform re-lays-out a relation into the target format: each source
+// tuple is sliced into fragments aligned to the target grid, fragments
+// are shuffled to the target chunks' home workers, and a group-by stitch
+// assembles each target tuple — the engine-level realization of the
+// ROWMATRIX/COLMATRIX-style re-layouts.
+func (e *Engine) Transform(r *Relation, target format.Format) (*Relation, error) {
+	if target == r.Format {
+		return r, nil
+	}
+	// The generic re-chunker goes through the dense (or sparse)
+	// assembly; network accounting reflects the repartition pattern.
+	moved := r.Bytes()
+	switch {
+	case target.Kind == format.Single || target.Kind == format.CSRSingle:
+		e.chargeNet(moved) // gather onto one worker
+		e.chargeInter(moved)
+	case r.Format.Kind == format.Single || r.Format.Kind == format.CSRSingle:
+		e.chargeNet(moved) // scatter from the holder
+	default:
+		e.chargeNet(moved / int64(e.workers())) // parallel shuffle per link
+		e.chargeInter(moved / int64(e.workers()))
+	}
+	m, err := e.Collect(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: transform assemble: %w", err)
+	}
+	e.chargeFlops(int64(m.Rows) * int64(m.Cols))
+	return e.Load(m, target)
+}
+
+// sortTuples orders tuples by key for deterministic iteration.
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Key.I != ts[j].Key.I {
+			return ts[i].Key.I < ts[j].Key.I
+		}
+		return ts[i].Key.J < ts[j].Key.J
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+// Package engine is the distributed relational substrate the optimizer's
+// plans run on — the stand-in for the paper's SimSQL and PlinyCompute
+// deployments. Matrices are relations of (key…, matrix-block) tuples hash
+// partitioned across workers; physical operators are per-tuple maps,
+// broadcast joins, co-partitioned joins, shuffle joins and group-by SUM
+// aggregation.
+//
+// The engine has two modes. Execute (Run) materializes real data and
+// computes real results, validating every implementation's semantics at
+// laptop scale and producing the measurements the cost model is
+// calibrated on. Simulate walks the identical annotated plan at paper
+// scale without materializing data, advancing a virtual clock from the
+// calibrated cost model — the substitution (documented in DESIGN.md) for
+// the paper's EC2 clusters.
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// Key is a tuple's chunk coordinate: (tileRow, tileCol) for tiles,
+// (tileRow, 0) for row strips, (0, tileCol) for column strips, the
+// element coordinate for COO triples, and (0, 0) for single layouts.
+type Key struct {
+	I, J int64
+}
+
+// Tuple is one relation row: a key plus exactly one payload variant.
+type Tuple struct {
+	Key   Key
+	Dense *tensor.Dense
+	CSR   *sparse.CSR
+	Val   float64 // COO payload (with Key as the coordinate)
+	IsVal bool
+}
+
+// Bytes returns the payload size used for network accounting.
+func (t Tuple) Bytes() int64 {
+	switch {
+	case t.Dense != nil:
+		return t.Dense.Bytes()
+	case t.CSR != nil:
+		return t.CSR.Bytes()
+	case t.IsVal:
+		return 16
+	}
+	return 0
+}
+
+// Relation is a matrix stored in a physical format, hash partitioned
+// across workers.
+type Relation struct {
+	Format  format.Format
+	Shape   shape.Shape
+	Density float64
+	Parts   [][]Tuple // Parts[w] = tuples resident on worker w
+}
+
+// NumTuples returns the total tuple count.
+func (r *Relation) NumTuples() int64 {
+	var n int64
+	for _, p := range r.Parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Bytes returns the total payload bytes.
+func (r *Relation) Bytes() int64 {
+	var n int64
+	for _, p := range r.Parts {
+		for _, t := range p {
+			n += t.Bytes()
+		}
+	}
+	return n
+}
+
+// Stats aggregates what an execution actually did; the calibration
+// pipeline compares these against the analytic features.
+type Stats struct {
+	NetBytes   int64 // bytes that crossed worker boundaries
+	Tuples     int64 // tuples produced by operators
+	FLOPs      int64 // floating-point operations executed
+	InterBytes int64 // bytes of intermediate tuples materialized
+}
+
+// Engine executes annotated plans over a fixed worker count.
+type Engine struct {
+	Cluster costmodel.Cluster
+
+	netBytes   atomic.Int64
+	tuples     atomic.Int64
+	flops      atomic.Int64
+	interBytes atomic.Int64
+}
+
+// New returns an engine with the given cluster profile.
+func New(cl costmodel.Cluster) *Engine { return &Engine{Cluster: cl} }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		NetBytes:   e.netBytes.Load(),
+		Tuples:     e.tuples.Load(),
+		FLOPs:      e.flops.Load(),
+		InterBytes: e.interBytes.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() {
+	e.netBytes.Store(0)
+	e.tuples.Store(0)
+	e.flops.Store(0)
+	e.interBytes.Store(0)
+}
+
+func (e *Engine) workers() int { return e.Cluster.Workers }
+
+// home returns the worker a key hashes to.
+func (e *Engine) home(k Key) int {
+	h := uint64(k.I)*0x9e3779b97f4a7c15 ^ uint64(k.J)*0xff51afd7ed558ccd
+	return int(h % uint64(e.workers()))
+}
+
+// place builds a relation from tuples, hash partitioning them by key.
+func (e *Engine) place(f format.Format, s shape.Shape, density float64, tuples []Tuple) *Relation {
+	r := &Relation{Format: f, Shape: s, Density: density, Parts: make([][]Tuple, e.workers())}
+	for _, t := range tuples {
+		w := e.home(t.Key)
+		r.Parts[w] = append(r.Parts[w], t)
+	}
+	e.tuples.Add(int64(len(tuples)))
+	return r
+}
+
+// chargeNet records logical cross-worker movement of b bytes.
+func (e *Engine) chargeNet(b int64) { e.netBytes.Add(b) }
+
+// chargeFlops records floating point work.
+func (e *Engine) chargeFlops(n int64) { e.flops.Add(n) }
+
+// chargeInter records intermediate materialization.
+func (e *Engine) chargeInter(b int64) { e.interBytes.Add(b) }
+
+// all returns every tuple of r (in worker order), charging broadcast
+// traffic for the copies that cross workers when bcast is true.
+func (e *Engine) all(r *Relation, bcast bool) []Tuple {
+	var out []Tuple
+	for w, p := range r.Parts {
+		out = append(out, p...)
+		if bcast {
+			var b int64
+			for _, t := range p {
+				b += t.Bytes()
+			}
+			_ = w
+			b *= int64(e.workers() - 1)
+			e.chargeNet(b)
+		}
+	}
+	return out
+}
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation(%v, %v, %d tuples)", r.Shape, r.Format, r.NumTuples())
+}

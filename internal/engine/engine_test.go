@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/impl"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+)
+
+func testEnv(workers int) *core.Env {
+	return core.NewEnv(costmodel.LocalTest(workers), format.All())
+}
+
+// evalReference computes every vertex of a graph with the plain local
+// kernels, ignoring formats entirely — the ground truth the distributed
+// executor must match.
+func evalReference(t *testing.T, g *core.Graph, inputs map[string]*tensor.Dense) map[int]*tensor.Dense {
+	t.Helper()
+	vals := make(map[int]*tensor.Dense)
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			vals[v.ID] = inputs[v.Name]
+			continue
+		}
+		in := func(j int) *tensor.Dense { return vals[v.Ins[j].ID] }
+		switch v.Op.Kind {
+		case op.MatMul:
+			vals[v.ID] = tensor.MatMul(in(0), in(1))
+		case op.Add:
+			vals[v.ID] = tensor.Add(in(0), in(1))
+		case op.Sub:
+			vals[v.ID] = tensor.Sub(in(0), in(1))
+		case op.Hadamard:
+			vals[v.ID] = tensor.Hadamard(in(0), in(1))
+		case op.Transpose:
+			vals[v.ID] = tensor.Transpose(in(0))
+		case op.ScalarMul:
+			vals[v.ID] = tensor.Scale(in(0), v.Op.Scalar)
+		case op.Neg:
+			vals[v.ID] = tensor.Neg(in(0))
+		case op.ReLU:
+			vals[v.ID] = tensor.ReLU(in(0))
+		case op.ReLUGrad:
+			vals[v.ID] = tensor.ReLUGrad(in(0))
+		case op.Sigmoid:
+			vals[v.ID] = tensor.Sigmoid(in(0))
+		case op.Exp:
+			vals[v.ID] = tensor.Exp(in(0))
+		case op.Softmax:
+			vals[v.ID] = tensor.Softmax(in(0))
+		case op.RowSums:
+			vals[v.ID] = tensor.RowSums(in(0))
+		case op.ColSums:
+			vals[v.ID] = tensor.ColSums(in(0))
+		case op.AddBias:
+			vals[v.ID] = tensor.AddBias(in(0), in(1))
+		case op.Inverse:
+			inv, err := tensor.Inverse(in(0))
+			if err != nil {
+				t.Fatalf("reference inverse: %v", err)
+			}
+			vals[v.ID] = inv
+		default:
+			t.Fatalf("reference evaluator missing op %v", v.Op.Kind)
+		}
+	}
+	return vals
+}
+
+// checkPlan optimizes (or greedily annotates) g, runs it on the engine,
+// and compares every sink against the reference evaluation.
+func checkPlan(t *testing.T, g *core.Graph, env *core.Env, ann *core.Annotation, inputs map[string]*tensor.Dense) {
+	t.Helper()
+	if err := ann.Verify(env); err != nil {
+		t.Fatalf("annotation invalid: %v", err)
+	}
+	e := New(env.Cluster)
+	got, err := e.RunCollect(ann, inputs)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	want := evalReference(t, g, inputs)
+	for _, sink := range g.Sinks() {
+		if diff := tensor.MaxAbsDiff(got[sink.ID], want[sink.ID]); diff > 1e-8 {
+			t.Errorf("sink v%d: engine result deviates from reference by %g", sink.ID, diff)
+		}
+	}
+	if e.Stats().FLOPs == 0 {
+		t.Error("execution recorded no floating point work")
+	}
+}
+
+func TestLoadCollectRoundTripAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := New(costmodel.LocalTest(4))
+	m := tensor.RandSparse(rng, 137, 211, 0.3) // ragged vs all block sizes
+	for _, f := range []format.Format{
+		format.NewSingle(), format.NewTile(100), format.NewRowStrip(100),
+		format.NewColStrip(100), format.NewCOO(), format.NewCSRSingle(),
+		format.NewCSRRowStrip(100),
+	} {
+		r, err := e.Load(m, f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, err := e.Collect(r)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !tensor.Equal(got, m, 0) {
+			t.Errorf("%v: round trip mismatch", f)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidFormat(t *testing.T) {
+	e := New(costmodel.LocalTest(4))
+	m := tensor.NewDense(10, 10)
+	if _, err := e.Load(m, format.NewTile(1000)); err == nil {
+		t.Error("tile[1000] on a 10x10 matrix must fail to load")
+	}
+}
+
+func TestTransformBetweenFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := New(costmodel.LocalTest(4))
+	m := tensor.RandNormal(rng, 300, 500)
+	r, err := e.Load(m, format.NewTile(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []format.Format{
+		format.NewRowStrip(100), format.NewColStrip(100), format.NewSingle(),
+		format.NewCSRSingle(), format.NewTile(100),
+	} {
+		out, err := e.Transform(r, target)
+		if err != nil {
+			t.Fatalf("to %v: %v", target, err)
+		}
+		got, err := e.Collect(out)
+		if err != nil {
+			t.Fatalf("to %v: %v", target, err)
+		}
+		if !tensor.Equal(got, m, 0) {
+			t.Errorf("transform to %v corrupted data", target)
+		}
+	}
+	if e.Stats().NetBytes == 0 {
+		t.Error("transformations moved no bytes")
+	}
+}
+
+func TestOptimizedChainExecutesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := core.NewGraph()
+	a := g.Input("a", shape.New(160, 300), 1, format.NewRowStrip(100))
+	b := g.Input("b", shape.New(300, 160), 1, format.NewColStrip(100))
+	c := g.Input("c", shape.New(160, 500), 1, format.NewColStrip(100))
+	ab := g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	g.MustApply(op.Op{Kind: op.MatMul}, ab, c)
+	env := testEnv(4)
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Dense{
+		"a": tensor.RandNormal(rng, 160, 300),
+		"b": tensor.RandNormal(rng, 300, 160),
+		"c": tensor.RandNormal(rng, 160, 500),
+	}
+	checkPlan(t, g, env, ann, inputs)
+}
+
+func TestEveryMatMulExecutorAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	env := testEnv(4)
+	aMat := tensor.RandNormal(rng, 200, 300)
+	bMat := tensor.RandNormal(rng, 300, 200)
+	aSparse := tensor.RandSparse(rng, 200, 300, 0.05)
+	want := tensor.MatMul(aMat, bMat)
+	wantSparse := tensor.MatMul(aSparse, bMat)
+
+	cases := []struct {
+		impl   string
+		fa, fb format.Format
+		spA    bool
+	}{
+		{"mm-single-single", format.NewSingle(), format.NewSingle(), false},
+		{"mm-bcast-single-colstrip", format.NewSingle(), format.NewColStrip(100), false},
+		{"mm-rowstrip-bcast-single", format.NewRowStrip(100), format.NewSingle(), false},
+		{"mm-rowstrip-colstrip", format.NewRowStrip(100), format.NewColStrip(100), false},
+		{"mm-colstrip-rowstrip-agg", format.NewColStrip(100), format.NewRowStrip(100), false},
+		{"mm-tile-tile-shuffle", format.NewTile(100), format.NewTile(100), false},
+		{"mm-tile-tile-bcast", format.NewTile(100), format.NewTile(100), false},
+		{"mm-bcast-single-tile", format.NewSingle(), format.NewTile(100), false},
+		{"mm-tile-bcast-single", format.NewTile(100), format.NewSingle(), false},
+		{"mm-csr-single-single", format.NewCSRSingle(), format.NewSingle(), true},
+		{"mm-bcast-csr-rowstrip-agg", format.NewCSRSingle(), format.NewRowStrip(100), true},
+		{"mm-csr-rowstrip-bcast-single", format.NewCSRRowStrip(100), format.NewSingle(), true},
+		{"mm-bcast-coo-single", format.NewCOO(), format.NewSingle(), true},
+	}
+	for _, c := range cases {
+		e := New(env.Cluster)
+		am := aMat
+		ref := want
+		if c.spA {
+			am = aSparse
+			ref = wantSparse
+		}
+		ra, err := e.Load(am, c.fa)
+		if err != nil {
+			t.Fatalf("%s: load a: %v", c.impl, err)
+		}
+		rb, err := e.Load(bMat, c.fb)
+		if err != nil {
+			t.Fatalf("%s: load b: %v", c.impl, err)
+		}
+		exec, ok := executors[c.impl]
+		if !ok {
+			t.Fatalf("%s: no executor", c.impl)
+		}
+		out, err := exec(e, op.Op{Kind: op.MatMul}, shape.New(200, 200), []*Relation{ra, rb})
+		if err != nil {
+			t.Fatalf("%s: %v", c.impl, err)
+		}
+		got, err := e.Collect(out)
+		if err != nil {
+			t.Fatalf("%s: collect: %v", c.impl, err)
+		}
+		if diff := tensor.MaxAbsDiff(got, ref); diff > 1e-8 {
+			t.Errorf("%s: result deviates by %g", c.impl, diff)
+		}
+	}
+}
+
+func TestFFNNStyleDAGExecutes(t *testing.T) {
+	// A miniature forward+backward pass exercising sharing, transpose,
+	// relu/relugrad, hadamard and softmax together.
+	rng := rand.New(rand.NewSource(5))
+	g := core.NewGraph()
+	x := g.Input("x", shape.New(200, 120), 1, format.NewRowStrip(100))
+	w1 := g.Input("w1", shape.New(120, 90), 1, format.NewSingle())
+	w2 := g.Input("w2", shape.New(90, 10), 1, format.NewSingle())
+	y := g.Input("y", shape.New(200, 10), 1, format.NewSingle())
+
+	a1 := g.MustApply(op.Op{Kind: op.MatMul}, x, w1)
+	h1 := g.MustApply(op.Op{Kind: op.ReLU}, a1)
+	a2 := g.MustApply(op.Op{Kind: op.MatMul}, h1, w2)
+	p := g.MustApply(op.Op{Kind: op.Softmax}, a2)
+	d2 := g.MustApply(op.Op{Kind: op.Sub}, p, y)
+	h1t := g.MustApply(op.Op{Kind: op.Transpose}, h1)
+	gw2 := g.MustApply(op.Op{Kind: op.MatMul}, h1t, d2)
+	g.MustApply(op.Op{Kind: op.ScalarMul, Scalar: 0.01}, gw2)
+
+	env := testEnv(4)
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Dense{
+		"x":  tensor.RandNormal(rng, 200, 120),
+		"w1": tensor.RandNormal(rng, 120, 90),
+		"w2": tensor.RandNormal(rng, 90, 10),
+		"y":  tensor.RandNormal(rng, 200, 10),
+	}
+	checkPlan(t, g, env, ann, inputs)
+}
+
+func TestBlockInverseStyleGraphExecutes(t *testing.T) {
+	// ((D − C·A⁻¹·B))⁻¹ — the core of the Graybill two-level inverse.
+	rng := rand.New(rand.NewSource(6))
+	g := core.NewGraph()
+	aIn := g.Input("A", shape.New(60, 60), 1, format.NewSingle())
+	bIn := g.Input("B", shape.New(60, 80), 1, format.NewSingle())
+	cIn := g.Input("C", shape.New(80, 60), 1, format.NewSingle())
+	dIn := g.Input("D", shape.New(80, 80), 1, format.NewSingle())
+	ainv := g.MustApply(op.Op{Kind: op.Inverse}, aIn)
+	cainv := g.MustApply(op.Op{Kind: op.MatMul}, cIn, ainv)
+	cainvb := g.MustApply(op.Op{Kind: op.MatMul}, cainv, bIn)
+	schur := g.MustApply(op.Op{Kind: op.Sub}, dIn, cainvb)
+	g.MustApply(op.Op{Kind: op.Inverse}, schur)
+
+	env := testEnv(4)
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(r, c int, diag float64) *tensor.Dense {
+		m := tensor.RandNormal(rng, r, c)
+		for i := 0; i < r && i < c; i++ {
+			m.Set(i, i, m.At(i, i)+diag)
+		}
+		return m
+	}
+	inputs := map[string]*tensor.Dense{
+		"A": mk(60, 60, 60), "B": mk(60, 80, 0), "C": mk(80, 60, 0), "D": mk(80, 80, 200),
+	}
+	checkPlan(t, g, env, ann, inputs)
+}
+
+func TestGreedyAllTilePlanMatchesOptimalNumerically(t *testing.T) {
+	// Two different physical plans for the same logical computation must
+	// agree on the answer.
+	rng := rand.New(rand.NewSource(7))
+	g := core.NewGraph()
+	a := g.Input("a", shape.New(250, 250), 1, format.NewTile(100))
+	b := g.Input("b", shape.New(250, 250), 1, format.NewTile(100))
+	ab := g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	g.MustApply(op.Op{Kind: op.Add}, ab, a)
+
+	env := testEnv(4)
+	inputs := map[string]*tensor.Dense{
+		"a": tensor.RandNormal(rng, 250, 250),
+		"b": tensor.RandNormal(rng, 250, 250),
+	}
+	auto, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]format.Format{}
+	for _, v := range g.Vertices {
+		if !v.IsSource {
+			want[v.ID] = format.NewTile(100)
+		}
+	}
+	tiled, err := core.GreedyAnnotate(g, env, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env.Cluster)
+	got1, err := e.RunCollect(auto, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := e.RunCollect(tiled, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g.Sinks()[0].ID
+	if diff := tensor.MaxAbsDiff(got1[sink], got2[sink]); diff > 1e-8 {
+		t.Errorf("plans disagree by %g", diff)
+	}
+}
+
+func TestSimulateMatchesAnnotationTotal(t *testing.T) {
+	g := core.NewGraph()
+	a := g.Input("a", shape.New(10000, 30000), 1, format.NewTile(1000))
+	b := g.Input("b", shape.New(30000, 50000), 1, format.NewTile(1000))
+	c := g.Input("c", shape.New(50000, 1), 1, format.NewSingle())
+	abv := g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	g.MustApply(op.Op{Kind: op.MatMul}, abv, c)
+	env := core.NewEnv(costmodel.EC2R5D(10), format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(ann, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Seconds-ann.Total()) > 1e-9*ann.Total() {
+		t.Errorf("simulate %.6f vs annotation total %.6f", rep.Seconds, ann.Total())
+	}
+	if rep.PeakWorkerBytes <= 0 || rep.Features.FLOPs <= 0 {
+		t.Errorf("report not populated: %+v", rep)
+	}
+}
+
+func TestSimulateDetectsInfeasiblePlanAsFail(t *testing.T) {
+	// A shuffle-join tile multiply over a huge inner dimension spills
+	// more intermediate data than a small cluster's scratch: annotate on
+	// a big cluster, simulate on a small one, expect the paper's Fail.
+	g := core.NewGraph()
+	a := g.Input("a", shape.New(40000, 60000), 1, format.NewTile(1000))
+	b := g.Input("b", shape.New(60000, 200000), 1, format.NewTile(1000))
+	g.MustApply(op.Op{Kind: op.MatMul}, a, b)
+	envBig := core.NewEnv(costmodel.EC2R5D(64), format.All())
+	envBig.Impls[op.MatMul] = []*impl.Impl{impl.MMTileTileShuffle}
+	want := map[int]format.Format{2: format.NewTile(1000)}
+	ann, err := core.GreedyAnnotate(g, envBig, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envSmall := core.NewEnv(costmodel.EC2R5D(2), format.All())
+	if _, err := Simulate(ann, envSmall); err == nil {
+		t.Error("a scratch-overflowing plan must Fail in simulation")
+	}
+	// On the big cluster the same plan fits.
+	if _, err := Simulate(ann, envBig); err != nil {
+		t.Errorf("the plan should fit on 64 workers: %v", err)
+	}
+}

@@ -1,0 +1,518 @@
+package engine
+
+import (
+	"fmt"
+
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// execFn executes one atomic computation implementation over input
+// relations that are already in the implementation's required formats.
+type execFn func(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error)
+
+// executors dispatches on implementation name; the names are the stable
+// identifiers shared with internal/impl.
+var executors = map[string]execFn{}
+
+func init() {
+	executors["mm-single-single"] = execMMSingleSingle
+	executors["mm-bcast-single-colstrip"] = execMMBcastSingleColStrip
+	executors["mm-rowstrip-bcast-single"] = execMMRowStripBcastSingle
+	executors["mm-rowstrip-colstrip"] = execMMRowStripColStrip
+	executors["mm-colstrip-rowstrip-agg"] = execMMColStripRowStripAgg
+	executors["mm-tile-tile-shuffle"] = execMMTileTile
+	executors["mm-tile-tile-bcast"] = execMMTileTile
+	executors["mm-bcast-single-tile"] = execMMBcastSingleTile
+	executors["mm-tile-bcast-single"] = execMMTileBcastSingle
+	executors["mm-csr-single-single"] = execMMCSRSingleSingle
+	executors["mm-bcast-csr-rowstrip-agg"] = execMMBcastCSRRowStripAgg
+	executors["mm-csr-rowstrip-bcast-single"] = execMMCSRRowStripBcastSingle
+	executors["mm-bcast-coo-single"] = execMMBcastCOOSingle
+
+	for _, name := range []string{"add-single", "sub-single", "hadamard-single"} {
+		executors[name] = execEWSingle
+	}
+	for _, name := range []string{"add-copart", "sub-copart", "hadamard-copart"} {
+		executors[name] = execEWCoPart
+	}
+	for _, name := range []string{"relu-map", "relugrad-map", "sigmoid-map", "exp-map", "neg-map", "scalarmul-map"} {
+		executors[name] = execMap
+	}
+	executors["softmax-single"] = execMap
+	executors["softmax-rowstrip"] = execMap
+	executors["addbias-single"] = execAddBias
+	executors["addbias-rowstrip-bcast"] = execAddBias
+	executors["rowsums-single"] = execRowSums
+	executors["rowsums-rowstrip"] = execRowSums
+	executors["colsums-single"] = execColSums
+	executors["colsums-colstrip"] = execColSums
+	executors["transpose-single"] = execTransposeDense
+	executors["transpose-tile"] = execTransposeDense
+	executors["transpose-strip"] = execTransposeDense
+	executors["transpose-csr-single"] = execTransposeCSR
+	executors["inverse-single"] = execInverse
+}
+
+func singleDense(r *Relation) (*tensor.Dense, error) {
+	ts := allOf(r)
+	if len(ts) != 1 || ts[0].Dense == nil {
+		return nil, fmt.Errorf("engine: relation %v is not a dense single", r)
+	}
+	return ts[0].Dense, nil
+}
+
+func allOf(r *Relation) []Tuple {
+	var out []Tuple
+	for _, p := range r.Parts {
+		out = append(out, p...)
+	}
+	sortTuples(out)
+	return out
+}
+
+func mmFlops(a, b *tensor.Dense) int64 { return 2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols) }
+
+func execMMSingleSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleDense(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(min64(a.Bytes(), b.Bytes()))
+	e.chargeFlops(mmFlops(a, b))
+	out := tensor.MatMul(a, b)
+	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
+}
+
+func execMMBcastSingleColStrip(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleDense(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(a.Bytes() * int64(e.workers()-1))
+	var out []Tuple
+	for _, t := range allOf(ins[1]) {
+		e.chargeFlops(mmFlops(a, t.Dense))
+		out = append(out, Tuple{Key: t.Key, Dense: tensor.MatMul(a, t.Dense)})
+	}
+	return e.place(ins[1].Format, outShape, 1, out), nil
+}
+
+func execMMRowStripBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(b.Bytes() * int64(e.workers()-1))
+	var out []Tuple
+	for _, t := range allOf(ins[0]) {
+		e.chargeFlops(mmFlops(t.Dense, b))
+		out = append(out, Tuple{Key: t.Key, Dense: tensor.MatMul(t.Dense, b)})
+	}
+	return e.place(ins[0].Format, outShape, 1, out), nil
+}
+
+func execMMRowStripColStrip(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	as, bs := allOf(ins[0]), allOf(ins[1])
+	small := ins[0].Bytes()
+	if b := ins[1].Bytes(); b < small {
+		small = b
+	}
+	e.chargeNet(small * int64(e.workers()-1))
+	var out []Tuple
+	for _, ta := range as {
+		for _, tb := range bs {
+			e.chargeFlops(mmFlops(ta.Dense, tb.Dense))
+			out = append(out, Tuple{Key: Key{ta.Key.I, tb.Key.J}, Dense: tensor.MatMul(ta.Dense, tb.Dense)})
+		}
+	}
+	e.chargeInter(outShape.Bytes() / int64(e.workers()))
+	return e.place(format.NewTile(ins[0].Format.Block), outShape, 1, out), nil
+}
+
+func execMMColStripRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	as, bs := allOf(ins[0]), allOf(ins[1])
+	bByKey := make(map[int64]*tensor.Dense, len(bs))
+	for _, t := range bs {
+		bByKey[t.Key.I] = t.Dense
+	}
+	e.chargeNet((ins[0].Bytes() + ins[1].Bytes()) / int64(e.workers()))
+	acc := tensor.NewDense(int(outShape.Rows), int(outShape.Cols))
+	for _, ta := range as {
+		tb, ok := bByKey[ta.Key.J]
+		if !ok {
+			return nil, fmt.Errorf("engine: co-partition join missed strip %d", ta.Key.J)
+		}
+		e.chargeFlops(mmFlops(ta.Dense, tb))
+		tensor.MatMulAdd(acc, ta.Dense, tb)
+	}
+	e.chargeInter(acc.Bytes())
+	e.chargeNet(acc.Bytes()) // tree reduction of partials
+	return e.place(format.NewSingle(), outShape, acc.Density(), []Tuple{{Key: Key{0, 0}, Dense: acc}}), nil
+}
+
+// execMMTileTile covers both the shuffle-join and broadcast-join tile
+// strategies: the arithmetic is identical, the strategies differ only in
+// movement, which is charged per variant below.
+func execMMTileTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	bSize := ins[0].Format.Block
+	as, bs := allOf(ins[0]), allOf(ins[1])
+	bByRow := make(map[int64][]Tuple)
+	for _, t := range bs {
+		bByRow[t.Key.I] = append(bByRow[t.Key.I], t)
+	}
+	e.chargeNet((ins[0].Bytes() + ins[1].Bytes()) / int64(e.workers()))
+	acc := make(map[Key]*tensor.Dense)
+	for _, ta := range as {
+		for _, tb := range bByRow[ta.Key.J] {
+			k := Key{ta.Key.I, tb.Key.J}
+			e.chargeFlops(mmFlops(ta.Dense, tb.Dense))
+			prod := tensor.MatMul(ta.Dense, tb.Dense)
+			e.chargeInter(prod.Bytes())
+			if cur, ok := acc[k]; ok {
+				tensor.AddInPlace(cur, prod)
+			} else {
+				acc[k] = prod
+			}
+		}
+	}
+	var out []Tuple
+	for k, m := range acc {
+		out = append(out, Tuple{Key: k, Dense: m})
+	}
+	return e.place(format.NewTile(bSize), outShape, 1, out), nil
+}
+
+func execMMBcastSingleTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleDense(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(a.Bytes() * int64(e.workers()-1))
+	b := int(ins[1].Format.Block)
+	acc := make(map[int64]*tensor.Dense) // by tile column
+	for _, tb := range allOf(ins[1]) {
+		c0 := int(tb.Key.I) * b
+		aSlice := a.Slice(0, a.Rows, c0, c0+tb.Dense.Rows)
+		e.chargeFlops(mmFlops(aSlice, tb.Dense))
+		prod := tensor.MatMul(aSlice, tb.Dense)
+		if cur, ok := acc[tb.Key.J]; ok {
+			tensor.AddInPlace(cur, prod)
+		} else {
+			acc[tb.Key.J] = prod
+		}
+	}
+	var out []Tuple
+	for j, m := range acc {
+		out = append(out, Tuple{Key: Key{0, j}, Dense: m})
+	}
+	return e.place(format.NewColStrip(ins[1].Format.Block), outShape, 1, out), nil
+}
+
+func execMMTileBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(b.Bytes() * int64(e.workers()-1))
+	bk := int(ins[0].Format.Block)
+	acc := make(map[int64]*tensor.Dense) // by tile row
+	for _, ta := range allOf(ins[0]) {
+		r0 := int(ta.Key.J) * bk
+		bSlice := b.Slice(r0, r0+ta.Dense.Cols, 0, b.Cols)
+		e.chargeFlops(mmFlops(ta.Dense, bSlice))
+		prod := tensor.MatMul(ta.Dense, bSlice)
+		if cur, ok := acc[ta.Key.I]; ok {
+			tensor.AddInPlace(cur, prod)
+		} else {
+			acc[ta.Key.I] = prod
+		}
+	}
+	var out []Tuple
+	for i, m := range acc {
+		out = append(out, Tuple{Key: Key{i, 0}, Dense: m})
+	}
+	return e.place(format.NewRowStrip(ins[0].Format.Block), outShape, 1, out), nil
+}
+
+func singleCSR(r *Relation) (*sparse.CSR, error) {
+	ts := allOf(r)
+	if len(ts) != 1 || ts[0].CSR == nil {
+		return nil, fmt.Errorf("engine: relation %v is not a csr single", r)
+	}
+	return ts[0].CSR, nil
+}
+
+func execMMCSRSingleSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleCSR(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(min64(a.Bytes(), b.Bytes()))
+	e.chargeFlops(2 * int64(a.NNZ()) * int64(b.Cols))
+	out := a.MulDense(b)
+	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
+}
+
+// csrColSlice extracts columns [c0, c1) of a CSR matrix, renumbering
+// column indices to the slice.
+func csrColSlice(m *sparse.CSR, c0, c1 int) *sparse.CSR {
+	rowPtr := make([]int, m.Rows+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if c := m.ColIdx[k]; c >= c0 && c < c1 {
+				colIdx = append(colIdx, c-c0)
+				val = append(val, m.Val[k])
+			}
+		}
+		rowPtr[i+1] = len(val)
+	}
+	out, err := sparse.NewCSR(m.Rows, c1-c0, rowPtr, colIdx, val)
+	if err != nil {
+		panic(err) // slice of a valid CSR is valid
+	}
+	return out
+}
+
+func execMMBcastCSRRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleCSR(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(a.Bytes() * int64(e.workers()-1))
+	h := int(ins[1].Format.Block)
+	acc := tensor.NewDense(int(outShape.Rows), int(outShape.Cols))
+	for _, tb := range allOf(ins[1]) {
+		r0 := int(tb.Key.I) * h
+		aSlice := csrColSlice(a, r0, r0+tb.Dense.Rows)
+		e.chargeFlops(2 * int64(aSlice.NNZ()) * int64(tb.Dense.Cols))
+		tensor.AddInPlace(acc, aSlice.MulDense(tb.Dense))
+	}
+	e.chargeNet(acc.Bytes()) // reduce partials
+	return e.place(format.NewSingle(), outShape, acc.Density(), []Tuple{{Key: Key{0, 0}, Dense: acc}}), nil
+}
+
+func execMMCSRRowStripBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(b.Bytes() * int64(e.workers()-1))
+	var out []Tuple
+	for _, ta := range allOf(ins[0]) {
+		e.chargeFlops(2 * int64(ta.CSR.NNZ()) * int64(b.Cols))
+		out = append(out, Tuple{Key: ta.Key, Dense: ta.CSR.MulDense(b)})
+	}
+	return e.place(format.NewRowStrip(ins[0].Format.Block), outShape, 1, out), nil
+}
+
+func execMMBcastCOOSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(b.Bytes() * int64(e.workers()-1))
+	acc := tensor.NewDense(int(outShape.Rows), int(outShape.Cols))
+	for _, t := range allOf(ins[0]) {
+		if !t.IsVal {
+			return nil, fmt.Errorf("engine: COO relation holds a non-triple tuple")
+		}
+		if t.Val == 0 {
+			continue
+		}
+		e.chargeFlops(2 * int64(b.Cols))
+		row := acc.Data[int(t.Key.I)*acc.Cols : (int(t.Key.I)+1)*acc.Cols]
+		brow := b.Data[int(t.Key.J)*b.Cols : (int(t.Key.J)+1)*b.Cols]
+		for j, bv := range brow {
+			row[j] += t.Val * bv
+		}
+	}
+	e.chargeNet(acc.Bytes())
+	return e.place(format.NewSingle(), outShape, acc.Density(), []Tuple{{Key: Key{0, 0}, Dense: acc}}), nil
+}
+
+func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
+	switch k {
+	case op.Add:
+		return tensor.Add
+	case op.Sub:
+		return tensor.Sub
+	case op.Hadamard:
+		return tensor.Hadamard
+	}
+	panic(fmt.Sprintf("engine: %v is not an elementwise op", k))
+}
+
+func execEWSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleDense(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(min64(a.Bytes(), b.Bytes()))
+	e.chargeFlops(int64(outShape.Elems()))
+	out := ewKernel(o.Kind)(a, b)
+	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
+}
+
+func execEWCoPart(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	bByKey := make(map[Key]*tensor.Dense)
+	for _, t := range allOf(ins[1]) {
+		bByKey[t.Key] = t.Dense
+	}
+	e.chargeNet(min64(ins[0].Bytes(), ins[1].Bytes()) / int64(e.workers()))
+	e.chargeFlops(int64(outShape.Elems()))
+	kern := ewKernel(o.Kind)
+	var out []Tuple
+	for _, ta := range allOf(ins[0]) {
+		tb, ok := bByKey[ta.Key]
+		if !ok {
+			return nil, fmt.Errorf("engine: co-partition join missed key %v", ta.Key)
+		}
+		out = append(out, Tuple{Key: ta.Key, Dense: kern(ta.Dense, tb)})
+	}
+	return e.place(ins[0].Format, outShape, 1, out), nil
+}
+
+func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
+	switch o.Kind {
+	case op.ReLU:
+		return tensor.ReLU
+	case op.ReLUGrad:
+		return tensor.ReLUGrad
+	case op.Sigmoid:
+		return tensor.Sigmoid
+	case op.Exp:
+		return tensor.Exp
+	case op.Neg:
+		return tensor.Neg
+	case op.Softmax:
+		return tensor.Softmax
+	case op.ScalarMul:
+		s := o.Scalar
+		return func(m *tensor.Dense) *tensor.Dense { return tensor.Scale(m, s) }
+	}
+	panic(fmt.Sprintf("engine: %v is not a map op", o.Kind))
+}
+
+func execMap(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kern := mapKernel(o)
+	var out []Tuple
+	for _, t := range allOf(ins[0]) {
+		switch {
+		case t.Dense != nil:
+			e.chargeFlops(int64(len(t.Dense.Data)))
+			out = append(out, Tuple{Key: t.Key, Dense: kern(t.Dense)})
+		case t.CSR != nil:
+			e.chargeFlops(int64(t.CSR.NNZ()))
+			out = append(out, Tuple{Key: t.Key, CSR: sparse.FromDense(kern(t.CSR.ToDense()))})
+		case t.IsVal:
+			d := tensor.FromRows([][]float64{{t.Val}})
+			out = append(out, Tuple{Key: t.Key, Val: kern(d).At(0, 0), IsVal: true})
+		}
+	}
+	return e.place(ins[0].Format, outShape, ins[0].Density, out), nil
+}
+
+func execAddBias(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	bias, err := singleDense(ins[1])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeNet(bias.Bytes() * int64(e.workers()-1))
+	var out []Tuple
+	for _, t := range allOf(ins[0]) {
+		e.chargeFlops(int64(len(t.Dense.Data)))
+		out = append(out, Tuple{Key: t.Key, Dense: tensor.AddBias(t.Dense, bias)})
+	}
+	return e.place(ins[0].Format, outShape, 1, out), nil
+}
+
+func execRowSums(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	var out []Tuple
+	for _, t := range allOf(ins[0]) {
+		e.chargeFlops(int64(len(t.Dense.Data)))
+		out = append(out, Tuple{Key: t.Key, Dense: tensor.RowSums(t.Dense)})
+	}
+	return e.place(ins[0].Format, outShape, 1, out), nil
+}
+
+func execColSums(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	var out []Tuple
+	for _, t := range allOf(ins[0]) {
+		e.chargeFlops(int64(len(t.Dense.Data)))
+		out = append(out, Tuple{Key: t.Key, Dense: tensor.ColSums(t.Dense)})
+	}
+	return e.place(ins[0].Format, outShape, 1, out), nil
+}
+
+func execTransposeDense(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	in := ins[0]
+	var outFmt format.Format
+	switch in.Format.Kind {
+	case format.Single:
+		outFmt = format.NewSingle()
+	case format.Tile:
+		outFmt = in.Format
+		e.chargeNet(in.Bytes() / int64(e.workers()))
+	case format.RowStrip:
+		outFmt = format.NewColStrip(in.Format.Block)
+	case format.ColStrip:
+		outFmt = format.NewRowStrip(in.Format.Block)
+	default:
+		return nil, fmt.Errorf("engine: transpose executor got %v", in.Format)
+	}
+	var out []Tuple
+	for _, t := range allOf(in) {
+		e.chargeFlops(int64(len(t.Dense.Data)))
+		out = append(out, Tuple{Key: Key{t.Key.J, t.Key.I}, Dense: tensor.Transpose(t.Dense)})
+	}
+	return e.place(outFmt, outShape, in.Density, out), nil
+}
+
+func execTransposeCSR(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleCSR(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	e.chargeFlops(2 * int64(a.NNZ()))
+	out := sparse.FromDense(tensor.Transpose(a.ToDense()))
+	return e.place(format.NewCSRSingle(), outShape, ins[0].Density, []Tuple{{Key: Key{0, 0}, CSR: out}}), nil
+}
+
+func execInverse(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	a, err := singleDense(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	n := int64(a.Rows)
+	e.chargeFlops(2 * n * n * n)
+	inv, err := tensor.Inverse(a)
+	if err != nil {
+		return nil, err
+	}
+	return e.place(format.NewSingle(), outShape, 1, []Tuple{{Key: Key{0, 0}, Dense: inv}}), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/tensor"
+)
+
+// Run executes an annotated compute graph end to end on real data:
+// inputs maps source-vertex names to dense matrices, which are loaded in
+// each source's declared format; every edge transformation and every
+// vertex implementation then runs through the relational executors. The
+// returned map holds the resulting relation of every vertex (sinks
+// included), so callers can Collect whichever results they need.
+func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
+	rels := make(map[int]*Relation, len(ann.Graph.Vertices))
+	for _, v := range ann.Graph.Vertices {
+		if v.IsSource {
+			m, ok := inputs[v.Name]
+			if !ok {
+				return nil, fmt.Errorf("engine: no input matrix for source %q", v.Name)
+			}
+			if int64(m.Rows) != v.Shape.Rows || int64(m.Cols) != v.Shape.Cols {
+				return nil, fmt.Errorf("engine: input %q is %dx%d, graph declares %v",
+					v.Name, m.Rows, m.Cols, v.Shape)
+			}
+			r, err := e.Load(m, v.SrcFormat)
+			if err != nil {
+				return nil, fmt.Errorf("engine: loading %q: %w", v.Name, err)
+			}
+			rels[v.ID] = r
+			continue
+		}
+		im := ann.VertexImpl[v.ID]
+		if im == nil {
+			return nil, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
+		}
+		exec, ok := executors[im.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: no executor for implementation %q", im.Name)
+		}
+		ins := make([]*Relation, len(v.Ins))
+		for j, in := range v.Ins {
+			tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
+			if tr == nil {
+				return nil, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
+			}
+			r := rels[in.ID]
+			if !tr.Identity() {
+				var err error
+				r, err = e.Transform(r, tr.Target())
+				if err != nil {
+					return nil, fmt.Errorf("engine: transforming input %d of vertex %d: %w", j, v.ID, err)
+				}
+			}
+			ins[j] = r
+		}
+		out, err := exec(e, v.Op, v.Shape, ins)
+		if err != nil {
+			return nil, fmt.Errorf("engine: executing vertex %d (%s): %w", v.ID, im.Name, err)
+		}
+		if out.Format != ann.VertexFormat[v.ID] {
+			return nil, fmt.Errorf("engine: vertex %d produced %v, annotation says %v",
+				v.ID, out.Format, ann.VertexFormat[v.ID])
+		}
+		rels[v.ID] = out
+	}
+	return rels, nil
+}
+
+// RunCollect is Run followed by Collect on every sink, keyed by vertex ID.
+func (e *Engine) RunCollect(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	rels, err := e.Run(ann, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*tensor.Dense)
+	for _, v := range ann.Graph.Sinks() {
+		m, err := e.Collect(rels[v.ID])
+		if err != nil {
+			return nil, fmt.Errorf("engine: collecting sink %d: %w", v.ID, err)
+		}
+		out[v.ID] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/impl"
+)
+
+// Report is the outcome of a simulated (metadata-only) execution of an
+// annotated plan at full scale.
+type Report struct {
+	// Seconds is the virtual wall time: the model-predicted cost of
+	// every implementation and transformation in the plan.
+	Seconds float64
+	// OptSeconds is the optimizer time recorded on the annotation.
+	OptSeconds float64
+	// Features aggregates the plan's analytic features.
+	Features costmodel.Features
+	// PeakWorkerBytes is the largest per-worker working set any single
+	// operator needs.
+	PeakWorkerBytes float64
+	// ScratchBytes is the largest per-worker intermediate spill any
+	// single operator produces (intermediates are reclaimed once
+	// consumed, so the bound is per operator, not plan-wide).
+	ScratchBytes float64
+}
+
+// Simulate walks the annotated plan exactly as Run does — same edges,
+// same transformations, same implementations — but materializes no data:
+// it re-derives each operator's features and advances the virtual clock
+// by the model-predicted seconds. An annotation that is infeasible on
+// the environment's cluster (an implementation or transformation
+// returning ⊥, typically from the RAM bound) yields an error — the
+// paper's "Fail" outcome.
+func Simulate(ann *core.Annotation, env *core.Env) (Report, error) {
+	var rep Report
+	rep.OptSeconds = ann.OptSeconds
+	for _, v := range ann.Graph.Vertices {
+		if v.IsSource {
+			continue
+		}
+		im := ann.VertexImpl[v.ID]
+		if im == nil {
+			return rep, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
+		}
+		ins := make([]impl.Input, len(v.Ins))
+		for j, in := range v.Ins {
+			tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
+			if tr == nil {
+				return rep, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
+			}
+			tout, ok := tr.Apply(in.Shape, in.Density, ann.VertexFormat[in.ID], env.Cluster)
+			if !ok {
+				return rep, fmt.Errorf("engine: transformation %s fails on vertex %d arg %d (Fail)",
+					tr.Name, v.ID, j)
+			}
+			if !tr.Identity() {
+				rep.Seconds += tr.Cost(env.Model, tout)
+				rep.Features = rep.Features.Add(tout.Features)
+				if tout.PeakWorkerBytes > rep.PeakWorkerBytes {
+					rep.PeakWorkerBytes = tout.PeakWorkerBytes
+				}
+			}
+			ins[j] = impl.Input{Shape: in.Shape, Density: in.Density, Format: tout.Format}
+		}
+		out, ok := im.Apply(v.Op, ins, v.Shape, v.Density, env.Cluster)
+		if !ok {
+			return rep, fmt.Errorf("engine: implementation %s fails on vertex %d (Fail)", im.Name, v.ID)
+		}
+		rep.Seconds += im.Cost(env.Model, out)
+		rep.Features = rep.Features.Add(out.Features)
+		if out.PeakWorkerBytes > rep.PeakWorkerBytes {
+			rep.PeakWorkerBytes = out.PeakWorkerBytes
+		}
+		// The paper's "too much intermediate data" crash: one operator
+		// spilling more than the per-worker scratch bound.
+		if out.Features.InterBytes > rep.ScratchBytes {
+			rep.ScratchBytes = out.Features.InterBytes
+		}
+		if out.Features.InterBytes > float64(env.Cluster.ScratchPerWorker) {
+			return rep, fmt.Errorf("engine: %s on vertex %d spills %.0f GB per worker, scratch is %d GB (Fail)",
+				im.Name, v.ID, out.Features.InterBytes/(1<<30), env.Cluster.ScratchPerWorker>>30)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := map[float64]string{
+		-1:     "Fail",
+		0:      "0:00",
+		59.4:   "0:59",
+		75:     "1:15",
+		3600:   "1:00:00",
+		5401:   "1:30:01",
+		119.7:  "2:00",
+		7322.2: "2:02:02",
+	}
+	for sec, want := range cases {
+		if got := FmtDur(sec); got != want {
+			t.Errorf("FmtDur(%v) = %q, want %q", sec, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Name:   "Figure X",
+		Title:  "test",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"longer", "1"}, {"x", "22"}},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "Figure X") || !strings.Contains(s, "longer") {
+		t.Fatalf("rendering broken:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 2 rows + title, got %d lines", len(lines))
+	}
+}
+
+// TestFig1Shape checks the motivating example's headline: the optimizer's
+// broadcast plan beats the naive tile plan.
+func TestFig1Shape(t *testing.T) {
+	tb := Fig1()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] == "Fail" || tb.Rows[1][1] == "Fail" {
+		t.Fatalf("motivating example should not Fail: %v", tb.Rows)
+	}
+}
+
+func TestFig4IsTheSizeTable(t *testing.T) {
+	tb := Fig4()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("six inputs expected, got %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "10000x30000" {
+		t.Fatalf("A size set 1 = %q", tb.Rows[0][1])
+	}
+}
+
+// TestFig13SmallBudget exercises the optimizer-runtime figure at scale:
+// the DP must always finish and the brute force must time out beyond the
+// smallest configurations.
+func TestFig13SmallBudget(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs the whole optimizer-runtime sweep")
+	}
+	tb := Fig13(200 * time.Millisecond)
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d, want 3 universes × 4 scales", len(tb.Rows))
+	}
+	failures := 0
+	for _, row := range tb.Rows {
+		for i, cell := range row[2:] {
+			isBrute := i%2 == 1
+			if !isBrute && cell == "Fail" {
+				t.Errorf("DP failed in row %v", row)
+			}
+			if isBrute && cell == "Fail" {
+				failures++
+			}
+		}
+	}
+	if failures < 6 {
+		t.Errorf("brute force timed out only %d times; expected most cells to Fail", failures)
+	}
+}

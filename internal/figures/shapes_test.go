@@ -1,0 +1,171 @@
+package figures
+
+// Shape tests: each reproduced figure must exhibit the paper's headline
+// qualitative result. These run the full paper-scale workloads, so they
+// are skipped under -short.
+
+import (
+	"strings"
+	"testing"
+)
+
+// parse interprets a rendered cell: Fail or M:SS / H:MM:SS → seconds.
+func parse(t *testing.T, cell string) (seconds float64, failed bool) {
+	t.Helper()
+	cell = strings.TrimSpace(cell)
+	if i := strings.IndexByte(cell, ' '); i >= 0 {
+		cell = cell[:i] // drop "(opt time)" suffixes
+	}
+	cell = strings.TrimSuffix(cell, "*")
+	if cell == "Fail" {
+		return 0, true
+	}
+	parts := strings.Split(cell, ":")
+	var s float64
+	for _, p := range parts {
+		var v float64
+		for _, ch := range p {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("unparseable cell %q", cell)
+			}
+			v = v*10 + float64(ch-'0')
+		}
+		s = s*60 + v
+	}
+	return s, false
+}
+
+func TestFig6Ordering(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	tb := Fig6()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		auto, aFail := parse(t, row[1])
+		hand, hFail := parse(t, row[2])
+		tile, tFail := parse(t, row[3])
+		if aFail {
+			t.Fatalf("auto must never fail: row %v", row)
+		}
+		if !hFail && auto > hand {
+			t.Errorf("row %d: auto %v > hand %v", i, auto, hand)
+		}
+		if !tFail && auto > tile {
+			t.Errorf("row %d: auto %v > all-tile %v", i, auto, tile)
+		}
+		// The paper's Fail cell: all-tile dies only at 160K.
+		if i == 3 && !tFail {
+			t.Error("all-tile at 160K must Fail")
+		}
+		if i < 3 && tFail {
+			t.Errorf("all-tile at row %d must run", i)
+		}
+	}
+}
+
+func TestFig7FailPattern(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	tb := Fig7()
+	wantTileFail := map[string]bool{"5": true, "10": true, "20": false, "25": false}
+	var prevAuto float64
+	for _, row := range tb.Rows {
+		auto, aFail := parse(t, row[1])
+		_, tFail := parse(t, row[3])
+		if aFail {
+			t.Fatalf("auto failed at %s workers", row[0])
+		}
+		if tFail != wantTileFail[row[0]] {
+			t.Errorf("all-tile at %s workers: fail=%v, paper says %v", row[0], tFail, wantTileFail[row[0]])
+		}
+		if prevAuto > 0 && auto > prevAuto {
+			t.Errorf("auto time must improve with workers: %v after %v", auto, prevAuto)
+		}
+		prevAuto = auto
+	}
+}
+
+func TestFig8ExpertiseOrdering(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	tb := Fig8()
+	row := tb.Rows[0]
+	auto, _ := parse(t, row[0])
+	u1, _ := parse(t, row[1])
+	u2, _ := parse(t, row[2])
+	u3, _ := parse(t, row[3])
+	if !(auto <= u3 && u3 <= u2 && u2 <= u1) {
+		t.Errorf("expertise ordering violated: auto %v, u3 %v, u2 %v, u1 %v", auto, u3, u2, u1)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(row[1]), "*") || !strings.HasSuffix(strings.TrimSpace(row[2]), "*") {
+		t.Error("users 1 and 2 must carry the crashed-first-attempt asterisk")
+	}
+}
+
+func TestFig11TorchShape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	tb := Fig11()
+	for _, row := range tb.Rows {
+		pc, pcFail := parse(t, row[2])
+		torch, torchFail := parse(t, row[3])
+		if pcFail {
+			t.Fatalf("PC failed at %v workers / %v", row[0], row[1])
+		}
+		if row[1] == "7000" && !torchFail {
+			t.Errorf("PyTorch must fail at layer 7000 (%v workers)", row[0])
+		}
+		if row[1] != "7000" {
+			if torchFail {
+				t.Errorf("PyTorch must run at layer %v (%v workers)", row[1], row[0])
+			}
+			if pc > torch {
+				t.Errorf("%v workers / %v: PC %v slower than PyTorch %v", row[0], row[1], pc, torch)
+			}
+		}
+	}
+}
+
+func TestFig12SparsityShape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	tb := Fig12()
+	wantTorchFail := map[[2]string]bool{
+		{"2", "5000"}: true, {"2", "7000"}: true,
+		{"5", "7000"}: true, {"10", "7000"}: true,
+	}
+	for _, row := range tb.Rows {
+		noSp, f1 := parse(t, row[2])
+		spIn, f2 := parse(t, row[3])
+		dnIn, f3 := parse(t, row[4])
+		_, torchFail := parse(t, row[5])
+		if f1 || f2 || f3 {
+			t.Fatalf("a PC configuration failed in row %v", row)
+		}
+		if !(spIn <= dnIn && dnIn <= noSp) {
+			t.Errorf("row %v: want sparse-in ≤ dense-in ≤ no-sparsity, got %v / %v / %v",
+				row[:2], spIn, dnIn, noSp)
+		}
+		// The paper: sparse plans drop to 20–50% of all-dense; ours land
+		// in 10–50%.
+		if spIn > 0.5*noSp {
+			t.Errorf("row %v: sparsity saves too little (%v vs %v)", row[:2], spIn, noSp)
+		}
+		key := [2]string{row[0], row[1]}
+		if torchFail != wantTorchFail[key] {
+			t.Errorf("PyTorch fail at %v = %v, paper says %v", key, torchFail, wantTorchFail[key])
+		}
+	}
+}

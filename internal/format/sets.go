@@ -1,0 +1,43 @@
+package format
+
+// TileSizes are the nine tile edge lengths of the full format set.
+var TileSizes = []int64{100, 200, 500, 1000, 2000, 4000, 5000, 8000, 10000}
+
+// StripSizes are the three strip extents used for both row and column
+// strips.
+var StripSizes = []int64{100, 1000, 10000}
+
+// All returns the complete set of 19 physical matrix implementations.
+func All() []Format {
+	fs := SingleStripBlock()
+	fs = append(fs, NewCOO(), NewCSRSingle(), NewCSRRowStrip(1000))
+	return fs
+}
+
+// SingleStripBlock returns the 16-format restriction of §8.4: the single
+// format, the nine tile sizes and the six strips.
+func SingleStripBlock() []Format {
+	fs := SingleBlock()
+	for _, s := range StripSizes {
+		fs = append(fs, NewRowStrip(s))
+	}
+	for _, s := range StripSizes {
+		fs = append(fs, NewColStrip(s))
+	}
+	return fs
+}
+
+// SingleBlock returns the 10-format restriction of §8.4: the single
+// format and the nine tile sizes.
+func SingleBlock() []Format {
+	fs := make([]Format, 0, 10)
+	fs = append(fs, NewSingle())
+	for _, s := range TileSizes {
+		fs = append(fs, NewTile(s))
+	}
+	return fs
+}
+
+// DenseOnly returns the 16 dense formats (All minus the sparse layouts);
+// used by the Figure 12 "no sparsity" configuration.
+func DenseOnly() []Format { return SingleStripBlock() }

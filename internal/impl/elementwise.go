@@ -1,0 +1,68 @@
+package impl
+
+import (
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// Exported handles for the elementwise-binary implementations.
+var (
+	AddSingle, SubSingle, HadSingle *Impl
+	AddCoPart, SubCoPart, HadCoPart *Impl
+)
+
+// ewSingle handles Single ∘ Single → Single for Add/Sub/Hadamard.
+func ewSingle(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+	a, b := ins[0], ins[1]
+	if a.Format.Kind != format.Single || b.Format.Kind != format.Single {
+		return Out{}, false
+	}
+	moved := bytesOf(a)
+	if bytesOf(b) < moved {
+		moved = bytesOf(b)
+	}
+	return Out{
+		Format: format.NewSingle(),
+		Features: costmodel.Features{
+			FLOPs:    float64(outShape.Elems()),
+			NetBytes: moved,
+			Tuples:   2,
+		},
+		PeakWorkerBytes: bytesOf(a) + bytesOf(b) + denseOutBytes(outShape),
+	}, true
+}
+
+// ewCoPartition handles chunked dense formats: both inputs must share the
+// same format, so the join on chunk keys is a co-partitioned (pipelined)
+// join — at worst one side is re-shuffled to align partitions.
+func ewCoPartition(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+	a, b := ins[0], ins[1]
+	if a.Format != b.Format || a.Format.IsSparse() || a.Format.Kind == format.Single {
+		return Out{}, false
+	}
+	t := tuplesOf(a)
+	moved := bytesOf(a)
+	if bytesOf(b) < moved {
+		moved = bytesOf(b)
+	}
+	return Out{
+		Format: a.Format,
+		Features: costmodel.Features{
+			FLOPs:    costmodel.ParallelFLOPs(float64(outShape.Elems()), cl.Workers, t),
+			NetBytes: costmodel.ShuffleBytes(moved, cl.Workers),
+			Tuples:   perWorker(float64(2*t), cl.Workers),
+		},
+		PeakWorkerBytes: streamPeak(0, tupleBytes(a), tupleBytes(b)),
+	}, true
+}
+
+func init() {
+	AddSingle = register("add-single", op.Add, ewSingle)
+	SubSingle = register("sub-single", op.Sub, ewSingle)
+	HadSingle = register("hadamard-single", op.Hadamard, ewSingle)
+	AddCoPart = register("add-copart", op.Add, ewCoPartition)
+	SubCoPart = register("sub-copart", op.Sub, ewCoPartition)
+	HadCoPart = register("hadamard-copart", op.Hadamard, ewCoPartition)
+}

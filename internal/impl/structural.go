@@ -1,0 +1,162 @@
+package impl
+
+import (
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// Exported handles for the transpose / reduction / inverse implementations.
+var (
+	TransposeSingleImpl, TransposeTileImpl, TransposeStripImpl, TransposeCSRSingleImpl *Impl
+	RowSumsSingleImpl, RowSumsRowStripImpl                                             *Impl
+	ColSumsSingleImpl, ColSumsColStripImpl                                             *Impl
+	InverseSingleImpl                                                                  *Impl
+)
+
+func init() {
+	TransposeSingleImpl = register("transpose-single", op.Transpose,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a := ins[0]
+			if a.Format.Kind != format.Single {
+				return Out{}, false
+			}
+			return Out{
+				Format: format.NewSingle(),
+				Features: costmodel.Features{
+					FLOPs:  float64(a.Shape.Elems()),
+					Tuples: 1,
+				},
+				PeakWorkerBytes: bytesOf(a) * 2,
+			}, true
+		})
+
+	// Transpose tiles locally and swap their (tileRow, tileCol) keys; a
+	// shuffle re-establishes the hash partitioning on the new keys.
+	TransposeTileImpl = register("transpose-tile", op.Transpose,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a := ins[0]
+			if a.Format.Kind != format.Tile {
+				return Out{}, false
+			}
+			t := tuplesOf(a)
+			return Out{
+				Format: a.Format,
+				Features: costmodel.Features{
+					FLOPs:    costmodel.ParallelFLOPs(float64(a.Shape.Elems()), cl.Workers, t),
+					NetBytes: costmodel.ShuffleBytes(bytesOf(a), cl.Workers),
+					Tuples:   perWorker(float64(t), cl.Workers),
+				},
+				PeakWorkerBytes: streamPeak(0, tupleBytes(a)),
+			}, true
+		})
+
+	// A transposed row strip is a column strip with the same key (and
+	// vice versa), so only the per-tuple payload transpose is needed.
+	TransposeStripImpl = register("transpose-strip", op.Transpose,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a := ins[0]
+			var out format.Format
+			switch a.Format.Kind {
+			case format.RowStrip:
+				out = format.NewColStrip(a.Format.Block)
+			case format.ColStrip:
+				out = format.NewRowStrip(a.Format.Block)
+			default:
+				return Out{}, false
+			}
+			t := tuplesOf(a)
+			return Out{
+				Format: out,
+				Features: costmodel.Features{
+					FLOPs:  costmodel.ParallelFLOPs(float64(a.Shape.Elems()), cl.Workers, t),
+					Tuples: perWorker(float64(t), cl.Workers),
+				},
+				PeakWorkerBytes: streamPeak(0, tupleBytes(a)),
+			}, true
+		})
+
+	TransposeCSRSingleImpl = register("transpose-csr-single", op.Transpose,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a := ins[0]
+			if a.Format.Kind != format.CSRSingle {
+				return Out{}, false
+			}
+			nnz := a.Density * float64(a.Shape.Elems())
+			return Out{
+				Format: format.NewCSRSingle(),
+				Features: costmodel.Features{
+					FLOPs:  2 * nnz, // counting-sort re-encode
+					Tuples: 1,
+				},
+				PeakWorkerBytes: bytesOf(a) * 2,
+			}, true
+		})
+
+	RowSumsSingleImpl = register("rowsums-single", op.RowSums, reduceSingle)
+	ColSumsSingleImpl = register("colsums-single", op.ColSums, reduceSingle)
+
+	// Row sums of a row strip stay within the strip: a per-tuple map
+	// producing (Block×1) strip pieces of the output vector.
+	RowSumsRowStripImpl = register("rowsums-rowstrip", op.RowSums,
+		reduceStrip(format.RowStrip))
+	ColSumsColStripImpl = register("colsums-colstrip", op.ColSums,
+		reduceStrip(format.ColStrip))
+
+	InverseSingleImpl = register("inverse-single", op.Inverse,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a := ins[0]
+			if a.Format.Kind != format.Single {
+				return Out{}, false
+			}
+			n := float64(a.Shape.Rows)
+			return Out{
+				Format: format.NewSingle(),
+				Features: costmodel.Features{
+					FLOPs:  2 * n * n * n, // Gauss–Jordan
+					Tuples: 1,
+				},
+				PeakWorkerBytes: bytesOf(a) * 3,
+			}, true
+		})
+}
+
+func reduceSingle(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+	a := ins[0]
+	if a.Format.Kind != format.Single {
+		return Out{}, false
+	}
+	return Out{
+		Format: format.NewSingle(),
+		Features: costmodel.Features{
+			FLOPs:  float64(a.Shape.Elems()),
+			Tuples: 1,
+		},
+		PeakWorkerBytes: bytesOf(a) + denseOutBytes(outShape),
+	}, true
+}
+
+func reduceStrip(want format.Kind) func(op.Op, []Input, shape.Shape, float64, costmodel.Cluster) (Out, bool) {
+	return func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+		a := ins[0]
+		if a.Format.Kind != want {
+			return Out{}, false
+		}
+		var out format.Format
+		if want == format.RowStrip {
+			out = format.NewRowStrip(a.Format.Block)
+		} else {
+			out = format.NewColStrip(a.Format.Block)
+		}
+		t := tuplesOf(a)
+		return Out{
+			Format: out,
+			Features: costmodel.Features{
+				FLOPs:  costmodel.ParallelFLOPs(float64(a.Shape.Elems()), cl.Workers, t),
+				Tuples: perWorker(float64(t), cl.Workers),
+			},
+			PeakWorkerBytes: streamPeak(0, tupleBytes(a)),
+		}, true
+	}
+}

@@ -1,0 +1,172 @@
+package impl
+
+import (
+	"testing"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// TestImplementationInvariantSweep drives every implementation over a
+// grid of shapes and format combinations and checks the invariants any
+// accepted application must satisfy: non-negative features, a positive
+// peak working set, and an output format that can store the output
+// matrix. This exercises the accept/reject logic of all 38
+// implementations systematically.
+func TestImplementationInvariantSweep(t *testing.T) {
+	cl := costmodel.EC2R5D(7)
+	formats := []format.Format{
+		format.NewSingle(), format.NewTile(100), format.NewTile(1000),
+		format.NewRowStrip(100), format.NewRowStrip(1000),
+		format.NewColStrip(100), format.NewColStrip(1000),
+		format.NewCOO(), format.NewCSRSingle(), format.NewCSRRowStrip(1000),
+	}
+	shapes := []struct{ r, k, c int64 }{
+		{100, 100, 100},
+		{2000, 3000, 1000},
+		{10000, 17, 10000},
+		{1, 5000, 1},
+		{1000, 1, 4000},
+	}
+	densities := []float64{1, 0.01}
+
+	accepted := 0
+	for _, im := range All() {
+		o := op.Op{Kind: im.Op}
+		if im.Op == op.ScalarMul {
+			o.Scalar = 0.5
+		}
+		for _, sh := range shapes {
+			for _, d := range densities {
+				var inShapes []shape.Shape
+				switch {
+				case im.Op == op.MatMul:
+					inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(sh.k, sh.c)}
+				case im.Op == op.AddBias:
+					inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(1, sh.k)}
+				case im.Op == op.Inverse:
+					inShapes = []shape.Shape{shape.New(sh.r, sh.r)}
+				case o.Arity() == 2:
+					inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(sh.r, sh.k)}
+				default:
+					inShapes = []shape.Shape{shape.New(sh.r, sh.k)}
+				}
+				outShape, okShape := o.OutShape(inShapes)
+				if !okShape {
+					continue
+				}
+				dens := make([]float64, len(inShapes))
+				for i := range dens {
+					dens[i] = d
+				}
+				outDen := o.OutDensity(inShapes, dens)
+
+				var tryCombos func(j int, ins []Input)
+				tryCombos = func(j int, ins []Input) {
+					if j == len(inShapes) {
+						out, ok := im.Apply(o, ins, outShape, outDen, cl)
+						if !ok {
+							return
+						}
+						accepted++
+						f := out.Features
+						if f.FLOPs < 0 || f.NetBytes < 0 || f.InterBytes < 0 || f.Tuples < 0 {
+							t.Errorf("%s on %v: negative features %+v", im.Name, ins, f)
+						}
+						if out.PeakWorkerBytes <= 0 {
+							t.Errorf("%s on %v: non-positive peak %v", im.Name, ins, out.PeakWorkerBytes)
+						}
+						if !out.Format.Valid(outShape, outDen, cl.MaxTupleBytes) {
+							t.Errorf("%s on %v: invalid output format %v for %v",
+								im.Name, ins, out.Format, outShape)
+						}
+						if c := im.Cost(costmodel.NewModel(cl), out); c <= 0 {
+							t.Errorf("%s: non-positive cost %v", im.Name, c)
+						}
+						return
+					}
+					for _, fm := range formats {
+						ins[j] = Input{Shape: inShapes[j], Density: d, Format: fm}
+						tryCombos(j+1, ins)
+					}
+				}
+				tryCombos(0, make([]Input, len(inShapes)))
+			}
+		}
+	}
+	if accepted < 200 {
+		t.Fatalf("sweep accepted only %d applications; the grid should exercise far more", accepted)
+	}
+}
+
+// TestEveryImplAcceptsSomething guards against dead registry entries: an
+// implementation nothing can ever invoke would silently rot.
+func TestEveryImplAcceptsSomething(t *testing.T) {
+	cl := costmodel.EC2R5D(7)
+	formats := []format.Format{
+		format.NewSingle(), format.NewTile(100), format.NewTile(1000),
+		format.NewRowStrip(100), format.NewRowStrip(1000),
+		format.NewColStrip(100), format.NewColStrip(1000),
+		format.NewCOO(), format.NewCSRSingle(), format.NewCSRRowStrip(1000),
+	}
+	for _, im := range All() {
+		o := op.Op{Kind: im.Op}
+		if im.Op == op.ScalarMul {
+			o.Scalar = 2
+		}
+		found := false
+		shapesToTry := []struct{ r, k, c int64 }{
+			{2000, 3000, 1000}, {100, 100, 100}, {10000, 2000, 500},
+		}
+	search:
+		for _, sh := range shapesToTry {
+			var inShapes []shape.Shape
+			switch {
+			case im.Op == op.MatMul:
+				inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(sh.k, sh.c)}
+			case im.Op == op.AddBias:
+				inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(1, sh.k)}
+			case im.Op == op.Inverse:
+				inShapes = []shape.Shape{shape.New(sh.r, sh.r)}
+			case o.Arity() == 2:
+				inShapes = []shape.Shape{shape.New(sh.r, sh.k), shape.New(sh.r, sh.k)}
+			default:
+				inShapes = []shape.Shape{shape.New(sh.r, sh.k)}
+			}
+			outShape, okShape := o.OutShape(inShapes)
+			if !okShape {
+				continue
+			}
+			for _, d := range []float64{1, 0.001} {
+				dens := make([]float64, len(inShapes))
+				for i := range dens {
+					dens[i] = d
+				}
+				outDen := o.OutDensity(inShapes, dens)
+				var rec func(j int, ins []Input) bool
+				rec = func(j int, ins []Input) bool {
+					if j == len(inShapes) {
+						_, ok := im.Apply(o, ins, outShape, outDen, cl)
+						return ok
+					}
+					for _, fm := range formats {
+						ins[j] = Input{Shape: inShapes[j], Density: d, Format: fm}
+						if rec(j+1, ins) {
+							return true
+						}
+					}
+					return false
+				}
+				if rec(0, make([]Input, len(inShapes))) {
+					found = true
+					break search
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no input combination in the grid is accepted (dead implementation?)", im.Name)
+		}
+	}
+}

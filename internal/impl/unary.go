@@ -1,0 +1,109 @@
+package impl
+
+import (
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// Exported handles for the map / softmax / bias implementations.
+var (
+	ReLUMap, ReLUGradMap, SigmoidMap, ExpMap, NegMap, ScalarMulMap *Impl
+	SoftmaxSingle, SoftmaxRowStrip                                 *Impl
+	AddBiasSingle, AddBiasRowStripBcast                            *Impl
+)
+
+// mapApply builds a format-preserving per-tuple map. Zero-preserving maps
+// also accept sparse formats (they keep the stored non-zero set).
+func mapApply(flopsPerElem float64, zeroPreserving bool) func(op.Op, []Input, shape.Shape, float64, costmodel.Cluster) (Out, bool) {
+	return func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+		a := ins[0]
+		if a.Format.IsSparse() && !zeroPreserving {
+			return Out{}, false
+		}
+		t := tuplesOf(a)
+		elems := float64(a.Shape.Elems())
+		if a.Format.IsSparse() {
+			elems *= a.Density
+		}
+		return Out{
+			Format: a.Format,
+			Features: costmodel.Features{
+				FLOPs:  costmodel.ParallelFLOPs(flopsPerElem*elems, cl.Workers, t),
+				Tuples: perWorker(float64(t), cl.Workers),
+			},
+			PeakWorkerBytes: streamPeak(0, tupleBytes(a)),
+		}, true
+	}
+}
+
+// softmaxApply requires whole rows inside each tuple, so it is defined on
+// the single and row-strip layouts.
+func softmaxApply(want format.Kind) func(op.Op, []Input, shape.Shape, float64, costmodel.Cluster) (Out, bool) {
+	return func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+		a := ins[0]
+		if a.Format.Kind != want {
+			return Out{}, false
+		}
+		t := tuplesOf(a)
+		return Out{
+			Format: a.Format,
+			Features: costmodel.Features{
+				// exp + shift + normalize ≈ 5 flops per entry.
+				FLOPs:  costmodel.ParallelFLOPs(5*float64(a.Shape.Elems()), cl.Workers, t),
+				Tuples: perWorker(float64(t), cl.Workers),
+			},
+			PeakWorkerBytes: streamPeak(0, tupleBytes(a)),
+		}, true
+	}
+}
+
+func init() {
+	ReLUMap = register("relu-map", op.ReLU, mapApply(1, true))
+	ReLUGradMap = register("relugrad-map", op.ReLUGrad, mapApply(1, true))
+	SigmoidMap = register("sigmoid-map", op.Sigmoid, mapApply(4, false))
+	ExpMap = register("exp-map", op.Exp, mapApply(3, false))
+	NegMap = register("neg-map", op.Neg, mapApply(1, true))
+	ScalarMulMap = register("scalarmul-map", op.ScalarMul, mapApply(1, true))
+
+	SoftmaxSingle = register("softmax-single", op.Softmax, softmaxApply(format.Single))
+	SoftmaxRowStrip = register("softmax-rowstrip", op.Softmax, softmaxApply(format.RowStrip))
+
+	AddBiasSingle = register("addbias-single", op.AddBias,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a, b := ins[0], ins[1]
+			if a.Format.Kind != format.Single || b.Format.Kind != format.Single {
+				return Out{}, false
+			}
+			return Out{
+				Format: format.NewSingle(),
+				Features: costmodel.Features{
+					FLOPs:    float64(outShape.Elems()),
+					NetBytes: bytesOf(b),
+					Tuples:   2,
+				},
+				PeakWorkerBytes: bytesOf(a) + bytesOf(b) + denseOutBytes(outShape),
+			}, true
+		})
+
+	// Row strips keep whole rows, so broadcasting the (single-tuple) bias
+	// vector and mapping per strip needs no joins on matrix content.
+	AddBiasRowStripBcast = register("addbias-rowstrip-bcast", op.AddBias,
+		func(o op.Op, ins []Input, outShape shape.Shape, outDensity float64, cl costmodel.Cluster) (Out, bool) {
+			a, b := ins[0], ins[1]
+			if a.Format.Kind != format.RowStrip || b.Format.Kind != format.Single {
+				return Out{}, false
+			}
+			t := tuplesOf(a)
+			return Out{
+				Format: a.Format,
+				Features: costmodel.Features{
+					FLOPs:    costmodel.ParallelFLOPs(float64(outShape.Elems()), cl.Workers, t),
+					NetBytes: costmodel.BroadcastBytes(bytesOf(b), cl.Workers),
+					Tuples:   perWorker(float64(t), cl.Workers),
+				},
+				PeakWorkerBytes: streamPeak(bytesOf(b), tupleBytes(a)),
+			}, true
+		})
+}

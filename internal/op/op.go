@@ -1,0 +1,157 @@
+// Package op defines the set A of atomic computations (§3): abstract,
+// implementation-free operations over matrices, each with an input arity
+// and a type specification function f : Mⁿ → M ∪ {⊥}. The prototype
+// ships the paper's 16 atomic computations.
+package op
+
+import (
+	"fmt"
+
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+)
+
+// Kind identifies an atomic computation.
+type Kind uint8
+
+const (
+	MatMul Kind = iota
+	Add
+	Sub
+	Hadamard
+	Transpose
+	ScalarMul
+	Neg
+	ReLU
+	ReLUGrad
+	Sigmoid
+	Exp
+	Softmax
+	RowSums
+	ColSums
+	AddBias
+	Inverse
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"matmul", "add", "sub", "hadamard", "transpose", "scalarmul", "neg",
+	"relu", "relugrad", "sigmoid", "exp", "softmax", "rowsums", "colsums",
+	"addbias", "inverse",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Kinds returns all 16 atomic computations.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Op is an atomic computation instance. ScalarMul carries its scalar;
+// all other kinds ignore Scalar.
+type Op struct {
+	Kind   Kind
+	Scalar float64
+}
+
+func (o Op) String() string {
+	if o.Kind == ScalarMul {
+		return fmt.Sprintf("scalarmul(%g)", o.Scalar)
+	}
+	return o.Kind.String()
+}
+
+// Arity returns the number of inputs.
+func (o Op) Arity() int {
+	switch o.Kind {
+	case MatMul, Add, Sub, Hadamard, AddBias:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// OutShape is the type specification function f : Mⁿ → M ∪ {⊥}; the
+// second return is false for ⊥.
+func (o Op) OutShape(ins []shape.Shape) (shape.Shape, bool) {
+	if len(ins) != o.Arity() {
+		return shape.Zero, false
+	}
+	switch o.Kind {
+	case MatMul:
+		return shape.MatMul(ins[0], ins[1])
+	case Add, Sub, Hadamard:
+		return shape.Elementwise(ins[0], ins[1])
+	case Transpose:
+		return ins[0].T(), true
+	case ScalarMul, Neg, ReLU, ReLUGrad, Sigmoid, Exp, Softmax:
+		return ins[0], true
+	case RowSums:
+		return shape.New(ins[0].Rows, 1), true
+	case ColSums:
+		return shape.New(1, ins[0].Cols), true
+	case AddBias:
+		if ins[1].Rows != 1 || ins[1].Cols != ins[0].Cols {
+			return shape.Zero, false
+		}
+		return ins[0], true
+	case Inverse:
+		if !ins[0].IsSquare() {
+			return shape.Zero, false
+		}
+		return ins[0], true
+	}
+	return shape.Zero, false
+}
+
+// OutDensity propagates the non-zero fraction through the computation
+// under the standard independence assumptions (§7 notes the paper's
+// prototype tracks density for cost prediction; intermediate-chain
+// estimation via MNC sketches is future work there and here).
+func (o Op) OutDensity(ins []shape.Shape, densities []float64) float64 {
+	clamp := func(d float64) float64 {
+		if d < 0 {
+			return 0
+		}
+		if d > 1 {
+			return 1
+		}
+		return d
+	}
+	switch o.Kind {
+	case MatMul:
+		return sparse.EstimateMatMulDensity(densities[0], densities[1], ins[0].Cols)
+	case Add, Sub:
+		return clamp(densities[0] + densities[1])
+	case Hadamard:
+		return clamp(densities[0] * densities[1])
+	case Transpose, ReLU, ReLUGrad, Neg:
+		return clamp(densities[0])
+	case ScalarMul:
+		if o.Scalar == 0 {
+			return 0
+		}
+		return clamp(densities[0])
+	case Sigmoid, Exp, Softmax, Inverse:
+		return 1 // these produce (numerically) dense output
+	case RowSums, ColSums:
+		// A sum entry is non-zero unless its whole slab is zero.
+		k := ins[0].Cols
+		if o.Kind == ColSums {
+			k = ins[0].Rows
+		}
+		return clamp(densities[0] * float64(k))
+	case AddBias:
+		return clamp(densities[0] + densities[1])
+	}
+	return 1
+}

@@ -1,0 +1,102 @@
+package op
+
+import (
+	"testing"
+
+	"matopt/internal/shape"
+)
+
+func TestSixteenKinds(t *testing.T) {
+	if n := len(Kinds()); n != 16 {
+		t.Fatalf("Kinds() has %d atomic computations, want 16 (paper §8.1)", n)
+	}
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k)
+		}
+		seen[k.String()] = true
+	}
+}
+
+func TestArity(t *testing.T) {
+	binary := map[Kind]bool{MatMul: true, Add: true, Sub: true, Hadamard: true, AddBias: true}
+	for _, k := range Kinds() {
+		want := 1
+		if binary[k] {
+			want = 2
+		}
+		if got := (Op{Kind: k}).Arity(); got != want {
+			t.Errorf("%v arity = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestOutShape(t *testing.T) {
+	s53 := shape.New(5, 3)
+	s34 := shape.New(3, 4)
+	cases := []struct {
+		o    Op
+		ins  []shape.Shape
+		want shape.Shape
+		ok   bool
+	}{
+		{Op{Kind: MatMul}, []shape.Shape{s53, s34}, shape.New(5, 4), true},
+		{Op{Kind: MatMul}, []shape.Shape{s53, s53}, shape.Zero, false},
+		{Op{Kind: Add}, []shape.Shape{s53, s53}, s53, true},
+		{Op{Kind: Add}, []shape.Shape{s53, s34}, shape.Zero, false},
+		{Op{Kind: Transpose}, []shape.Shape{s53}, shape.New(3, 5), true},
+		{Op{Kind: ReLU}, []shape.Shape{s53}, s53, true},
+		{Op{Kind: Softmax}, []shape.Shape{s53}, s53, true},
+		{Op{Kind: RowSums}, []shape.Shape{s53}, shape.New(5, 1), true},
+		{Op{Kind: ColSums}, []shape.Shape{s53}, shape.New(1, 3), true},
+		{Op{Kind: AddBias}, []shape.Shape{s53, shape.New(1, 3)}, s53, true},
+		{Op{Kind: AddBias}, []shape.Shape{s53, shape.New(1, 4)}, shape.Zero, false},
+		{Op{Kind: AddBias}, []shape.Shape{s53, shape.New(3, 1)}, shape.Zero, false},
+		{Op{Kind: Inverse}, []shape.Shape{shape.New(4, 4)}, shape.New(4, 4), true},
+		{Op{Kind: Inverse}, []shape.Shape{s53}, shape.Zero, false},
+		{Op{Kind: MatMul}, []shape.Shape{s53}, shape.Zero, false}, // wrong arity
+	}
+	for _, c := range cases {
+		got, ok := c.o.OutShape(c.ins)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%v.OutShape(%v) = %v,%v want %v,%v", c.o, c.ins, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestOutDensity(t *testing.T) {
+	s := shape.New(100, 100)
+	dense := []float64{1, 1}
+	if d := (Op{Kind: MatMul}).OutDensity([]shape.Shape{s, s}, dense); d != 1 {
+		t.Errorf("dense matmul density = %v", d)
+	}
+	sp := (Op{Kind: MatMul}).OutDensity([]shape.Shape{s, s}, []float64{1e-4, 1e-4})
+	if sp <= 0 || sp > 1e-4*1e-4*100*2 {
+		t.Errorf("sparse matmul density = %v, want ≈ da·db·k = 1e-6", sp)
+	}
+	if d := (Op{Kind: Add}).OutDensity([]shape.Shape{s, s}, []float64{0.7, 0.8}); d != 1 {
+		t.Errorf("add density clamps to 1, got %v", d)
+	}
+	if d := (Op{Kind: Hadamard}).OutDensity([]shape.Shape{s, s}, []float64{0.5, 0.5}); d != 0.25 {
+		t.Errorf("hadamard density = %v", d)
+	}
+	if d := (Op{Kind: ScalarMul, Scalar: 0}).OutDensity([]shape.Shape{s}, []float64{0.5}); d != 0 {
+		t.Errorf("scalarmul by 0 density = %v", d)
+	}
+	if d := (Op{Kind: Sigmoid}).OutDensity([]shape.Shape{s}, []float64{0.1}); d != 1 {
+		t.Errorf("sigmoid output must be dense, got %v", d)
+	}
+	if d := (Op{Kind: Transpose}).OutDensity([]shape.Shape{s}, []float64{0.3}); d != 0.3 {
+		t.Errorf("transpose density = %v", d)
+	}
+}
+
+func TestScalarMulString(t *testing.T) {
+	if got := (Op{Kind: ScalarMul, Scalar: 2.5}).String(); got != "scalarmul(2.5)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Op{Kind: MatMul}).String(); got != "matmul" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package shape defines matrix types in the sense of the paper: a matrix
+// type is a pair (d, b) where d is the dimensionality and b the extent
+// along each dimension. The prototype, like the paper's, works with
+// vectors (d = 1) and classical matrices (d = 2); vectors are carried as
+// degenerate matrices with one row or one column.
+package shape
+
+import "fmt"
+
+// Shape is a matrix type. Rows and Cols are the logical extents; a row
+// vector has Rows == 1, a column vector has Cols == 1.
+type Shape struct {
+	Rows, Cols int64
+}
+
+// New returns the shape of an r-by-c matrix. It panics if either extent
+// is not positive; shapes are constructed from validated workload
+// descriptions, so a bad extent is a programming error.
+func New(r, c int64) Shape {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("shape: invalid extents %dx%d", r, c))
+	}
+	return Shape{Rows: r, Cols: c}
+}
+
+// Elems returns the number of logical entries, Rows*Cols.
+func (s Shape) Elems() int64 { return s.Rows * s.Cols }
+
+// Bytes returns the dense storage size in bytes (float64 entries).
+func (s Shape) Bytes() int64 { return s.Elems() * 8 }
+
+// T returns the transposed shape.
+func (s Shape) T() Shape { return Shape{Rows: s.Cols, Cols: s.Rows} }
+
+// IsVector reports whether the shape is a row or column vector.
+func (s Shape) IsVector() bool { return s.Rows == 1 || s.Cols == 1 }
+
+// IsSquare reports whether the shape is square.
+func (s Shape) IsSquare() bool { return s.Rows == s.Cols }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.Rows, s.Cols) }
+
+// Zero is the absent shape, used as the ⊥ marker alongside ok flags.
+var Zero Shape
+
+// CanMatMul reports whether a×b is defined.
+func CanMatMul(a, b Shape) bool { return a.Cols == b.Rows }
+
+// MatMul returns the shape of a×b, or ⊥ (ok=false) if undefined.
+func MatMul(a, b Shape) (Shape, bool) {
+	if !CanMatMul(a, b) {
+		return Zero, false
+	}
+	return Shape{Rows: a.Rows, Cols: b.Cols}, true
+}
+
+// Elementwise returns the common shape of an elementwise binary op, or
+// ⊥ (ok=false) if the operand shapes differ.
+func Elementwise(a, b Shape) (Shape, bool) {
+	if a != b {
+		return Zero, false
+	}
+	return a, true
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("shape: CeilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,115 @@
+package shape
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	s := New(3, 7)
+	if s.Rows != 3 || s.Cols != 7 {
+		t.Fatalf("New(3,7) = %v", s)
+	}
+	if s.Elems() != 21 {
+		t.Errorf("Elems = %d, want 21", s.Elems())
+	}
+	if s.Bytes() != 168 {
+		t.Errorf("Bytes = %d, want 168", s.Bytes())
+	}
+	if s.T() != New(7, 3) {
+		t.Errorf("T = %v", s.T())
+	}
+	if s.IsVector() || s.IsSquare() {
+		t.Errorf("3x7 should be neither vector nor square")
+	}
+	if !New(1, 9).IsVector() || !New(9, 1).IsVector() {
+		t.Errorf("1x9 and 9x1 should be vectors")
+	}
+	if !New(4, 4).IsSquare() {
+		t.Errorf("4x4 should be square")
+	}
+	if got := s.String(); got != "3x7" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	for _, c := range [][2]int64{{0, 1}, {1, 0}, {-1, 5}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", c[0], c[1])
+				}
+			}()
+			New(c[0], c[1])
+		}()
+	}
+}
+
+func TestMatMulShape(t *testing.T) {
+	out, ok := MatMul(New(5, 10), New(10, 5))
+	if !ok || out != New(5, 5) {
+		t.Fatalf("MatMul(5x10, 10x5) = %v, %v", out, ok)
+	}
+	if _, ok := MatMul(New(5, 10), New(9, 5)); ok {
+		t.Fatal("MatMul with mismatched inner dim should fail")
+	}
+}
+
+func TestElementwiseShape(t *testing.T) {
+	if out, ok := Elementwise(New(2, 3), New(2, 3)); !ok || out != New(2, 3) {
+		t.Fatalf("Elementwise same shapes = %v, %v", out, ok)
+	}
+	if _, ok := Elementwise(New(2, 3), New(3, 2)); ok {
+		t.Fatal("Elementwise mismatched shapes should fail")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 3, 4}, {9, 3, 3}, {1, 1000, 1}, {0, 5, 0}, {1000, 1000, 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CeilDiv by 0 should panic")
+			}
+		}()
+		CeilDiv(1, 0)
+	}()
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(r, c uint16) bool {
+		s := New(int64(r)+1, int64(c)+1)
+		return s.T().T() == s && s.T().Elems() == s.Elems()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulShapeAssociativityProperty(t *testing.T) {
+	// (a×b)×c and a×(b×c) must agree on shape whenever both are defined.
+	f := func(r1, r2, r3, r4 uint8) bool {
+		a := New(int64(r1)+1, int64(r2)+1)
+		b := New(int64(r2)+1, int64(r3)+1)
+		c := New(int64(r3)+1, int64(r4)+1)
+		ab, ok1 := MatMul(a, b)
+		bc, ok2 := MatMul(b, c)
+		if !ok1 || !ok2 {
+			return false
+		}
+		l, ok3 := MatMul(ab, c)
+		r, ok4 := MatMul(a, bc)
+		return ok3 && ok4 && l == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"fmt"
+
+	"matopt/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix: RowPtr has Rows+1 entries, and
+// ColIdx/Val hold the column indices and values of each row's non-zeros
+// in ascending column order.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewCSR validates and wraps raw CSR arrays.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: invalid dims %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: RowPtr length %d, want %d", len(rowPtr), rows+1)
+	}
+	if len(colIdx) != len(val) || rowPtr[rows] != len(val) {
+		return nil, fmt.Errorf("sparse: inconsistent CSR arrays")
+	}
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("sparse: RowPtr[0] must be 0")
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			if colIdx[k] < 0 || colIdx[k] >= cols {
+				return nil, fmt.Errorf("sparse: column %d outside %d cols", colIdx[k], cols)
+			}
+			if k > rowPtr[i] && colIdx[k] <= colIdx[k-1] {
+				return nil, fmt.Errorf("sparse: columns not strictly ascending in row %d", i)
+			}
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns the non-zero fraction.
+func (m *CSR) Density() float64 {
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// Bytes returns the CSR storage size: 8 bytes per row pointer, 4 per
+// column index, 8 per value — the sizes the cost model charges.
+func (m *CSR) Bytes() int64 { return int64(len(m.RowPtr))*8 + int64(m.NNZ())*12 }
+
+// FromCOO converts a COO matrix (already sorted/coalesced) to CSR.
+func FromCOO(c *COO) *CSR {
+	rowPtr := make([]int, c.Rows+1)
+	for _, t := range c.Triples {
+		rowPtr[t.Row+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, c.NNZ())
+	val := make([]float64, c.NNZ())
+	for i, t := range c.Triples { // triples are (row, col)-sorted
+		colIdx[i] = t.Col
+		val[i] = t.Val
+	}
+	return &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// ToCOO converts back to triples.
+func (m *CSR) ToCOO() *COO {
+	ts := make([]Triple, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			ts = append(ts, Triple{Row: i, Col: m.ColIdx[k], Val: m.Val[k]})
+		}
+	}
+	out, err := NewCOO(m.Rows, m.Cols, ts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// FromDense extracts the non-zeros of d into CSR form.
+func FromDense(d *tensor.Dense) *CSR { return FromCOO(FromDenseCOO(d)) }
+
+// ToDense materializes the matrix densely.
+func (m *CSR) ToDense() *tensor.Dense {
+	d := tensor.NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Data[i*m.Cols+m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// RowSlice returns the CSR sub-matrix of rows [r0, r1).
+func (m *CSR) RowSlice(r0, r1 int) *CSR {
+	if r0 < 0 || r1 > m.Rows || r0 >= r1 {
+		panic(fmt.Sprintf("sparse: bad row slice [%d:%d) of %d rows", r0, r1, m.Rows))
+	}
+	base := m.RowPtr[r0]
+	rowPtr := make([]int, r1-r0+1)
+	for i := range rowPtr {
+		rowPtr[i] = m.RowPtr[r0+i] - base
+	}
+	return &CSR{
+		Rows:   r1 - r0,
+		Cols:   m.Cols,
+		RowPtr: rowPtr,
+		ColIdx: m.ColIdx[base:m.RowPtr[r1]],
+		Val:    m.Val[base:m.RowPtr[r1]],
+	}
+}

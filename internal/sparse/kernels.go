@@ -1,0 +1,124 @@
+package sparse
+
+import (
+	"fmt"
+
+	"matopt/internal/tensor"
+)
+
+// MulDense returns the dense product a×b for CSR a and dense b. The
+// output of a sparse-data × dense-model multiply is dense (§7 of the
+// paper), so the result is materialized densely.
+func (m *CSR) MulDense(b *tensor.Dense) *tensor.Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MulDense %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			av := m.Val[k]
+			brow := b.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// TransposeMulDense returns aᵀ×b for CSR a and dense b, without
+// materializing aᵀ — the access pattern scatter-adds each sparse row.
+func (m *CSR) TransposeMulDense(b *tensor.Dense) *tensor.Dense {
+	if m.Rows != b.Rows {
+		panic(fmt.Sprintf("sparse: TransposeMulDense %dx%d ᵀ× %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.NewDense(m.Cols, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			av := m.Val[k]
+			orow := out.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the sparse product a×b for two CSR matrices, using the
+// classical Gustavson row-merge algorithm.
+func (m *CSR) Mul(b *CSR) *CSR {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: Mul %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	acc := make(map[int]float64)
+	rowPtr := make([]int, m.Rows+1)
+	var colIdx []int
+	var val []float64
+	cols := make([]int, 0, 64)
+	for i := 0; i < m.Rows; i++ {
+		for k := range acc {
+			delete(acc, k)
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			av := m.Val[k]
+			r := m.ColIdx[k]
+			for kb := b.RowPtr[r]; kb < b.RowPtr[r+1]; kb++ {
+				acc[b.ColIdx[kb]] += av * b.Val[kb]
+			}
+		}
+		cols = cols[:0]
+		for c, v := range acc {
+			if v != 0 {
+				cols = append(cols, c)
+			}
+		}
+		insertionSort(cols)
+		for _, c := range cols {
+			colIdx = append(colIdx, c)
+			val = append(val, acc[c])
+		}
+		rowPtr[i+1] = len(val)
+	}
+	return &CSR{Rows: m.Rows, Cols: b.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// EstimateMatMulDensity predicts the density of a×b from input densities
+// and the inner dimension, under the standard independence assumption:
+// P(out non-zero) = 1 − (1 − da·db)^k. This is the simple estimator the
+// cost model uses in lieu of the MNC sketches the paper defers to future
+// work.
+func EstimateMatMulDensity(da, db float64, k int64) float64 {
+	if da <= 0 || db <= 0 {
+		return 0
+	}
+	if da >= 1 && db >= 1 {
+		return 1
+	}
+	p := da * db
+	// 1 − (1−p)^k without float underflow for tiny p·k.
+	if pk := p * float64(k); pk < 1e-6 {
+		return pk
+	}
+	q := 1.0
+	// Exponentiation by squaring on (1−p)^k.
+	base, e := 1-p, k
+	for e > 0 {
+		if e&1 == 1 {
+			q *= base
+		}
+		base *= base
+		e >>= 1
+	}
+	return 1 - q
+}

@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"matopt/internal/tensor"
+)
+
+func TestSketchExtraction(t *testing.T) {
+	m := tensor.FromRows([][]float64{
+		{1, 0, 2},
+		{0, 0, 0},
+		{3, 4, 0},
+	})
+	s := SketchDense(m)
+	if s.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	wantRows := []int64{2, 0, 2}
+	wantCols := []int64{2, 1, 1}
+	for i, w := range wantRows {
+		if s.RowCounts[i] != w {
+			t.Errorf("RowCounts[%d] = %d, want %d", i, s.RowCounts[i], w)
+		}
+	}
+	for j, w := range wantCols {
+		if s.ColCounts[j] != w {
+			t.Errorf("ColCounts[%d] = %d, want %d", j, s.ColCounts[j], w)
+		}
+	}
+	// CSR extraction must agree with dense extraction.
+	sc := SketchCSR(FromDense(m))
+	for i := range s.RowCounts {
+		if sc.RowCounts[i] != s.RowCounts[i] {
+			t.Errorf("CSR row sketch disagrees at %d", i)
+		}
+	}
+	if math.Abs(s.Density()-4.0/9) > 1e-12 {
+		t.Errorf("Density = %v", s.Density())
+	}
+}
+
+func TestSketchTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.RandSparse(rng, 13, 29, 0.2)
+	s := SketchDense(m).Transpose()
+	want := SketchDense(tensor.Transpose(m))
+	for i := range want.RowCounts {
+		if s.RowCounts[i] != want.RowCounts[i] {
+			t.Fatalf("transposed row counts disagree at %d", i)
+		}
+	}
+}
+
+// The headline accuracy claim from §7 / Sommer: relative error on a
+// product of uniform sparse matrices should be close to 1.
+func TestEstimateMatMulAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.RandSparse(rng, 150, 120, 0.05)
+	b := tensor.RandSparse(rng, 120, 140, 0.08)
+	est, err := EstimateMatMul(SketchDense(a), SketchDense(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := SketchDense(tensor.MatMul(a, b))
+	re := RelativeError(float64(est.NNZ()), float64(actual.NNZ()))
+	if re > 1.15 {
+		t.Errorf("uniform product relative error %.3f, want ≤ 1.15 (est %d, actual %d)",
+			re, est.NNZ(), actual.NNZ())
+	}
+}
+
+// Structure exploitation: a matrix whose non-zeros concentrate in a few
+// rows must yield a product estimate far better than the plain density
+// product, and the row sketch must reflect the concentration.
+func TestEstimateMatMulExploitsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.NewDense(100, 100)
+	// All of a's mass in its first 10 rows.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 100; j++ {
+			if rng.Float64() < 0.5 {
+				a.Set(i, j, 1)
+			}
+		}
+	}
+	b := tensor.RandSparse(rng, 100, 100, 0.1)
+	est, err := EstimateMatMul(SketchDense(a), SketchDense(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := SketchDense(tensor.MatMul(a, b))
+	// The product's non-zeros also live in the first 10 rows; the
+	// estimated row counts must be (near) zero elsewhere.
+	var estTail, actTail int64
+	for i := 10; i < 100; i++ {
+		estTail += est.RowCounts[i]
+		actTail += actual.RowCounts[i]
+	}
+	if actTail != 0 {
+		t.Fatalf("test setup broken: actual tail %d", actTail)
+	}
+	if estTail != 0 {
+		t.Errorf("estimate puts %d non-zeros in empty rows", estTail)
+	}
+	re := RelativeError(float64(est.NNZ()), float64(actual.NNZ()))
+	if re > 1.3 {
+		t.Errorf("structured product relative error %.3f (est %d, actual %d)", re, est.NNZ(), actual.NNZ())
+	}
+}
+
+func TestEstimateAddAndHadamard(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := tensor.RandSparse(rng, 200, 150, 0.1)
+	b := tensor.RandSparse(rng, 200, 150, 0.2)
+	add, err := EstimateAdd(SketchDense(a), SketchDense(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualAdd := SketchDense(tensor.Add(a, b))
+	if re := RelativeError(float64(add.NNZ()), float64(actualAdd.NNZ())); re > 1.1 {
+		t.Errorf("add relative error %.3f", re)
+	}
+	had, err := EstimateHadamard(SketchDense(a), SketchDense(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualHad := SketchDense(tensor.Hadamard(a, b))
+	if re := RelativeError(float64(had.NNZ()), float64(actualHad.NNZ())); re > 1.3 {
+		t.Errorf("hadamard relative error %.3f (est %d, actual %d)", re, had.NNZ(), actualHad.NNZ())
+	}
+}
+
+func TestEstimatorsRejectShapeMismatch(t *testing.T) {
+	a := UniformSketch(3, 4, 0.5)
+	b := UniformSketch(5, 6, 0.5)
+	if _, err := EstimateMatMul(a, b); err == nil {
+		t.Error("matmul sketch mismatch accepted")
+	}
+	if _, err := EstimateAdd(a, b); err == nil {
+		t.Error("add sketch mismatch accepted")
+	}
+	if _, err := EstimateHadamard(a, b); err == nil {
+		t.Error("hadamard sketch mismatch accepted")
+	}
+}
+
+func TestUniformSketch(t *testing.T) {
+	s := UniformSketch(10, 20, 0.1)
+	if s.RowCounts[0] != 2 || s.ColCounts[0] != 1 {
+		t.Errorf("uniform sketch counts = %d, %d", s.RowCounts[0], s.ColCounts[0])
+	}
+	if math.Abs(s.Density()-0.1) > 0.01 {
+		t.Errorf("uniform sketch density %v", s.Density())
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(10, 10) != 1 {
+		t.Error("perfect estimate must be 1.0")
+	}
+	if RelativeError(20, 10) != 2 || RelativeError(10, 20) != 2 {
+		t.Error("relative error must be symmetric")
+	}
+	if !math.IsInf(RelativeError(0, 5), 1) {
+		t.Error("zero-vs-nonzero must be +Inf")
+	}
+	if RelativeError(0, 0) != 1 {
+		t.Error("zero-vs-zero is perfect")
+	}
+}
+
+func TestEstimateMatMulEmptyOperand(t *testing.T) {
+	a := UniformSketch(10, 10, 0)
+	b := UniformSketch(10, 10, 0.5)
+	out, err := EstimateMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NNZ() != 0 {
+		t.Errorf("empty × anything = %d nnz", out.NNZ())
+	}
+}

@@ -1,0 +1,154 @@
+package tensor
+
+import "fmt"
+
+// matmul block size; 64 doubles keeps three tiles well inside L1/L2.
+const mmBlock = 64
+
+// MatMul returns a×b using a blocked i-k-j kernel.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	MatMulAdd(out, a, b)
+	return out
+}
+
+// MatMulAdd computes dst += a×b. dst must be a.Rows × b.Cols.
+func MatMulAdd(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulAdd dimension mismatch")
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for i0 := 0; i0 < n; i0 += mmBlock {
+		i1 := min(i0+mmBlock, n)
+		for k0 := 0; k0 < k; k0 += mmBlock {
+			k1 := min(k0+mmBlock, k)
+			for j0 := 0; j0 < m; j0 += mmBlock {
+				j1 := min(j0+mmBlock, m)
+				for i := i0; i < i1; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					drow := dst.Data[i*m : (i+1)*m]
+					for kk := k0; kk < k1; kk++ {
+						av := arow[kk]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[kk*m : (kk+1)*m]
+						for j := j0; j < j1; j++ {
+							drow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Add returns a+b.
+func Add(a, b *Dense) *Dense { return zipNew(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a−b.
+func Sub(a, b *Dense) *Dense { return zipNew(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Hadamard returns the entrywise product a∘b.
+func Hadamard(a, b *Dense) *Dense {
+	return zipNew(a, b, func(x, y float64) float64 { return x * y })
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: AddInPlace dimension mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+func zipNew(a, b *Dense, f func(x, y float64) float64) *Dense {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: elementwise %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Transpose returns aᵀ using a cache-blocked swap.
+func Transpose(a *Dense) *Dense {
+	out := NewDense(a.Cols, a.Rows)
+	const bs = 32
+	for i0 := 0; i0 < a.Rows; i0 += bs {
+		i1 := min(i0+bs, a.Rows)
+		for j0 := 0; j0 < a.Cols; j0 += bs {
+			j1 := min(j0+bs, a.Cols)
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Dense, s float64) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// RowSums returns the column vector of row sums (Rows×1).
+func RowSums(a *Dense) *Dense {
+	out := NewDense(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for _, v := range a.Data[i*a.Cols : (i+1)*a.Cols] {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// ColSums returns the row vector of column sums (1×Cols).
+func ColSums(a *Dense) *Dense {
+	out := NewDense(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddBias returns a with the 1×Cols row vector bias added to every row.
+func AddBias(a, bias *Dense) *Dense {
+	if bias.Rows != 1 || bias.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddBias bias %dx%d on %dx%d", bias.Rows, bias.Cols, a.Rows, a.Cols))
+	}
+	out := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			orow[j] = v + bias.Data[j]
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import "math"
+
+// Apply returns f mapped over every entry.
+func Apply(a *Dense, f func(float64) float64) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) entrywise.
+func ReLU(a *Dense) *Dense {
+	return Apply(a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ReLUGrad returns the derivative of ReLU: 1 where x > 0, else 0.
+func ReLUGrad(a *Dense) *Dense {
+	return Apply(a, func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Sigmoid returns 1/(1+e^{−x}) entrywise.
+func Sigmoid(a *Dense) *Dense {
+	return Apply(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Exp returns e^x entrywise.
+func Exp(a *Dense) *Dense { return Apply(a, math.Exp) }
+
+// Neg returns −a.
+func Neg(a *Dense) *Dense { return Apply(a, func(x float64) float64 { return -x }) }
+
+// Softmax returns the row-wise softmax with the usual max-shift for
+// numerical stability.
+func Softmax(a *Dense) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}

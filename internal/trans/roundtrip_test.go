@@ -1,0 +1,80 @@
+package trans
+
+import (
+	"testing"
+
+	"matopt/internal/costmodel"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+)
+
+// TestEveryTargetReachableFromSomeFormat checks no transformation is
+// dead: each non-identity re-layout must accept at least one (shape,
+// source format) in a representative grid.
+func TestEveryTargetReachableFromSomeFormat(t *testing.T) {
+	cl := costmodel.EC2R5D(10)
+	shapes := []shape.Shape{
+		shape.New(100, 100),
+		shape.New(5000, 5000),
+		shape.New(20000, 20000),
+		shape.New(10000, 17),
+		shape.New(10000, 20000), // wide enough for the 10000-column strips
+	}
+	sources := format.All()
+	for _, tr := range All() {
+		if tr.Identity() {
+			continue
+		}
+		ok := false
+	outer:
+		for _, s := range shapes {
+			for _, d := range []float64{1, 1e-3} {
+				for _, from := range sources {
+					if !from.Valid(s, d, cl.MaxTupleBytes) {
+						continue
+					}
+					if _, accepted := tr.Apply(s, d, from, cl); accepted {
+						ok = true
+						break outer
+					}
+				}
+			}
+		}
+		if !ok {
+			t.Errorf("%s: no source format in the grid can use it (dead transformation?)", tr.Name)
+		}
+	}
+}
+
+// TestApplyFeatureInvariants: any accepted transformation must report
+// non-negative features and a positive peak.
+func TestApplyFeatureInvariants(t *testing.T) {
+	cl := costmodel.EC2R5D(10)
+	s := shape.New(12000, 9000)
+	for _, tr := range All() {
+		if tr.Identity() {
+			continue
+		}
+		for _, from := range format.All() {
+			for _, d := range []float64{1, 0.01} {
+				if !from.Valid(s, d, cl.MaxTupleBytes) {
+					continue
+				}
+				out, ok := tr.Apply(s, d, from, cl)
+				if !ok {
+					continue
+				}
+				f := out.Features
+				if f.FLOPs < 0 || f.NetBytes < 0 || f.InterBytes < 0 || f.Tuples < 0 {
+					t.Errorf("%s from %v: negative features %+v", tr.Name, from, f)
+				}
+				if out.PeakWorkerBytes <= 0 {
+					t.Errorf("%s from %v: peak %v", tr.Name, from, out.PeakWorkerBytes)
+				}
+				if out.Format != tr.Target() {
+					t.Errorf("%s: produced %v, target %v", tr.Name, out.Format, tr.Target())
+				}
+			}
+		}
+	}
+}

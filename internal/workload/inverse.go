@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+)
+
+// BlockInverseConfig sizes the Figure 9 two-level block-wise inverse:
+// the outer matrix [[A, B], [C, D]] has Outer×Outer blocks, and A itself
+// is inverted block-wise with an Inner1/Inner2 split (Inner1+Inner2 =
+// Outer). The paper uses Outer = 10K, Inner1 = 2K, Inner2 = 8K.
+type BlockInverseConfig struct {
+	Outer, Inner1, Inner2 int64
+	// BlockFormat stores the input blocks.
+	BlockFormat format.Format
+}
+
+// PaperBlockInverse returns the §8.2 configuration.
+func PaperBlockInverse() BlockInverseConfig {
+	return BlockInverseConfig{Outer: 10000, Inner1: 2000, Inner2: 8000, BlockFormat: format.NewSingle()}
+}
+
+// blockInv adds the Graybill block-inverse identity over four blocks
+//
+//	[[a, b], [c, d]]⁻¹ = [[ā, b̄], [c̄, d̄]]
+//
+// with ā = a⁻¹ + a⁻¹ b S⁻¹ c a⁻¹, b̄ = −a⁻¹ b S⁻¹, c̄ = −S⁻¹ c a⁻¹,
+// d̄ = S⁻¹ and S = d − c a⁻¹ b, where a's inverse is supplied by aInv
+// applied to the block product helpers (so the identity can nest).
+type blockParts struct {
+	a11, a12, a21, a22 *core.Vertex // the four result blocks
+}
+
+func blockInv(g *core.Graph, a, b, c, d *core.Vertex,
+	invA func(x *core.Vertex) *core.Vertex) blockParts {
+	mm := op.Op{Kind: op.MatMul}
+	ainv := invA(a)
+	cainv := g.MustApply(mm, c, ainv)   // c·a⁻¹
+	ainvb := g.MustApply(mm, ainv, b)   // a⁻¹·b
+	cainvb := g.MustApply(mm, cainv, b) // c·a⁻¹·b
+	s := g.MustApply(op.Op{Kind: op.Sub}, d, cainvb)
+	sinv := g.MustApply(op.Op{Kind: op.Inverse}, s)
+	ainvbSinv := g.MustApply(mm, ainvb, sinv)
+	corr := g.MustApply(mm, ainvbSinv, cainv) // a⁻¹bS⁻¹ca⁻¹
+	return blockParts{
+		a11: g.MustApply(op.Op{Kind: op.Add}, ainv, corr),
+		a12: g.MustApply(op.Op{Kind: op.Neg}, ainvbSinv),
+		a21: g.MustApply(op.Op{Kind: op.Neg}, g.MustApply(mm, sinv, cainv)),
+		a22: sinv,
+	}
+}
+
+// BlockInverse2 builds the Figure 9 computation: the Graybill identity
+// applied at the outer level over 10K blocks, with A⁻¹ computed by a
+// nested application of the same identity over A's 2K/8K blocks. The
+// nesting makes the products against A⁻¹ block-decomposed expressions,
+// so the graph has heavy sharing (a DAG, not a tree). The four outer
+// result blocks are the sinks.
+func BlockInverse2(cfg BlockInverseConfig) (*core.Graph, error) {
+	if cfg.Inner1+cfg.Inner2 != cfg.Outer {
+		return nil, fmt.Errorf("workload: inner blocks %d+%d must sum to outer %d",
+			cfg.Inner1, cfg.Inner2, cfg.Outer)
+	}
+	g := core.NewGraph()
+	n, n1, n2 := cfg.Outer, cfg.Inner1, cfg.Inner2
+	in := func(name string, r, c int64) *core.Vertex {
+		return g.Input(name, shape.New(r, c), 1, cfg.BlockFormat)
+	}
+	// A's four inner blocks.
+	a11 := in("A11", n1, n1)
+	a12 := in("A12", n1, n2)
+	a21 := in("A21", n2, n1)
+	a22 := in("A22", n2, n2)
+	// The outer B, C, D split along A's block boundary where they meet A.
+	b1 := in("B1", n1, n) // top rows of B
+	b2 := in("B2", n2, n)
+	c1 := in("C1", n, n1) // left cols of C
+	c2 := in("C2", n, n2)
+	dd := in("D", n, n)
+
+	mm := op.Op{Kind: op.MatMul}
+	inv := func(x *core.Vertex) *core.Vertex { return g.MustApply(op.Op{Kind: op.Inverse}, x) }
+
+	// Inner level: A⁻¹ as four blocks via the identity itself.
+	ai := blockInv(g, a11, a12, a21, a22, inv)
+
+	// Outer level with A⁻¹ in block form:
+	//   C·A⁻¹ = [c1·ā11 + c2·ā21 , c1·ā12 + c2·ā22]   (n×n1, n×n2)
+	//   A⁻¹·B = [ā11·b1 + ā12·b2 ; ā21·b1 + ā22·b2]   (n1×n, n2×n)
+	add := op.Op{Kind: op.Add}
+	ca1 := g.MustApply(add, g.MustApply(mm, c1, ai.a11), g.MustApply(mm, c2, ai.a21))
+	ca2 := g.MustApply(add, g.MustApply(mm, c1, ai.a12), g.MustApply(mm, c2, ai.a22))
+	ab1 := g.MustApply(add, g.MustApply(mm, ai.a11, b1), g.MustApply(mm, ai.a12, b2))
+	ab2 := g.MustApply(add, g.MustApply(mm, ai.a21, b1), g.MustApply(mm, ai.a22, b2))
+
+	// S = D − C·A⁻¹·B = D − (ca1·b1 + ca2·b2)
+	cab := g.MustApply(add, g.MustApply(mm, ca1, b1), g.MustApply(mm, ca2, b2))
+	s := g.MustApply(op.Op{Kind: op.Sub}, dd, cab)
+	sinv := inv(s) // D̄
+
+	// B̄ = −A⁻¹B·S⁻¹ (as two row blocks), C̄ = −S⁻¹·CA⁻¹ (two col blocks).
+	bbar1 := g.MustApply(op.Op{Kind: op.Neg}, g.MustApply(mm, ab1, sinv))
+	bbar2 := g.MustApply(op.Op{Kind: op.Neg}, g.MustApply(mm, ab2, sinv))
+	cbar1 := g.MustApply(op.Op{Kind: op.Neg}, g.MustApply(mm, sinv, ca1))
+	cbar2 := g.MustApply(op.Op{Kind: op.Neg}, g.MustApply(mm, sinv, ca2))
+
+	// Ā = A⁻¹ + A⁻¹B·S⁻¹·CA⁻¹, block (i,j) = āij + abi·S⁻¹·caj.
+	absinv1 := g.MustApply(mm, ab1, sinv)
+	absinv2 := g.MustApply(mm, ab2, sinv)
+	g.MustApply(add, ai.a11, g.MustApply(mm, absinv1, ca1))
+	g.MustApply(add, ai.a12, g.MustApply(mm, absinv1, ca2))
+	g.MustApply(add, ai.a21, g.MustApply(mm, absinv2, ca1))
+	g.MustApply(add, ai.a22, g.MustApply(mm, absinv2, ca2))
+
+	// B̄ and C̄ blocks are result sinks; D̄ = sinv is also consumed above.
+	_ = []*core.Vertex{bbar1, bbar2, cbar1, cbar2}
+	return g, g.Validate()
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math/rand"
+
+	"matopt/internal/tensor"
+)
+
+// AmazonCat14K holds the published statistics of the AmazonCat-14K
+// extreme-classification dataset used by Figures 11/12. The dataset
+// itself is not redistributable here, so SyntheticAmazonCat draws inputs
+// with the same dimensions and density; only those two quantities enter
+// the kernels and the cost model.
+const (
+	AmazonCatFeatures = 597540
+	AmazonCatLabels   = 14588
+	// AmazonCatDensity matches the dataset's ≈100 non-zero features per
+	// example.
+	AmazonCatDensity = 1.7e-4
+)
+
+// SyntheticAmazonCat generates a batch×features sparse design matrix and
+// a batch×labels one-hot label matrix with AmazonCat-like density. The
+// caller chooses (possibly scaled-down) dimensions; density is preserved.
+func SyntheticAmazonCat(rng *rand.Rand, batch, features, labels int) (x, y *tensor.Dense) {
+	x = tensor.NewDense(batch, features)
+	nnzPerRow := int(AmazonCatDensity * float64(features))
+	if nnzPerRow < 1 {
+		nnzPerRow = 1
+	}
+	for i := 0; i < batch; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			x.Set(i, rng.Intn(features), rng.Float64()+0.01)
+		}
+	}
+	y = tensor.NewDense(batch, labels)
+	for i := 0; i < batch; i++ {
+		y.Set(i, rng.Intn(labels), 1)
+	}
+	return x, y
+}
+
+// FFNNInputs draws the dense FFNN inputs the way the paper does —
+// Normal(0, 1) entries — for a (typically scaled-down) configuration.
+func FFNNInputs(rng *rand.Rand, c FFNNConfig) map[string]*tensor.Dense {
+	ins := map[string]*tensor.Dense{
+		"X":  tensor.RandNormal(rng, int(c.Batch), int(c.Features)),
+		"Y":  tensor.RandNormal(rng, int(c.Batch), int(c.Labels)),
+		"W1": tensor.RandNormal(rng, int(c.Features), int(c.Hidden)),
+		"B1": tensor.RandNormal(rng, 1, int(c.Hidden)),
+		"W2": tensor.RandNormal(rng, int(c.Hidden), int(c.Hidden)),
+		"B2": tensor.RandNormal(rng, 1, int(c.Hidden)),
+		"W3": tensor.RandNormal(rng, int(c.Hidden), int(c.Labels)),
+		"B3": tensor.RandNormal(rng, 1, int(c.Labels)),
+	}
+	if c.InputDensity < 1 {
+		x, _ := SyntheticAmazonCat(rng, int(c.Batch), int(c.Features), int(c.Labels))
+		ins["X"] = x
+	}
+	return ins
+}

@@ -1,0 +1,202 @@
+package matopt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/tensor"
+)
+
+// FormatSet selects the universe of physical formats the optimizer may
+// choose from (§8.4 restricts it for the optimizer-runtime study).
+type FormatSet int
+
+const (
+	// AllFormats is the full 19-format universe, sparse layouts included.
+	AllFormats FormatSet = iota
+	// DenseFormats is the 16-format universe without sparse layouts.
+	DenseFormats
+	// SingleStripBlockFormats matches §8.4's 16-format restriction.
+	SingleStripBlockFormats
+	// SingleBlockFormats matches §8.4's 10-format restriction.
+	SingleBlockFormats
+)
+
+func (fs FormatSet) formats() []format.Format {
+	switch fs {
+	case DenseFormats:
+		return format.DenseOnly()
+	case SingleStripBlockFormats:
+		return format.SingleStripBlock()
+	case SingleBlockFormats:
+		return format.SingleBlock()
+	default:
+		return format.All()
+	}
+}
+
+// Algorithm selects the optimization algorithm.
+type Algorithm int
+
+const (
+	// Auto uses the linear-time tree DP on tree-shaped graphs and the
+	// Frontier DP on general DAGs (the paper's default).
+	Auto Algorithm = iota
+	// BruteForce enumerates every type-correct annotation (Algorithm 2);
+	// exponential, bounded by the optimizer's Budget.
+	BruteForce
+)
+
+// Optimizer chooses optimal physical plans for computations.
+type Optimizer struct {
+	env       *core.Env
+	algorithm Algorithm
+	budget    time.Duration
+}
+
+// Option configures an Optimizer.
+type Option func(*Optimizer)
+
+// WithFormats restricts the format universe.
+func WithFormats(fs FormatSet) Option {
+	return func(o *Optimizer) {
+		o.env.Formats = fs.formats()
+		o.env = core.NewEnv(o.env.Cluster, fs.formats())
+	}
+}
+
+// WithAlgorithm selects the optimization algorithm.
+func WithAlgorithm(a Algorithm) Option { return func(o *Optimizer) { o.algorithm = a } }
+
+// WithBudget bounds the brute-force search time (default 30 minutes, as
+// in the paper's Figure 13).
+func WithBudget(d time.Duration) Option { return func(o *Optimizer) { o.budget = d } }
+
+// WithModel installs a calibrated cost model (see Calibrate).
+func WithModel(m *costmodel.Model) Option { return func(o *Optimizer) { o.env.Model = m } }
+
+// NewOptimizer returns an optimizer for the given cluster profile.
+func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
+	o := &Optimizer{
+		env:       core.NewEnv(cl, format.All()),
+		algorithm: Auto,
+		budget:    30 * time.Minute,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Env exposes the optimization environment for advanced callers (the
+// experiment harness uses it to cross baselines and clusters).
+func (o *Optimizer) Env() *core.Env { return o.env }
+
+// Plan is an optimized, type-correct annotated compute graph.
+type Plan struct {
+	ann *core.Annotation
+	env *core.Env
+}
+
+// ErrTimeout reports that the brute-force search exceeded its budget.
+var ErrTimeout = core.ErrTimeout
+
+// ErrInfeasible reports that no type-correct annotation exists.
+var ErrInfeasible = core.ErrInfeasible
+
+// Optimize computes the cost-optimal annotation of the builder's graph.
+func (o *Optimizer) Optimize(b *Builder, outputs ...Matrix) (*Plan, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := b.g
+	if g.NumOps() == 0 {
+		return nil, errors.New("matopt: computation has no operations")
+	}
+	var ann *core.Annotation
+	var err error
+	if o.algorithm == BruteForce {
+		ann, err = core.Brute(g, o.env, o.budget)
+	} else {
+		ann, err = core.Optimize(g, o.env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{ann: ann, env: o.env}, nil
+}
+
+// PredictedSeconds returns the cost model's total predicted running time.
+func (p *Plan) PredictedSeconds() float64 { return p.ann.Total() }
+
+// OptimizerSeconds returns the wall time the optimizer itself took.
+func (p *Plan) OptimizerSeconds() float64 { return p.ann.OptSeconds }
+
+// Describe renders the chosen implementations, formats and re-layouts.
+func (p *Plan) Describe() string { return p.ann.Describe() }
+
+// Annotation exposes the underlying annotated graph.
+func (p *Plan) Annotation() *core.Annotation { return p.ann }
+
+// Verify re-checks the plan's type-correctness (§4.2).
+func (p *Plan) Verify() error { return p.ann.Verify(p.env) }
+
+// Executor runs plans on real data over the in-process relational engine.
+type Executor struct {
+	eng *engine.Engine
+}
+
+// NewExecutor returns an executor for the given cluster profile.
+func NewExecutor(cl Cluster) *Executor { return &Executor{eng: engine.New(cl)} }
+
+// Run executes the plan; inputs maps input names to dense matrices. The
+// result maps each sink's vertex ID to its dense output; for the common
+// single-output case use RunSingle.
+func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	return x.eng.RunCollect(p.ann, inputs)
+}
+
+// RunSingle executes a single-output plan and returns its result.
+func (x *Executor) RunSingle(p *Plan, inputs map[string]*tensor.Dense) (*tensor.Dense, error) {
+	outs, err := x.Run(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	sinks := p.ann.Graph.Sinks()
+	if len(sinks) != 1 {
+		return nil, fmt.Errorf("matopt: plan has %d outputs; use Run", len(sinks))
+	}
+	return outs[sinks[0].ID], nil
+}
+
+// Stats reports what the execution actually did.
+func (x *Executor) Stats() engine.Stats { return x.eng.Stats() }
+
+// RunAdaptive executes the builder's computation with mid-run
+// re-optimization (the scheme §7 of the paper sketches): the optimal
+// plan runs vertex by vertex, every intermediate's true density is
+// measured, and when an estimate's relative error exceeds threshold
+// (the paper suggests 1.2) the remaining computation is re-optimized
+// with the measured densities before continuing.
+func (x *Executor) RunAdaptive(o *Optimizer, b *Builder, inputs map[string]*tensor.Dense, threshold float64) (*engine.AdaptiveResult, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return x.eng.RunAdaptive(b.g, o.env, inputs, threshold)
+}
+
+// Simulate walks the plan at full scale without materializing data,
+// returning the virtual wall time and resource report; the error is the
+// paper's Fail outcome (e.g. a plan that exceeds worker RAM).
+func Simulate(p *Plan) (engine.Report, error) { return engine.Simulate(p.ann, p.env) }
+
+// Dense re-exports the engine's dense matrix type for inputs/outputs.
+type Dense = tensor.Dense
+
+// NewDense returns a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense { return tensor.NewDense(rows, cols) }
