@@ -1,0 +1,32 @@
+# Developer gate: `make check` is what CI runs and what a change must
+# pass before merging. Individual targets are available for quick loops.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+# gofmt -l prints unformatted files; fail if it prints anything.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The optimizer's parallel Frontier expansion and the engine's
+# context-aware execution are the concurrency-bearing packages.
+race:
+	$(GO) test -race ./internal/core/ ./internal/engine/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

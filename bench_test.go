@@ -9,6 +9,7 @@ package matopt
 // paper-vs-measured record.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -142,6 +143,79 @@ func BenchmarkOptimizerFFNNW2Update80K(b *testing.B) {
 		}
 	}
 }
+
+// --- plan-cache benches: repeated Optimize of the Fig. 5 FFNN graph ---
+
+// fig5Builder wraps the Figure 5 three-pass FFNN graph (80 000 labels)
+// in a public-API Builder so the cache benchmarks exercise the same
+// Optimize entry point users call.
+func fig5Builder(b *testing.B) *Builder {
+	b.Helper()
+	g, err := workload.FFNNThreePass(workload.PaperFFNN(80000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Builder{g: g}
+}
+
+// BenchmarkOptimizeCacheHit measures a repeated Optimize served from the
+// plan cache; compare against BenchmarkOptimizeCacheCold — the hit path
+// must be ≥100× faster than the cold search.
+func BenchmarkOptimizeCacheHit(b *testing.B) {
+	o := NewOptimizer(ClusterR5D(10))
+	bld := fig5Builder(b)
+	if _, err := o.Optimize(bld); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := o.Optimize(bld)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.Cached() {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkOptimizeCacheCold is the same computation with the cache
+// bypassed (WithoutPlanCache), i.e. today's pre-cache behavior.
+func BenchmarkOptimizeCacheCold(b *testing.B) {
+	o := NewOptimizer(ClusterR5D(10), WithoutPlanCache())
+	bld := fig5Builder(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := o.Optimize(bld)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Cached() {
+			b.Fatal("cache should be disabled")
+		}
+	}
+}
+
+// --- parallel-vs-serial Frontier benches ---
+
+func benchFrontier(b *testing.B, parallelism int) {
+	g, err := workload.FFNNThreePass(workload.PaperFFNN(80000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.EC2R5D(10), format.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := core.NewSession(nil, env, core.WithParallelism(parallelism))
+		if _, err := sess.Frontier(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrontierSerial(b *testing.B) { benchFrontier(b, 1) }
+
+func BenchmarkFrontierParallel(b *testing.B) { benchFrontier(b, runtime.GOMAXPROCS(0)) }
 
 // --- ablation benches for the design choices DESIGN.md calls out ---
 

@@ -1,14 +1,18 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (§8) and prints the same rows. See EXPERIMENTS.md
-// for the recorded paper-vs-measured comparison.
+// for the recorded paper-vs-measured comparison. Ctrl-C (SIGINT) or
+// SIGTERM stops the run after the figure in flight.
 //
 //	experiments [-fig N] [-brute-budget 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"matopt/internal/figures"
@@ -19,6 +23,9 @@ func main() {
 	budget := flag.Duration("brute-budget", 30*time.Second,
 		"time budget per brute-force run in Figure 13 (the paper used 30m)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	run := map[string]func() figures.Table{
 		"1": figures.Fig1, "4": figures.Fig4, "5": figures.Fig5,
@@ -35,7 +42,11 @@ func main() {
 		fmt.Println(f())
 		return
 	}
-	for _, t := range figures.All(*budget) {
+	tables, err := figures.AllCtx(ctx, *budget)
+	for _, t := range tables {
 		fmt.Println(t)
+	}
+	if err != nil {
+		log.Fatalf("interrupted after %d figures: %v", len(tables), err)
 	}
 }

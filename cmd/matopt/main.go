@@ -1,6 +1,7 @@
 // Command matopt optimizes one of the built-in workloads and prints the
 // chosen physical design: per-vertex implementations, storage formats,
-// edge re-layouts and the predicted running time.
+// edge re-layouts and the predicted running time. Ctrl-C (SIGINT) or
+// SIGTERM cancels an in-flight optimization cleanly.
 //
 //	matopt -workload ffnn -hidden 80000 -workers 10
 //	matopt -workload chain -sizeset 2
@@ -9,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"matopt/internal/core"
@@ -30,8 +34,13 @@ func main() {
 	formatSet := flag.String("formats", "all", "format universe: all | ssb (single/strip/block) | sb (single/block)")
 	alg := flag.String("alg", "auto", "optimization algorithm: auto (tree DP / frontier) | brute")
 	budget := flag.Duration("brute-budget", 30*time.Second, "brute-force time budget")
+	par := flag.Int("parallelism", 0, "frontier worker pool size (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print optimizer search statistics")
 	dot := flag.Bool("dot", false, "emit the annotated compute graph in Graphviz format (Figure 2 style)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var g *core.Graph
 	var err error
@@ -72,12 +81,22 @@ func main() {
 	if !*sparse {
 		env.DisableSparse()
 	}
+	var sessOpts []core.SessionOption
+	if *par > 0 {
+		sessOpts = append(sessOpts, core.WithParallelism(*par))
+	}
 	var ann *core.Annotation
 	switch *alg {
 	case "auto":
-		ann, err = core.Optimize(g, env)
+		sess := core.NewSession(ctx, env, sessOpts...)
+		ann, err = sess.Optimize(g)
+		reportStats(*stats, sess)
 	case "brute":
-		ann, err = core.Brute(g, env, *budget)
+		bctx, cancel := context.WithTimeout(ctx, *budget)
+		defer cancel()
+		sess := core.NewSession(bctx, env, sessOpts...)
+		ann, err = sess.Brute(g)
+		reportStats(*stats, sess)
 	default:
 		log.Fatalf("unknown algorithm %q", *alg)
 	}
@@ -98,6 +117,15 @@ func main() {
 	fmt.Printf("features: %.3g FLOPs, %.3g net bytes, %.3g intermediate bytes, %.0f tuples\n",
 		rep.Features.FLOPs, rep.Features.NetBytes, rep.Features.InterBytes, rep.Features.Tuples)
 	fmt.Printf("peak per-worker working set: %.1f GB\n", rep.PeakWorkerBytes/(1<<30))
+}
+
+func reportStats(enabled bool, sess *core.Session) {
+	if !enabled {
+		return
+	}
+	st := sess.Stats()
+	fmt.Printf("optimizer stats: %d classes expanded, %d entries pruned, %d candidates evaluated, %.3fs wall\n",
+		st.ClassesExpanded, st.EntriesPruned, st.CandidatesEvaluated, st.WallSeconds)
 }
 
 func fmtSec(s float64) string {

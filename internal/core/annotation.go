@@ -43,14 +43,17 @@ func newAnnotation(g *Graph) *Annotation {
 	}
 }
 
-// Total returns Cost(G′) = Σ_v v.c + Σ_e e.c.
+// Total returns Cost(G′) = Σ_v v.c + Σ_e e.c. Terms are summed in
+// topological vertex/edge order, not map order, so the result is
+// bit-identical across runs of the same plan (the parallel-vs-serial
+// determinism tests compare totals exactly).
 func (a *Annotation) Total() float64 {
 	var t float64
-	for _, c := range a.VertexCost {
-		t += c
-	}
-	for _, c := range a.EdgeCost {
-		t += c
+	for _, v := range a.Graph.Vertices {
+		t += a.VertexCost[v.ID]
+		for j := range v.Ins {
+			t += a.EdgeCost[EdgeKey{To: v.ID, Arg: j}]
+		}
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -8,9 +9,9 @@ import (
 	"matopt/internal/trans"
 )
 
-// ErrTimeout is returned by Brute when the time budget expires before the
-// search completes (the paper's "Fail" at 30 minutes in Figure 13).
-var ErrTimeout = errors.New("core: brute-force search exceeded its time budget")
+// ErrTimeout is returned when the search's deadline expires before it
+// completes (the paper's "Fail" at 30 minutes in Figure 13).
+var ErrTimeout = errors.New("core: search exceeded its time budget")
 
 // bruteChoice is the decision recorded for one vertex during the search.
 type bruteChoice struct {
@@ -22,15 +23,25 @@ type bruteChoice struct {
 	implCost float64
 }
 
+// Brute runs the exhaustive search with a fresh session bounded by
+// budget; see Session.Brute.
+func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	return NewSession(ctx, env).Brute(g)
+}
+
 // Brute exhaustively enumerates type-correct annotations (Algorithm 2):
 // for every vertex in topological order it tries every implementation and
 // every feasible transformation of each argument, recursing on the rest
 // of the graph with branch-and-bound pruning against the best complete
 // annotation found so far. Complexity is exponential in the number of
-// vertices; budget bounds the wall time.
-func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
+// vertices; the session context bounds the wall time — an expired
+// deadline returns ErrTimeout, a cancelled parent context its own error.
+func (s *Session) Brute(g *Graph) (ann *Annotation, err error) {
 	start := time.Now()
-	deadline := start.Add(budget)
+	defer func() { s.finish(ann, start) }()
+	env := s.env
 	cache := make(transCache)
 
 	var order []*Vertex
@@ -46,17 +57,20 @@ func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
 	choices := make([]bruteChoice, len(order))
 	var bestChoices []bruteChoice
 	bestCost := -1.0
-	timedOut := false
+	aborted := false
 	steps := 0
 
 	var rec func(k int, costSoFar float64)
 	rec = func(k int, costSoFar float64) {
-		if timedOut {
+		if aborted {
 			return
 		}
 		steps++
-		if steps&1023 == 0 && time.Now().After(deadline) {
-			timedOut = true
+		// Poll the session context rather than the clock, so a cancelled
+		// parent aborts promptly; every 64 steps keeps a 1 ms deadline
+		// honest without measurable overhead on the search itself.
+		if steps&63 == 0 && s.ctx.Err() != nil {
+			aborted = true
 			return
 		}
 		if bestCost >= 0 && costSoFar >= bestCost {
@@ -74,11 +88,12 @@ func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
 		pins := make([]format.Format, len(v.Ins))
 		var args func(j int, trCost float64)
 		args = func(j int, trCost float64) {
-			if timedOut {
+			if aborted {
 				return
 			}
 			if j == len(v.Ins) {
 				for ii, im := range env.Impls[v.Op.Kind] {
+					s.stats.CandidatesEvaluated++
 					outF, implCost, ok := env.applyImpl(v, im, pouts)
 					if !ok {
 						continue
@@ -111,13 +126,13 @@ func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
 	}
 	rec(0, 0)
 
-	if timedOut {
-		return nil, ErrTimeout
+	if aborted {
+		return nil, s.ctxErr()
 	}
 	if bestCost < 0 {
 		return nil, ErrInfeasible
 	}
-	ann := newAnnotation(g)
+	ann = newAnnotation(g)
 	for _, v := range g.Vertices {
 		if v.IsSource {
 			ann.VertexFormat[v.ID] = v.SrcFormat
@@ -134,6 +149,5 @@ func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
 			ann.EdgeCost[ek] = ch.trCosts[j]
 		}
 	}
-	ann.OptSeconds = time.Since(start).Seconds()
 	return ann, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"matopt/internal/format"
@@ -44,22 +45,45 @@ type fentry struct {
 // fmtIntern assigns dense byte IDs to the formats seen during one
 // Frontier run, so that cost-table keys are cheap byte strings rather
 // than formatted text (key construction sits on the DP's hot path).
+// Every format the run can encounter is interned up front in a
+// deterministic order, so during the parallel candidate evaluation id()
+// only takes the read path; the mutex guards the (never expected)
+// residual write path.
 type fmtIntern struct {
-	ids map[format.Format]byte
+	mu       sync.RWMutex
+	ids      map[format.Format]byte
+	overflow bool
 }
 
 func newFmtIntern() *fmtIntern { return &fmtIntern{ids: make(map[format.Format]byte)} }
 
 func (in *fmtIntern) id(f format.Format) byte {
+	in.mu.RLock()
+	id, ok := in.ids[f]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if id, ok := in.ids[f]; ok {
 		return id
 	}
-	id := byte(len(in.ids))
-	if int(id) != len(in.ids) {
-		panic("core: more than 255 distinct formats in one optimization")
+	if len(in.ids) >= 256 {
+		// Key bytes would collide; record the overflow and let the run
+		// abort with ErrInternal at the next checkpoint.
+		in.overflow = true
+		return 0
 	}
+	id = byte(len(in.ids))
 	in.ids[f] = id
 	return id
+}
+
+func (in *fmtIntern) failed() bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.overflow
 }
 
 func (in *fmtIntern) key(formats []format.Format) string {
@@ -71,35 +95,92 @@ func (in *fmtIntern) key(formats []format.Format) string {
 }
 
 // pruneEntries beam-limits a class table to the cheapest max entries
-// (see Env.MaxClassEntries).
-func pruneEntries(entries map[string]*fentry, max int) {
+// (see Env.MaxClassEntries) and reports how many were dropped. Ties at
+// the cut are broken on the entry key, so pruning is deterministic.
+func pruneEntries(entries map[string]*fentry, max int) int {
 	if max <= 0 {
 		max = 20000
 	}
 	if len(entries) <= max {
-		return
+		return 0
 	}
-	costs := make([]float64, 0, len(entries))
-	for _, e := range entries {
-		costs = append(costs, e.cost)
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
 	}
-	sort.Float64s(costs)
-	cut := costs[max-1]
-	kept := 0
-	for k, e := range entries {
-		if e.cost > cut || (e.cost == cut && kept >= max) {
-			delete(entries, k)
-			continue
+	sort.Slice(keys, func(i, j int) bool {
+		ci, cj := entries[keys[i]].cost, entries[keys[j]].cost
+		if ci != cj {
+			return ci < cj
 		}
-		kept++
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys[max:] {
+		delete(entries, k)
 	}
+	return len(keys) - max
+}
+
+// Frontier runs the Frontier DP with a fresh uncancellable session; see
+// Session.Frontier.
+func Frontier(g *Graph, env *Env) (*Annotation, error) {
+	return NewSession(nil, env).Frontier(g)
+}
+
+// implEval is one memoized implementation evaluation for a delivered
+// input-format combination.
+type implEval struct {
+	outF   format.Format
+	outKey byte
+	cost   float64
+	ok     bool
+}
+
+// argOption is a pre-resolved transformation choice for one argument pin
+// format: the transOption plus its interned output byte, computed once
+// per (argument, pin) so the candidate evaluation loop does no map
+// writes and can run on several goroutines.
+type argOption struct {
+	tr     *trans.Transform
+	pout   format.Format
+	poutID byte
+	cost   float64
 }
 
 // Frontier computes the optimal annotation of a general compute DAG.
-func Frontier(g *Graph, env *Env) (*Annotation, error) {
+// Per-class candidate evaluation — the (implementation × format ×
+// transformation) enumeration over the deduplicated parent combos — runs
+// on a worker pool bounded by the session's parallelism; combos are
+// processed in sorted key order and chunk results merged in chunk order
+// with strict-improvement replacement, so parallel and serial runs
+// produce byte-identical plans and costs.
+func (s *Session) Frontier(g *Graph) (ann *Annotation, err error) {
 	start := time.Now()
+	defer func() { s.finish(ann, start) }()
+	env := s.env
 	cache := make(transCache)
 	intern := newFmtIntern()
+	// Deterministically pre-intern every format the run can touch:
+	// the environment's universe, the input formats, and every
+	// transformation target. ID assignment order is then independent of
+	// map iteration and of the worker schedule.
+	for _, f := range env.Formats {
+		intern.id(f)
+	}
+	for _, v := range g.Vertices {
+		if v.IsSource {
+			intern.id(v.SrcFormat)
+		}
+	}
+	for _, tr := range env.Transforms {
+		if !tr.Identity() {
+			intern.id(tr.Target())
+		}
+	}
+	if intern.failed() {
+		return nil, internalf("more than 256 distinct formats in one optimization")
+	}
+
 	visited := make([]bool, len(g.Vertices))
 	classOf := make(map[int]*fclass) // frontier vertex → its class
 	var front []*fclass
@@ -138,7 +219,11 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 		if v.IsSource {
 			continue
 		}
+		if err := s.ctxErr(); err != nil {
+			return nil, err
+		}
 		visited[v.ID] = true
+		s.stats.ClassesExpanded++
 
 		// The classes feeding v (line 10 of Algorithm 4).
 		var argClasses []*fclass
@@ -146,7 +231,7 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 		for _, in := range v.Ins {
 			c := classOf[in.ID]
 			if c == nil {
-				panic("core: parent left the frontier before its consumer was optimized")
+				return nil, internalf("parent v%d left the frontier before its consumer v%d was optimized", in.ID, v.ID)
 			}
 			if !seen[c] {
 				seen[c] = true
@@ -183,34 +268,54 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 		// the cross product below can splice entry-key bytes directly
 		// instead of re-hashing formats.
 		type slot struct{ cls, idx int }
-		locate := func(id int) slot {
+		locate := func(id int) (slot, bool) {
 			for ci, c := range argClasses {
 				for mi, m := range c.members {
 					if m == id {
-						return slot{cls: ci, idx: mi}
+						return slot{cls: ci, idx: mi}, true
 					}
 				}
 			}
-			panic("core: combo vertex not found in any consumed class")
+			return slot{}, false
 		}
 		var retainedSlots []slot // newMembers minus v, in order
 		for _, id := range newMembers {
-			if id != v.ID {
-				retainedSlots = append(retainedSlots, locate(id))
+			if id == v.ID {
+				continue
 			}
+			sl, ok := locate(id)
+			if !ok {
+				return nil, internalf("retained vertex v%d not found in any consumed class at v%d", id, v.ID)
+			}
+			retainedSlots = append(retainedSlots, sl)
 		}
 		argSlots := make([]slot, len(v.Ins))
 		for j, in := range v.Ins {
-			argSlots[j] = locate(in.ID)
+			sl, ok := locate(in.ID)
+			if !ok {
+				return nil, internalf("argument v%d not found in any consumed class at v%d", in.ID, v.ID)
+			}
+			argSlots[j] = sl
 		}
 
 		// Phase 1: cross product of the consumed classes' entries,
 		// deduplicated on (retained formats, argument pins) keeping the
 		// cheapest base cost. Keys splice the classes' own entry-key
-		// bytes, so no format hashing happens on this hot path.
+		// bytes, so no format hashing happens on this hot path. Each
+		// class's entries are walked in sorted key order so that
+		// equal-cost ties resolve identically on every run.
 		type comboInfo struct {
 			baseCost float64
 			parents  []*fentry
+		}
+		classKeys := make([][]string, len(argClasses))
+		for i, c := range argClasses {
+			ks := make([]string, 0, len(c.entries))
+			for k := range c.entries {
+				ks = append(ks, k)
+			}
+			sort.Strings(ks)
+			classKeys[i] = ks
 		}
 		combos := make(map[string]*comboInfo)
 		chosenKeys := make([]string, len(argClasses))
@@ -234,10 +339,10 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 				}
 				return
 			}
-			for k, e := range argClasses[i].entries {
+			for _, k := range classKeys[i] {
 				chosenKeys[i] = k
-				chosenEntries[i] = e
-				cross(i+1, cost+e.cost)
+				chosenEntries[i] = argClasses[i].entries[k]
+				cross(i+1, cost+argClasses[i].entries[k].cost)
 			}
 		}
 		cross(0, 0)
@@ -247,54 +352,65 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 			return combo.parents[sl.cls].formats[sl.idx]
 		}
 
+		// Pre-resolve the transformation options of every (argument,
+		// pin) pair the combos can deliver, keyed by the pin's interned
+		// byte. After this, phase 2 performs no shared-state writes and
+		// is safe to fan out.
+		argOpts := make([]map[byte][]argOption, len(v.Ins))
+		for a, in := range v.Ins {
+			argOpts[a] = make(map[byte][]argOption)
+			sl := argSlots[a]
+			c := argClasses[sl.cls]
+			for _, e := range c.entries {
+				pin := e.formats[sl.idx]
+				pid := intern.id(pin)
+				if _, ok := argOpts[a][pid]; ok {
+					continue
+				}
+				opts := env.transOptions(cache, in, pin)
+				aos := make([]argOption, len(opts))
+				for k, to := range opts {
+					aos[k] = argOption{tr: to.tr, pout: to.pout, poutID: intern.id(to.pout), cost: to.cost}
+				}
+				argOpts[a][pid] = aos
+			}
+		}
+		if intern.failed() {
+			return nil, internalf("more than 256 distinct formats in one optimization")
+		}
+
 		// Phase 2: Equation (2). For every deduplicated combo, choose
 		// transformations per argument and an implementation; impl
 		// evaluations are memoized per delivered-format combination.
-		type implEval struct {
-			outF   format.Format
-			outKey byte
-			cost   float64
-			ok     bool
-		}
+		// Combos are evaluated in sorted key order — in parallel chunks
+		// when the class is large enough — and ties always resolve to
+		// the earliest combo, matching the serial walk exactly.
 		impls := env.Impls[v.Op.Kind]
-		implCache := make(map[string][]implEval) // pout-combo key → per-impl results
-		entries := make(map[string]*fentry)
-
-		pouts := make([]format.Format, len(v.Ins))
-		poutIDs := make([]byte, len(v.Ins))
-		trsBuf := make([]*trans.Transform, len(v.Ins))
-		trCostBuf := make([]float64, len(v.Ins))
 		vIdx := -1
 		for i, id := range newMembers {
 			if id == v.ID {
 				vIdx = i
 			}
 		}
-		for comboK, combo := range combos {
-			// The retained-member portion of the new table key is fixed
-			// for this combo (it is the combo key's prefix); only v's
-			// slot, if retained, varies by implementation.
+		comboKeys := make([]string, 0, len(combos))
+		for k := range combos {
+			comboKeys = append(comboKeys, k)
+		}
+		sort.Strings(comboKeys)
+
+		evalCombos := func(keys []string) (map[string]*fentry, int64) {
+			entries := make(map[string]*fentry)
+			implCache := make(map[string][]implEval) // pout-combo key → per-impl results
+			pouts := make([]format.Format, len(v.Ins))
+			poutIDs := make([]byte, len(v.Ins))
+			trsBuf := make([]*trans.Transform, len(v.Ins))
+			trCostBuf := make([]float64, len(v.Ins))
 			keyBytes := make([]byte, len(newMembers))
-			p := 0
-			for i := range newMembers {
-				if i == vIdx {
-					continue
-				}
-				keyBytes[i] = comboK[p]
-				p++
-			}
-			pins := make([]format.Format, len(v.Ins))
-			optsPerArg := make([][]transOption, len(v.Ins))
-			optIDs := make([][]byte, len(v.Ins))
-			for a, in := range v.Ins {
-				pins[a] = fmtAt(combo, argSlots[a])
-				optsPerArg[a] = env.transOptions(cache, in, pins[a])
-				ids := make([]byte, len(optsPerArg[a]))
-				for k, to := range optsPerArg[a] {
-					ids[k] = intern.id(to.pout)
-				}
-				optIDs[a] = ids
-			}
+			var candidates int64
+			var comboK string
+			var combo *comboInfo
+			var pins []format.Format
+			opts := make([][]argOption, len(v.Ins))
 			var rec func(j int, trCost float64)
 			rec = func(j int, trCost float64) {
 				if j == len(v.Ins) {
@@ -311,6 +427,7 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 							evs[ii] = ev
 						}
 						implCache[poutKey] = evs
+						candidates += int64(len(impls))
 					}
 					for ii := range evs {
 						ev := &evs[ii]
@@ -349,20 +466,89 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 					}
 					return
 				}
-				for k, to := range optsPerArg[j] {
-					pouts[j] = to.pout
-					poutIDs[j] = optIDs[j][k]
-					trsBuf[j] = to.tr
-					trCostBuf[j] = to.cost
-					rec(j+1, trCost+to.cost)
+				for k := range opts[j] {
+					o := &opts[j][k]
+					pouts[j] = o.pout
+					poutIDs[j] = o.poutID
+					trsBuf[j] = o.tr
+					trCostBuf[j] = o.cost
+					rec(j+1, trCost+o.cost)
 				}
 			}
-			rec(0, 0)
+			for ci, k := range keys {
+				if ci&15 == 0 && s.ctx.Err() != nil {
+					return entries, candidates
+				}
+				comboK = k
+				combo = combos[k]
+				// The retained-member portion of the new table key is
+				// fixed for this combo (it is the combo key's prefix);
+				// only v's slot, if retained, varies by implementation.
+				p := 0
+				for i := range newMembers {
+					if i == vIdx {
+						continue
+					}
+					keyBytes[i] = comboK[p]
+					p++
+				}
+				pins = make([]format.Format, len(v.Ins))
+				for a := range v.Ins {
+					pins[a] = fmtAt(combo, argSlots[a])
+					opts[a] = argOpts[a][comboK[len(retainedSlots)+a]]
+				}
+				rec(0, 0)
+			}
+			return entries, candidates
+		}
+
+		var entries map[string]*fentry
+		workers := s.parallelism
+		if workers > len(comboKeys) {
+			workers = len(comboKeys)
+		}
+		if workers <= 1 || len(comboKeys) < 16 {
+			var n int64
+			entries, n = evalCombos(comboKeys)
+			s.stats.CandidatesEvaluated += n
+		} else {
+			chunkEntries := make([]map[string]*fentry, workers)
+			chunkCounts := make([]int64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				lo := w * len(comboKeys) / workers
+				hi := (w + 1) * len(comboKeys) / workers
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					chunkEntries[w], chunkCounts[w] = evalCombos(comboKeys[lo:hi])
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			// Deterministic merge: chunks cover contiguous sorted-key
+			// ranges; folding them in chunk order with strict-improvement
+			// replacement reproduces the serial walk's outcome exactly.
+			entries = chunkEntries[0]
+			for w := 1; w < workers; w++ {
+				for k, e := range chunkEntries[w] {
+					if cur, ok := entries[k]; !ok || e.cost < cur.cost {
+						entries[k] = e
+					}
+				}
+				s.stats.CandidatesEvaluated += chunkCounts[w]
+			}
+			s.stats.CandidatesEvaluated += chunkCounts[0]
+		}
+		if err := s.ctxErr(); err != nil {
+			return nil, err
+		}
+		if intern.failed() {
+			return nil, internalf("more than 256 distinct formats in one optimization")
 		}
 		if len(entries) == 0 {
 			return nil, ErrInfeasible
 		}
-		pruneEntries(entries, env.MaxClassEntries)
+		s.stats.EntriesPruned += pruneEntries(entries, env.MaxClassEntries)
 
 		for _, c := range argClasses {
 			removeClass(c)
@@ -371,13 +557,20 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 	}
 
 	// Every class remaining on the frontier contributes its cheapest
-	// entry; classes are ancestor-disjoint, so costs add.
-	ann := newAnnotation(g)
+	// entry; classes are ancestor-disjoint, so costs add. Entry keys are
+	// walked in sorted order so equal-cost sinks pick the same entry on
+	// every run.
+	ann = newAnnotation(g)
 	done := make(map[*fentry]bool)
 	for _, c := range front {
+		keys := make([]string, 0, len(c.entries))
+		for k := range c.entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		var best *fentry
-		for _, e := range c.entries {
-			if best == nil || e.cost < best.cost {
+		for _, k := range keys {
+			if e := c.entries[k]; best == nil || e.cost < best.cost {
 				best = e
 			}
 		}
@@ -386,7 +579,6 @@ func Frontier(g *Graph, env *Env) (*Annotation, error) {
 		}
 		backtrackFrontier(g, best, ann, done)
 	}
-	ann.OptSeconds = time.Since(start).Seconds()
 	return ann, nil
 }
 

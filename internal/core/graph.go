@@ -58,14 +58,15 @@ func NewGraph() *Graph {
 	return &Graph{byName: make(map[string]*Vertex)}
 }
 
-// Input adds a source vertex: an input matrix with the given shape,
-// density (non-zero fraction in [0, 1]) and physical format.
-func (g *Graph) Input(name string, s shape.Shape, density float64, f format.Format) *Vertex {
+// AddInput adds a source vertex: an input matrix with the given shape,
+// density (non-zero fraction in [0, 1]) and physical format. It returns
+// an error for an out-of-range density or a duplicate name.
+func (g *Graph) AddInput(name string, s shape.Shape, density float64, f format.Format) (*Vertex, error) {
 	if density < 0 || density > 1 {
-		panic(fmt.Sprintf("core: density %v outside [0,1]", density))
+		return nil, fmt.Errorf("core: density %v outside [0,1]", density)
 	}
 	if _, dup := g.byName[name]; dup {
-		panic(fmt.Sprintf("core: duplicate input name %q", name))
+		return nil, fmt.Errorf("core: duplicate input name %q", name)
 	}
 	v := &Vertex{
 		ID:        len(g.Vertices),
@@ -77,6 +78,16 @@ func (g *Graph) Input(name string, s shape.Shape, density float64, f format.Form
 	}
 	g.Vertices = append(g.Vertices, v)
 	g.byName[name] = v
+	return v, nil
+}
+
+// Input is AddInput for statically known-correct graph builders (the
+// workload generators); it panics on the errors AddInput reports.
+func (g *Graph) Input(name string, s shape.Shape, density float64, f format.Format) *Vertex {
+	v, err := g.AddInput(name, s, density, f)
+	if err != nil {
+		panic(err)
+	}
 	return v
 }
 

@@ -1,15 +1,16 @@
 package core
 
-// Optimize computes the optimal annotation of g, dispatching to the
-// linear-time tree DP when the graph is tree-shaped and to the Frontier
-// algorithm otherwise, exactly as the paper's prototype does (§8.2 notes
-// the FFNN graph is not a tree, so the frontier algorithm is used).
+import "context"
+
+// Optimize computes the optimal annotation of g with a fresh
+// uncancellable session; see Session.Optimize.
 func Optimize(g *Graph, env *Env) (*Annotation, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if g.IsTree() {
-		return TreeDP(g, env)
-	}
-	return Frontier(g, env)
+	return NewSession(nil, env).Optimize(g)
+}
+
+// OptimizeCtx is Optimize under a caller-supplied context: an expired
+// deadline aborts the search with ErrTimeout, an explicit cancellation
+// with the context's own error.
+func OptimizeCtx(ctx context.Context, g *Graph, env *Env) (*Annotation, error) {
+	return NewSession(ctx, env).Optimize(g)
 }

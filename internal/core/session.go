@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ErrInternal reports an inconsistency inside the optimizer itself — a
+// recorded back-pointer that no longer applies, a frontier invariant
+// violated, or an interning overflow. It indicates a bug in the search,
+// not in the caller's computation, and replaces the panics earlier
+// versions raised on these paths.
+var ErrInternal = errors.New("core: internal optimizer inconsistency")
+
+// internalf wraps ErrInternal with a formatted detail message.
+func internalf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInternal}, args...)...)
+}
+
+// Stats is the per-run instrumentation a Session collects: how much of
+// the search space each algorithm actually touched, and how long the run
+// took. Counters cover whichever algorithm the session ran.
+type Stats struct {
+	// ClassesExpanded counts frontier equivalence classes built (one per
+	// non-source vertex in Frontier) or DP tables built (TreeDP).
+	ClassesExpanded int
+	// EntriesPruned counts cost-table entries dropped by the beam limit
+	// (Env.MaxClassEntries); 0 means the search was exact.
+	EntriesPruned int
+	// CandidatesEvaluated counts (implementation × delivered-format)
+	// combinations evaluated through the cost model.
+	CandidatesEvaluated int64
+	// WallSeconds is the wall time of the last algorithm run.
+	WallSeconds float64
+}
+
+// Session is one optimization run's execution context: the cancellation
+// context its algorithms poll, the environment they search over, the
+// degree of parallelism the Frontier DP may use, and the instrumentation
+// the run fills in. A Session is not safe for concurrent use; create one
+// per Optimize call.
+type Session struct {
+	ctx         context.Context
+	env         *Env
+	parallelism int
+	stats       Stats
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithParallelism bounds the Frontier worker pool to n goroutines; n ≤ 1
+// forces the serial path. The default is runtime.GOMAXPROCS(0). Parallel
+// and serial runs produce byte-identical plans, so this only trades CPU
+// for latency.
+func WithParallelism(n int) SessionOption {
+	return func(s *Session) { s.parallelism = n }
+}
+
+// NewSession returns a session that optimizes under ctx: algorithms poll
+// the context and abort with ErrTimeout (deadline) or the context's own
+// error (cancellation) mid-search. A nil ctx means context.Background().
+func NewSession(ctx context.Context, env *Env, opts ...SessionOption) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{ctx: ctx, env: env, parallelism: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.parallelism < 1 {
+		s.parallelism = 1
+	}
+	return s
+}
+
+// Stats returns the instrumentation of the session's last run.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Env returns the session's optimization environment.
+func (s *Session) Env() *Env { return s.env }
+
+// ctxErr translates the session context's state into the optimizer's
+// error vocabulary: an expired deadline becomes ErrTimeout (which also
+// still matches context.DeadlineExceeded via errors.Is), an explicit
+// cancellation surfaces as context.Canceled, and nil means keep going.
+func (s *Session) ctxErr() error {
+	err := s.ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
+
+// Optimize computes the optimal annotation of g under the session,
+// dispatching to the linear-time tree DP on tree-shaped graphs and to
+// the Frontier algorithm otherwise, exactly as the paper's prototype
+// does (§8.2 notes the FFNN graph is not a tree, so the frontier
+// algorithm is used).
+func (s *Session) Optimize(g *Graph) (*Annotation, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.IsTree() {
+		return s.TreeDP(g)
+	}
+	return s.Frontier(g)
+}
+
+// finish stamps the run's wall time into the stats and the annotation.
+func (s *Session) finish(ann *Annotation, start time.Time) {
+	s.stats.WallSeconds = time.Since(start).Seconds()
+	if ann != nil {
+		ann.OptSeconds = s.stats.WallSeconds
+	}
+}

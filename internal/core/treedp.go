@@ -35,24 +35,37 @@ type childChoice struct {
 	tr   *trans.Transform
 }
 
+// TreeDP runs the tree dynamic program with a fresh uncancellable
+// session; see Session.TreeDP.
+func TreeDP(g *Graph, env *Env) (*Annotation, error) {
+	return NewSession(nil, env).TreeDP(g)
+}
+
 // TreeDP computes the optimal annotation of a tree-shaped compute graph
 // with the Felsenstein-style dynamic program of Algorithm 3, in time
-// O(n·|P|·|I|·|V|).
-func TreeDP(g *Graph, env *Env) (*Annotation, error) {
+// O(n·|P|·|I|·|V|). The session context is polled per vertex and per
+// implementation, so a cancelled or expired context aborts mid-search.
+func (s *Session) TreeDP(g *Graph) (ann *Annotation, err error) {
 	if !g.IsTree() {
 		return nil, ErrNotTree
 	}
 	start := time.Now()
+	defer func() { s.finish(ann, start) }()
+	env := s.env
 	cache := make(transCache)
 	tables := make([]map[format.Format]*treeEntry, len(g.Vertices))
 
 	for _, v := range g.Vertices { // construction order is topological
+		if err := s.ctxErr(); err != nil {
+			return nil, err
+		}
 		table := make(map[format.Format]*treeEntry)
 		if v.IsSource {
 			table[v.SrcFormat] = &treeEntry{}
 			tables[v.ID] = table
 			continue
 		}
+		s.stats.ClassesExpanded++
 		// The cheapest way to hand each argument to this vertex in any
 		// given format: min over the child's table and a transformation.
 		best := make([]map[format.Format]childChoice, len(v.Ins))
@@ -74,7 +87,11 @@ func TreeDP(g *Graph, env *Env) (*Annotation, error) {
 		// input formats.
 		pouts := make([]format.Format, len(v.Ins))
 		for _, im := range env.Impls[v.Op.Kind] {
+			if s.ctx.Err() != nil {
+				return nil, s.ctxErr()
+			}
 			enumerateCombos(best, 0, pouts, func() {
+				s.stats.CandidatesEvaluated++
 				outF, implCost, ok := env.applyImpl(v, im, pouts)
 				if !ok {
 					return
@@ -100,7 +117,7 @@ func TreeDP(g *Graph, env *Env) (*Annotation, error) {
 		tables[v.ID] = table
 	}
 
-	ann := newAnnotation(g)
+	ann = newAnnotation(g)
 	for _, sink := range g.Sinks() {
 		var bestF format.Format
 		bestCost := -1.0
@@ -112,9 +129,10 @@ func TreeDP(g *Graph, env *Env) (*Annotation, error) {
 		if bestCost < 0 {
 			return nil, ErrInfeasible
 		}
-		backtrackTree(g, env, tables, sink, bestF, ann)
+		if err := backtrackTree(g, env, tables, sink, bestF, ann); err != nil {
+			return nil, err
+		}
 	}
-	ann.OptSeconds = time.Since(start).Seconds()
 	return ann, nil
 }
 
@@ -132,20 +150,24 @@ func enumerateCombos(best []map[format.Format]childChoice, j int, pouts []format
 }
 
 // backtrackTree labels the annotation along the optimal sub-plan that
-// leaves vertex v in format f.
-func backtrackTree(g *Graph, env *Env, tables []map[format.Format]*treeEntry, v *Vertex, f format.Format, ann *Annotation) {
+// leaves vertex v in format f. A recorded choice that no longer applies
+// is an optimizer bug and surfaces as ErrInternal.
+func backtrackTree(g *Graph, env *Env, tables []map[format.Format]*treeEntry, v *Vertex, f format.Format, ann *Annotation) error {
 	ann.VertexFormat[v.ID] = f
 	if v.IsSource {
-		return
+		return nil
 	}
 	e := tables[v.ID][f]
+	if e == nil {
+		return internalf("backtracking reached vertex %d with unrecorded format %v", v.ID, f)
+	}
 	ann.VertexImpl[v.ID] = e.im
 	// Re-derive the impl cost for the cost breakdown.
 	pouts := make([]format.Format, len(v.Ins))
 	for j, in := range v.Ins {
 		tout, ok := e.trs[j].Apply(in.Shape, in.Density, e.pins[j], env.Cluster)
 		if !ok {
-			panic("core: recorded transformation became infeasible during backtracking")
+			return internalf("recorded transformation %s became infeasible during backtracking at vertex %d", e.trs[j].Name, v.ID)
 		}
 		pouts[j] = tout.Format
 		ek := EdgeKey{To: v.ID, Arg: j}
@@ -154,10 +176,13 @@ func backtrackTree(g *Graph, env *Env, tables []map[format.Format]*treeEntry, v 
 	}
 	_, implCost, ok := env.applyImpl(v, e.im, pouts)
 	if !ok {
-		panic("core: recorded implementation became infeasible during backtracking")
+		return internalf("recorded implementation %s became infeasible during backtracking at vertex %d", e.im.Name, v.ID)
 	}
 	ann.VertexCost[v.ID] = implCost
 	for j, in := range v.Ins {
-		backtrackTree(g, env, tables, in, e.pins[j], ann)
+		if err := backtrackTree(g, env, tables, in, e.pins[j], ann); err != nil {
+			return err
+		}
 	}
+	return nil
 }

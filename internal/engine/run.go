@@ -1,21 +1,33 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"matopt/internal/core"
 	"matopt/internal/tensor"
 )
 
-// Run executes an annotated compute graph end to end on real data:
+// Run executes an annotated compute graph end to end on real data; see
+// RunCtx.
+func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
+	return e.RunCtx(context.Background(), ann, inputs)
+}
+
+// RunCtx executes an annotated compute graph end to end on real data:
 // inputs maps source-vertex names to dense matrices, which are loaded in
 // each source's declared format; every edge transformation and every
 // vertex implementation then runs through the relational executors. The
 // returned map holds the resulting relation of every vertex (sinks
-// included), so callers can Collect whichever results they need.
-func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
+// included), so callers can Collect whichever results they need. The
+// context is checked between vertices, so a cancelled context aborts the
+// run at the next vertex boundary with the context's error.
+func (e *Engine) RunCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
 	rels := make(map[int]*Relation, len(ann.Graph.Vertices))
 	for _, v := range ann.Graph.Vertices {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: execution aborted before vertex %d: %w", v.ID, err)
+		}
 		if v.IsSource {
 			m, ok := inputs[v.Name]
 			if !ok {
@@ -71,7 +83,12 @@ func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map
 
 // RunCollect is Run followed by Collect on every sink, keyed by vertex ID.
 func (e *Engine) RunCollect(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
-	rels, err := e.Run(ann, inputs)
+	return e.RunCollectCtx(context.Background(), ann, inputs)
+}
+
+// RunCollectCtx is RunCtx followed by Collect on every sink.
+func (e *Engine) RunCollectCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	rels, err := e.RunCtx(ctx, ann, inputs)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -434,8 +435,24 @@ func Fig13(budget time.Duration) Table {
 
 // All regenerates every figure (Fig13 with the given brute budget).
 func All(bruteBudget time.Duration) []Table {
-	return []Table{
-		Fig1(), Fig4(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(),
-		Fig11(), Fig12(), Fig13(bruteBudget),
+	tables, _ := AllCtx(context.Background(), bruteBudget)
+	return tables
+}
+
+// AllCtx regenerates every figure, checking ctx between figures; on
+// cancellation it returns the tables completed so far together with the
+// context's error.
+func AllCtx(ctx context.Context, bruteBudget time.Duration) ([]Table, error) {
+	gens := []func() Table{
+		Fig1, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10,
+		Fig11, Fig12, func() Table { return Fig13(bruteBudget) },
 	}
+	var tables []Table
+	for _, gen := range gens {
+		if err := ctx.Err(); err != nil {
+			return tables, err
+		}
+		tables = append(tables, gen())
+	}
+	return tables, nil
 }

@@ -92,12 +92,18 @@ func (b *Builder) SparseInput(name string, rows, cols int64, density float64, f 
 	if b.err != nil {
 		return Matrix{b: b}
 	}
+	// shape.New still panics on non-positive extents; fold that into the
+	// builder's deferred-error discipline alongside AddInput's errors.
 	defer func() {
 		if r := recover(); r != nil {
 			b.err = fmt.Errorf("matopt: input %q: %v", name, r)
 		}
 	}()
-	v := b.g.Input(name, shape.New(rows, cols), density, f.f)
+	v, err := b.g.AddInput(name, shape.New(rows, cols), density, f.f)
+	if err != nil {
+		b.err = fmt.Errorf("matopt: input %q: %w", name, err)
+		return Matrix{b: b}
+	}
 	return Matrix{v: v, b: b}
 }
 

@@ -1,6 +1,7 @@
 package matopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -52,23 +53,28 @@ const (
 	BruteForce
 )
 
-// Optimizer chooses optimal physical plans for computations.
+// Optimizer chooses optimal physical plans for computations. Options are
+// recorded first and the environment is built once in NewOptimizer, so
+// option order never matters.
 type Optimizer struct {
-	env       *core.Env
-	algorithm Algorithm
-	budget    time.Duration
+	cluster     Cluster
+	formatSet   FormatSet
+	model       *costmodel.Model
+	algorithm   Algorithm
+	budget      time.Duration
+	parallelism int
+	cacheSize   int
+	noCache     bool
+
+	env   *core.Env
+	cache *planCache // nil when WithoutPlanCache was given
 }
 
 // Option configures an Optimizer.
 type Option func(*Optimizer)
 
 // WithFormats restricts the format universe.
-func WithFormats(fs FormatSet) Option {
-	return func(o *Optimizer) {
-		o.env.Formats = fs.formats()
-		o.env = core.NewEnv(o.env.Cluster, fs.formats())
-	}
-}
+func WithFormats(fs FormatSet) Option { return func(o *Optimizer) { o.formatSet = fs } }
 
 // WithAlgorithm selects the optimization algorithm.
 func WithAlgorithm(a Algorithm) Option { return func(o *Optimizer) { o.algorithm = a } }
@@ -78,17 +84,38 @@ func WithAlgorithm(a Algorithm) Option { return func(o *Optimizer) { o.algorithm
 func WithBudget(d time.Duration) Option { return func(o *Optimizer) { o.budget = d } }
 
 // WithModel installs a calibrated cost model (see Calibrate).
-func WithModel(m *costmodel.Model) Option { return func(o *Optimizer) { o.env.Model = m } }
+func WithModel(m *costmodel.Model) Option { return func(o *Optimizer) { o.model = m } }
+
+// WithParallelism bounds the Frontier DP's candidate-evaluation worker
+// pool; n ≤ 1 forces the serial path. The default is GOMAXPROCS.
+// Parallel and serial runs produce byte-identical plans.
+func WithParallelism(n int) Option { return func(o *Optimizer) { o.parallelism = n } }
+
+// WithoutPlanCache disables the plan cache: every Optimize call searches
+// from scratch, as earlier versions of this package did.
+func WithoutPlanCache() Option { return func(o *Optimizer) { o.noCache = true } }
+
+// WithPlanCacheSize sets the plan cache's LRU capacity (default
+// DefaultPlanCacheSize).
+func WithPlanCacheSize(n int) Option { return func(o *Optimizer) { o.cacheSize = n } }
 
 // NewOptimizer returns an optimizer for the given cluster profile.
 func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
 	o := &Optimizer{
-		env:       core.NewEnv(cl, format.All()),
+		cluster:   cl,
+		formatSet: AllFormats,
 		algorithm: Auto,
 		budget:    30 * time.Minute,
 	}
 	for _, opt := range opts {
 		opt(o)
+	}
+	o.env = core.NewEnv(o.cluster, o.formatSet.formats())
+	if o.model != nil {
+		o.env.Model = o.model
+	}
+	if !o.noCache {
+		o.cache = newPlanCache(o.cacheSize)
 	}
 	return o
 }
@@ -97,20 +124,45 @@ func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
 // experiment harness uses it to cross baselines and clusters).
 func (o *Optimizer) Env() *core.Env { return o.env }
 
-// Plan is an optimized, type-correct annotated compute graph.
-type Plan struct {
-	ann *core.Annotation
-	env *core.Env
+// CachedPlans reports how many optimized computations the plan cache
+// currently holds (0 when the cache is disabled).
+func (o *Optimizer) CachedPlans() int {
+	if o.cache == nil {
+		return 0
+	}
+	return o.cache.len()
 }
 
-// ErrTimeout reports that the brute-force search exceeded its budget.
+// Plan is an optimized, type-correct annotated compute graph.
+type Plan struct {
+	ann    *core.Annotation
+	env    *core.Env
+	stats  core.Stats
+	cached bool
+}
+
+// ErrTimeout reports that the search exceeded its budget or deadline.
 var ErrTimeout = core.ErrTimeout
 
 // ErrInfeasible reports that no type-correct annotation exists.
 var ErrInfeasible = core.ErrInfeasible
 
+// ErrInternal reports an inconsistency inside the optimizer itself (a
+// bug in the search, not in the caller's computation).
+var ErrInternal = core.ErrInternal
+
 // Optimize computes the cost-optimal annotation of the builder's graph.
 func (o *Optimizer) Optimize(b *Builder, outputs ...Matrix) (*Plan, error) {
+	return o.OptimizeCtx(context.Background(), b, outputs...)
+}
+
+// OptimizeCtx is Optimize under a caller-supplied context: a cancelled
+// or expired context aborts the search mid-flight with ErrTimeout
+// (deadline) or the context's own error (cancellation). Results are
+// served from the plan cache when an identical computation — same graph
+// structure, shapes, densities, format universe and cluster profile —
+// was optimized before.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matrix) (*Plan, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -118,17 +170,40 @@ func (o *Optimizer) Optimize(b *Builder, outputs ...Matrix) (*Plan, error) {
 	if g.NumOps() == 0 {
 		return nil, errors.New("matopt: computation has no operations")
 	}
+	var key string
+	if o.cache != nil {
+		key = fmt.Sprintf("%d|%s", o.algorithm, core.Fingerprint(g, o.env))
+		if ann, ok := o.cache.get(key); ok {
+			return &Plan{ann: ann, env: o.env, cached: true}, nil
+		}
+	}
 	var ann *core.Annotation
 	var err error
+	var sess *core.Session
 	if o.algorithm == BruteForce {
-		ann, err = core.Brute(g, o.env, o.budget)
+		bctx, cancel := context.WithTimeout(ctx, o.budget)
+		defer cancel()
+		sess = o.newSession(bctx)
+		ann, err = sess.Brute(g)
 	} else {
-		ann, err = core.Optimize(g, o.env)
+		sess = o.newSession(ctx)
+		ann, err = sess.Optimize(g)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{ann: ann, env: o.env}, nil
+	if o.cache != nil {
+		o.cache.put(key, ann)
+	}
+	return &Plan{ann: ann, env: o.env, stats: sess.Stats()}, nil
+}
+
+func (o *Optimizer) newSession(ctx context.Context) *core.Session {
+	var opts []core.SessionOption
+	if o.parallelism > 0 {
+		opts = append(opts, core.WithParallelism(o.parallelism))
+	}
+	return core.NewSession(ctx, o.env, opts...)
 }
 
 // PredictedSeconds returns the cost model's total predicted running time.
@@ -136,6 +211,15 @@ func (p *Plan) PredictedSeconds() float64 { return p.ann.Total() }
 
 // OptimizerSeconds returns the wall time the optimizer itself took.
 func (p *Plan) OptimizerSeconds() float64 { return p.ann.OptSeconds }
+
+// OptimizerStats returns the search's per-run instrumentation: classes
+// expanded, beam entries pruned, candidates evaluated and wall time. A
+// plan served from the cache reports zeroes — no search ran.
+func (p *Plan) OptimizerStats() core.Stats { return p.stats }
+
+// Cached reports whether the plan was served from the plan cache rather
+// than a fresh search.
+func (p *Plan) Cached() bool { return p.cached }
 
 // Describe renders the chosen implementations, formats and re-layouts.
 func (p *Plan) Describe() string { return p.ann.Describe() }
@@ -159,6 +243,12 @@ func NewExecutor(cl Cluster) *Executor { return &Executor{eng: engine.New(cl)} }
 // single-output case use RunSingle.
 func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
 	return x.eng.RunCollect(p.ann, inputs)
+}
+
+// RunCtx is Run under a caller-supplied context; execution checks the
+// context between vertices and aborts with its error when cancelled.
+func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	return x.eng.RunCollectCtx(ctx, p.ann, inputs)
 }
 
 // RunSingle executes a single-output plan and returns its result.

@@ -1,0 +1,73 @@
+package matopt
+
+import (
+	"container/list"
+	"sync"
+
+	"matopt/internal/core"
+)
+
+// DefaultPlanCacheSize is the number of distinct computations an
+// Optimizer's plan cache retains before evicting least-recently-used
+// entries; override it with WithPlanCacheSize.
+const DefaultPlanCacheSize = 128
+
+// planCache is a thread-safe LRU of optimized annotations keyed by the
+// canonical fingerprint of (graph, environment). Repeated Optimize calls
+// on identical computations — the heavy-traffic serving case — hit the
+// cache and skip the search entirely.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key string
+	ann *core.Annotation
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &planCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *planCache) get(key string) (*core.Annotation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planCacheEntry).ann, true
+}
+
+func (c *planCache) put(key string, ann *core.Annotation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planCacheEntry).ann = ann
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&planCacheEntry{key: key, ann: ann})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,142 @@
+package matopt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// motivatingBuilder rebuilds the §2.1 motivating chain; density lets the
+// cache-key tests vary one fingerprint component.
+func motivatingBuilder(density float64) *Builder {
+	b := NewBuilder()
+	a := b.SparseInput("A", 100, 10000, density, RowStrips(10))
+	m := b.Input("B", 10000, 100, ColStrips(10))
+	c := b.Input("C", 100, 1000000, ColStrips(10000))
+	b.MatMul(b.MatMul(a, m), c)
+	return b
+}
+
+func TestPlanCacheHit(t *testing.T) {
+	o := NewOptimizer(ClusterR5D(5))
+	cold, err := o.Optimize(motivatingBuilder(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached() {
+		t.Fatal("first Optimize reported a cache hit")
+	}
+	// A fresh Builder with the identical computation must hit.
+	hot, err := o.Optimize(motivatingBuilder(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hot.Cached() {
+		t.Fatal("identical computation missed the plan cache")
+	}
+	if cold.Describe() != hot.Describe() {
+		t.Errorf("cached plan differs:\n%s\nvs\n%s", cold.Describe(), hot.Describe())
+	}
+	if cold.PredictedSeconds() != hot.PredictedSeconds() {
+		t.Errorf("cached cost %v differs from cold %v", hot.PredictedSeconds(), cold.PredictedSeconds())
+	}
+	if err := hot.Verify(); err != nil {
+		t.Errorf("cached plan does not verify: %v", err)
+	}
+	if n := o.CachedPlans(); n != 1 {
+		t.Errorf("CachedPlans() = %d, want 1", n)
+	}
+}
+
+func TestPlanCacheBypass(t *testing.T) {
+	o := NewOptimizer(ClusterR5D(5), WithoutPlanCache())
+	for i := 0; i < 2; i++ {
+		p, err := o.Optimize(motivatingBuilder(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cached() {
+			t.Fatalf("run %d served from cache despite WithoutPlanCache", i)
+		}
+	}
+	if n := o.CachedPlans(); n != 0 {
+		t.Errorf("CachedPlans() = %d with cache disabled", n)
+	}
+}
+
+// TestPlanCacheKeyedOnDensity: the adaptive executor re-optimizes
+// remainder graphs with measured densities, so two computations that
+// differ only in a density estimate must not share a cache slot.
+func TestPlanCacheKeyedOnDensity(t *testing.T) {
+	o := NewOptimizer(ClusterR5D(5))
+	if _, err := o.Optimize(motivatingBuilder(1)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Optimize(motivatingBuilder(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached() {
+		t.Fatal("computation with a different density hit the cache")
+	}
+	if n := o.CachedPlans(); n != 2 {
+		t.Errorf("CachedPlans() = %d, want 2", n)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	o := NewOptimizer(ClusterR5D(5), WithPlanCacheSize(1))
+	if _, err := o.Optimize(motivatingBuilder(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Optimize(motivatingBuilder(0.5)); err != nil {
+		t.Fatal(err) // evicts the density-1 plan
+	}
+	p, err := o.Optimize(motivatingBuilder(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached() {
+		t.Fatal("evicted plan still served from a capacity-1 cache")
+	}
+	if n := o.CachedPlans(); n != 1 {
+		t.Errorf("CachedPlans() = %d, want 1", n)
+	}
+}
+
+// TestOptionOrderIndependence is the WithFormats/WithModel regression:
+// options are recorded first and the environment built once, so the
+// model survives regardless of option order.
+func TestOptionOrderIndependence(t *testing.T) {
+	cl := ClusterR5D(5)
+	m := NewOptimizer(cl).Env().Model // any distinct *Model pointer works
+	ab := NewOptimizer(cl, WithModel(m), WithFormats(SingleBlockFormats))
+	ba := NewOptimizer(cl, WithFormats(SingleBlockFormats), WithModel(m))
+	if ab.Env().Model != m || ba.Env().Model != m {
+		t.Fatalf("WithModel dropped: order ab kept=%v, order ba kept=%v",
+			ab.Env().Model == m, ba.Env().Model == m)
+	}
+	if len(ab.Env().Formats) != len(ba.Env().Formats) {
+		t.Fatalf("format universes differ by option order: %d vs %d",
+			len(ab.Env().Formats), len(ba.Env().Formats))
+	}
+}
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := NewOptimizer(ClusterR5D(5), WithoutPlanCache())
+	if _, err := o.OptimizeCtx(ctx, motivatingBuilder(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestOptimizeCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	o := NewOptimizer(ClusterR5D(5), WithoutPlanCache())
+	if _, err := o.OptimizeCtx(ctx, motivatingBuilder(1)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+}
