@@ -23,10 +23,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The optimizer's parallel Frontier expansion and the engine's
-# context-aware execution are the concurrency-bearing packages.
+# The optimizer's parallel Frontier expansion, the engine's
+# context-aware execution and the sharded dist runtime are the
+# concurrency-bearing packages.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/
 
+# Runs every benchmark once and records the dist-vs-sequential
+# comparison in BENCH_dist.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
+		-bench BenchmarkDistVsSequential -benchtime 1x ./internal/dist/

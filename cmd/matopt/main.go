@@ -3,10 +3,17 @@
 // edge re-layouts and the predicted running time. Ctrl-C (SIGINT) or
 // SIGTERM cancels an in-flight optimization cleanly.
 //
+// With -engine seq or -engine dist the plan is also executed on real
+// (randomly generated) matrices, scaled down by -scale so the workloads
+// fit in one process. The dist engine shards every relation across
+// -shards workers, verifies its outputs bit-for-bit against the
+// sequential engine, and prints the measured shuffle traffic.
+//
 //	matopt -workload ffnn -hidden 80000 -workers 10
 //	matopt -workload chain -sizeset 2
 //	matopt -workload inverse
 //	matopt -workload motivating
+//	matopt -workload ffnn -engine dist -shards 8 -scale 500
 package main
 
 import (
@@ -14,14 +21,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"matopt/internal/core"
 	"matopt/internal/costmodel"
+	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
 	"matopt/internal/workload"
 )
 
@@ -34,33 +47,43 @@ func main() {
 	formatSet := flag.String("formats", "all", "format universe: all | ssb (single/strip/block) | sb (single/block)")
 	alg := flag.String("alg", "auto", "optimization algorithm: auto (tree DP / frontier) | brute")
 	budget := flag.Duration("brute-budget", 30*time.Second, "brute-force time budget")
-	par := flag.Int("parallelism", 0, "frontier worker pool size (0 = GOMAXPROCS)")
+	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "frontier worker pool size")
 	stats := flag.Bool("stats", false, "print optimizer search statistics")
 	dot := flag.Bool("dot", false, "emit the annotated compute graph in Graphviz format (Figure 2 style)")
+	engSel := flag.String("engine", "sim", "sim (simulate at paper scale) | seq | dist (execute, scaled by -scale)")
+	shards := flag.Int("shards", dist.DefaultShards(), "dist engine shard count")
+	scale := flag.Int64("scale", 100, "divisor applied to workload dimensions before real execution")
 	flag.Parse()
+
+	if *par <= 0 {
+		log.Fatalf("-parallelism must be positive, got %d", *par)
+	}
+	if *shards <= 0 {
+		log.Fatalf("-shards must be positive, got %d", *shards)
+	}
+	if *scale <= 0 {
+		log.Fatalf("-scale must be positive, got %d", *scale)
+	}
+	execute := false
+	switch *engSel {
+	case "sim":
+	case "seq", "dist":
+		execute = true
+	default:
+		log.Fatalf("unknown engine %q (want sim, seq or dist)", *engSel)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	var g *core.Graph
+	var inputs map[string]*tensor.Dense
 	var err error
-	switch *wl {
-	case "motivating":
-		g, err = workload.MotivatingChain()
-	case "ffnn":
-		g, err = workload.FFNNW2Update(workload.PaperFFNN(*hidden))
-	case "ffnn3":
-		g, err = workload.FFNNThreePass(workload.PaperFFNN(*hidden))
-	case "chain":
-		sets := workload.ChainSizeSets()
-		if *sizeSet < 1 || *sizeSet > len(sets) {
-			log.Fatalf("sizeset must be in 1..%d", len(sets))
-		}
-		g, err = workload.MatMulChain(sets[*sizeSet-1])
-	case "inverse":
-		g, err = workload.BlockInverse2(workload.PaperBlockInverse())
-	default:
-		log.Fatalf("unknown workload %q", *wl)
+	rng := rand.New(rand.NewSource(1))
+	if execute {
+		g, inputs, err = buildExecutable(*wl, *hidden, *sizeSet, *scale, rng)
+	} else {
+		g, err = buildPaperScale(*wl, *hidden, *sizeSet)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -81,10 +104,7 @@ func main() {
 	if !*sparse {
 		env.DisableSparse()
 	}
-	var sessOpts []core.SessionOption
-	if *par > 0 {
-		sessOpts = append(sessOpts, core.WithParallelism(*par))
-	}
+	sessOpts := []core.SessionOption{core.WithParallelism(*par)}
 	var ann *core.Annotation
 	switch *alg {
 	case "auto":
@@ -108,6 +128,11 @@ func main() {
 		return
 	}
 	fmt.Print(ann.Describe())
+
+	if execute {
+		run(ctx, *engSel, *shards, env.Cluster, ann, inputs)
+		return
+	}
 	rep, err := engine.Simulate(ann, env)
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
@@ -117,6 +142,148 @@ func main() {
 	fmt.Printf("features: %.3g FLOPs, %.3g net bytes, %.3g intermediate bytes, %.0f tuples\n",
 		rep.Features.FLOPs, rep.Features.NetBytes, rep.Features.InterBytes, rep.Features.Tuples)
 	fmt.Printf("peak per-worker working set: %.1f GB\n", rep.PeakWorkerBytes/(1<<30))
+}
+
+// buildPaperScale builds the workload at the paper's published sizes,
+// for optimization and simulation only.
+func buildPaperScale(wl string, hidden int64, sizeSet int) (*core.Graph, error) {
+	switch wl {
+	case "motivating":
+		return workload.MotivatingChain()
+	case "ffnn":
+		return workload.FFNNW2Update(workload.PaperFFNN(hidden))
+	case "ffnn3":
+		return workload.FFNNThreePass(workload.PaperFFNN(hidden))
+	case "chain":
+		sets := workload.ChainSizeSets()
+		if sizeSet < 1 || sizeSet > len(sets) {
+			return nil, fmt.Errorf("sizeset must be in 1..%d", len(sets))
+		}
+		return workload.MatMulChain(sets[sizeSet-1])
+	case "inverse":
+		return workload.BlockInverse2(workload.PaperBlockInverse())
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+// buildExecutable builds the workload with every dimension divided by
+// scale plus matching random input matrices.
+func buildExecutable(wl string, hidden int64, sizeSet int, scale int64, rng *rand.Rand) (*core.Graph, map[string]*tensor.Dense, error) {
+	div := func(x int64) int64 {
+		if v := x / scale; v > 0 {
+			return v
+		}
+		return 1
+	}
+	switch wl {
+	case "motivating":
+		return nil, nil, fmt.Errorf("the motivating chain exists at paper scale only; use -engine sim or -workload chain")
+	case "ffnn", "ffnn3":
+		cfg := workload.ScaledFFNN(workload.PaperFFNN(hidden), scale)
+		gen := workload.FFNNW2Update
+		if wl == "ffnn3" {
+			gen = workload.FFNNThreePass
+		}
+		g, err := gen(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, workload.FFNNInputs(rng, cfg), nil
+	case "chain":
+		sets := workload.ChainSizeSets()
+		if sizeSet < 1 || sizeSet > len(sets) {
+			return nil, nil, fmt.Errorf("sizeset must be in 1..%d", len(sets))
+		}
+		sz := sets[sizeSet-1]
+		shrink := func(s shape.Shape) shape.Shape { return shape.New(div(s.Rows), div(s.Cols)) }
+		sz.A, sz.B, sz.C = shrink(sz.A), shrink(sz.B), shrink(sz.C)
+		sz.D, sz.E, sz.F = shrink(sz.D), shrink(sz.E), shrink(sz.F)
+		g, err := workload.MatMulChain(sz)
+		if err != nil {
+			return nil, nil, err
+		}
+		inputs := map[string]*tensor.Dense{}
+		for n, s := range map[string]shape.Shape{"A": sz.A, "B": sz.B, "C": sz.C, "D": sz.D, "E": sz.E, "F": sz.F} {
+			inputs[n] = tensor.RandNormal(rng, int(s.Rows), int(s.Cols))
+		}
+		return g, inputs, nil
+	case "inverse":
+		paper := workload.PaperBlockInverse()
+		outer := div(paper.Outer)
+		if outer < 2 {
+			outer = 2
+		}
+		inner1 := outer * paper.Inner1 / paper.Outer
+		if inner1 < 1 {
+			inner1 = 1
+		}
+		cfg := workload.BlockInverseConfig{
+			Outer: outer, Inner1: inner1, Inner2: outer - inner1,
+			BlockFormat: format.NewSingle(),
+		}
+		g, err := workload.BlockInverse2(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		// A diagonally dominant matrix keeps every Schur complement the
+		// identity-based plan inverts well conditioned.
+		n, n1 := int(outer), int(inner1)
+		full := tensor.RandNormal(rng, 2*n, 2*n)
+		for i := 0; i < 2*n; i++ {
+			full.Set(i, i, full.At(i, i)+float64(2*n))
+		}
+		inputs := map[string]*tensor.Dense{
+			"A11": full.Slice(0, n1, 0, n1), "A12": full.Slice(0, n1, n1, n),
+			"A21": full.Slice(n1, n, 0, n1), "A22": full.Slice(n1, n, n1, n),
+			"B1": full.Slice(0, n1, n, 2*n), "B2": full.Slice(n1, n, n, 2*n),
+			"C1": full.Slice(n, 2*n, 0, n1), "C2": full.Slice(n, 2*n, n1, n),
+			"D": full.Slice(n, 2*n, n, 2*n),
+		}
+		return g, inputs, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+// run executes the annotated plan for real. The dist path always runs
+// the sequential engine too and cross-checks every output bit by bit.
+func run(ctx context.Context, engSel string, shards int, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
+	seq := engine.New(cl)
+	t0 := time.Now()
+	want, err := seq.RunCollectCtx(ctx, ann, inputs)
+	if err != nil {
+		log.Fatalf("sequential run: %v", err)
+	}
+	seqWall := time.Since(t0)
+	fmt.Printf("\nsequential engine: %d outputs in %v\n", len(want), seqWall.Round(time.Millisecond))
+	if engSel == "seq" {
+		return
+	}
+
+	rt, err := dist.New(cl, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, rep, err := rt.Run(ctx, ann, inputs)
+	if err != nil {
+		log.Fatalf("dist run: %v", err)
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok || g.Rows != w.Rows || g.Cols != w.Cols {
+			log.Fatalf("dist output %d does not match the sequential engine's shape", id)
+		}
+		for i := range w.Data {
+			if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+				log.Fatalf("dist output %d differs from the sequential engine at entry %d", id, i)
+			}
+		}
+	}
+	fmt.Printf("dist engine (%d shards): outputs bit-identical to sequential ✓\n%s", shards, rep)
+	if rep.Wall > 0 {
+		fmt.Printf("speedup over sequential: %.2fx\n", float64(seqWall)/float64(rep.Wall))
+	}
 }
 
 func reportStats(enabled bool, sess *core.Session) {

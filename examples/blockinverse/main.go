@@ -77,21 +77,22 @@ func main() {
 		"C1": full.Slice(n, 2*n, 0, n1), "C2": full.Slice(n, 2*n, n1, n),
 		"D": full.Slice(n, 2*n, n, 2*n),
 	}
+	// The outer Schur-complement inverse is D̄, the bottom-right block.
+	// It is an intermediate (not a sink), so the run must keep it.
+	sinvID := -1
+	for _, v := range sg.Vertices {
+		if !v.IsSource && v.Op.Kind.String() == "inverse" {
+			sinvID = v.ID
+		}
+	}
 	eng := engine.New(small.Cluster)
-	rels, err := eng.Run(sann, inputs)
+	rels, err := eng.RunKeep(sann, inputs, []int{sinvID})
 	if err != nil {
 		log.Fatal(err)
 	}
 	wantInv, err := tensor.Inverse(full)
 	if err != nil {
 		log.Fatal(err)
-	}
-	// The outer Schur-complement inverse is D̄, the bottom-right block.
-	sinvID := -1
-	for _, v := range sg.Vertices {
-		if !v.IsSource && v.Op.Kind.String() == "inverse" {
-			sinvID = v.ID
-		}
 	}
 	got, err := eng.Collect(rels[sinvID])
 	if err != nil {

@@ -1,0 +1,114 @@
+package dist_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// benchResult is the record `make bench` writes to BENCH_dist.json.
+type benchResult struct {
+	Workload   string  `json:"workload"`
+	Shards     int     `json:"shards"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	SeqNs      int64   `json:"seq_ns"`
+	DistNs     int64   `json:"dist_ns"`
+	Speedup    float64 `json:"speedup"`
+	NetBytes   int64   `json:"net_bytes"`
+	PeakBytes  int64   `json:"peak_bytes"`
+}
+
+// BenchmarkDistVsSequential times the same optimized plan on the
+// sequential reference engine and on the dist runtime at 8 shards. The
+// speedup metric reflects the host: on a multi-core machine the shards
+// run on separate cores; on a single-core container both engines do the
+// same work and the ratio hovers around 1. When BENCH_DIST_JSON names a
+// file, the measured comparison is written there as JSON.
+func BenchmarkDistVsSequential(b *testing.B) {
+	const shards = 8
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	eng := engine.New(cl)
+	rt, err := dist.New(cl, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var seqTotal, distTotal time.Duration
+	var rep *dist.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := eng.RunCollect(ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		seqTotal += time.Since(t0)
+
+		t1 := time.Now()
+		var err error
+		if _, rep, err = rt.Run(context.Background(), ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		distTotal += time.Since(t1)
+	}
+	b.StopTimer()
+
+	seqNs := seqTotal.Nanoseconds() / int64(b.N)
+	distNs := distTotal.Nanoseconds() / int64(b.N)
+	speedup := float64(seqNs) / float64(distNs)
+	b.ReportMetric(float64(seqNs), "seq-ns/op")
+	b.ReportMetric(float64(distNs), "dist-ns/op")
+	b.ReportMetric(speedup, "speedup")
+
+	if path := os.Getenv("BENCH_DIST_JSON"); path != "" {
+		out, err := json.MarshalIndent(benchResult{
+			Workload:   "matmul-chain (scaled)",
+			Shards:     shards,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			SeqNs:      seqNs,
+			DistNs:     distNs,
+			Speedup:    speedup,
+			NetBytes:   rep.NetBytes,
+			PeakBytes:  rep.PeakBytes,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

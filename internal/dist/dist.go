@@ -1,0 +1,87 @@
+// Package dist is a sharded multi-worker execution runtime for
+// annotated plans: the measured counterpart of the sequential reference
+// engine in internal/engine. Each relation's tuples are hash partitioned
+// across P worker shards — one goroutine pool per shard, standing in for
+// the paper's cluster nodes (the same substitution DESIGN.md documents
+// for the simulator, applied to real execution). A dataflow DAG
+// scheduler runs independent vertices concurrently, ref-counts each
+// relation's consumers so shards are freed as soon as the last consumer
+// finishes, and accounts peak resident bytes.
+//
+// Operators never touch another shard's tuples directly: all data
+// movement goes through channel-backed exchange primitives (broadcast,
+// co-partitioned join, shuffle-by-key, group-by-SUM aggregation) that
+// meter the actual bytes and message counts crossing shard boundaries.
+// Every run therefore produces a Report of measured shuffle traffic,
+// per-shard compute time and peak memory that can be held against the
+// cost model's predicted features.
+//
+// Determinism: the runtime produces byte-identical results to the
+// sequential engine. Floating-point addition is not associative, so
+// every aggregation ships tagged partial results (key, seq) to a
+// deterministic owner shard, sorts them, and replays the exact reduction
+// order — and the exact kernel sequence — of the sequential executors.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/engine"
+	"matopt/internal/tensor"
+)
+
+// Runtime executes annotated plans across a fixed number of shards.
+type Runtime struct {
+	cluster costmodel.Cluster
+	shards  int
+}
+
+// DefaultShards is the shard count used when the caller does not choose
+// one: the process's GOMAXPROCS.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// New returns a runtime with the given cluster profile (for per-tuple
+// size bounds) and shard count. The shard count must be positive; use
+// DefaultShards to size it to the host.
+func New(cl costmodel.Cluster, shards int) (*Runtime, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("dist: shard count must be positive, got %d", shards)
+	}
+	return &Runtime{cluster: cl, shards: shards}, nil
+}
+
+// Shards returns the configured shard count.
+func (rt *Runtime) Shards() int { return rt.shards }
+
+// Run executes an annotated compute graph on real data and returns the
+// assembled dense result of every sink vertex, keyed by vertex ID,
+// together with a Report of what the run measured. Results are
+// byte-identical to the sequential engine's. The context cancels the
+// run at the next vertex or exchange boundary.
+func (rt *Runtime) Run(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, *Report, error) {
+	start := time.Now()
+	r := newRun(rt, ctx, ann)
+	defer r.stop()
+	rels, peak, err := r.execute(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make(map[int]*tensor.Dense)
+	for _, v := range ann.Graph.Sinks() {
+		rel := rels[v.ID]
+		if rel == nil {
+			return nil, nil, fmt.Errorf("dist: sink %d has no relation after the run", v.ID)
+		}
+		m, err := engine.Assemble(rel.asEngine())
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: collecting sink %d: %w", v.ID, err)
+		}
+		outs[v.ID] = m
+	}
+	return outs, r.report(peak, time.Since(start)), nil
+}

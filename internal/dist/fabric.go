@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"matopt/internal/engine"
+	"matopt/internal/tensor"
+)
+
+// message is one tuple in flight plus its deterministic reduce
+// position: seq is the contraction index of a partial result, so the
+// receiving shard can sort contributions into the exact order the
+// sequential engine folds them in.
+type message struct {
+	key   engine.Key
+	seq   int64
+	tuple engine.Tuple
+}
+
+// routed is a message with an explicit destination shard.
+type routed struct {
+	dst int
+	msg message
+}
+
+// meter counts the traffic of one exchange; only payloads that cross a
+// shard boundary are counted (local delivery is free, as on a cluster).
+type meter struct {
+	vertex int
+	kind   string
+	label  string
+	bytes  atomic.Int64
+	msgs   atomic.Int64
+}
+
+func (m *meter) count(t engine.Tuple) {
+	m.bytes.Add(t.Bytes())
+	m.msgs.Add(1)
+}
+
+// fabric owns the run's meters; exchanges register one meter each, and
+// the final report snapshots them.
+type fabric struct {
+	shards int
+	mu     sync.Mutex
+	meters []*meter
+}
+
+// meterFor registers a fresh meter for one exchange at one vertex.
+func (f *fabric) meterFor(vertex int, kind, label string) *meter {
+	m := &meter{vertex: vertex, kind: kind, label: label}
+	f.mu.Lock()
+	f.meters = append(f.meters, m)
+	f.mu.Unlock()
+	return m
+}
+
+// stats snapshots every meter as exchange statistics.
+func (f *fabric) stats() []ExchangeStat {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ExchangeStat, 0, len(f.meters))
+	for _, m := range f.meters {
+		out = append(out, ExchangeStat{
+			Vertex: m.vertex, Kind: m.kind, Label: m.label,
+			Bytes: m.bytes.Load(), Messages: m.msgs.Load(),
+		})
+	}
+	sortExchanges(out)
+	return out
+}
+
+// exchange is the fabric's one movement primitive: produce runs on every
+// shard as a pool task (so its compute is attributed to the shard) and
+// emits messages with explicit destinations; each destination shard's
+// buffered channel is drained by a dedicated collector goroutine, which
+// makes the pattern deadlock-free regardless of fan-in. Returns the
+// per-shard received messages sorted by (key, seq) — the deterministic
+// order every reduce replays.
+func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
+	n := r.shards()
+	chans := make([]chan message, n)
+	recv := make([][]message, n)
+	var collectors sync.WaitGroup
+	for s := 0; s < n; s++ {
+		chans[s] = make(chan message, 128)
+		collectors.Add(1)
+		go func(s int) {
+			defer collectors.Done()
+			for msg := range chans[s] {
+				recv[s] = append(recv[s], msg)
+			}
+		}(s)
+	}
+	perr := r.parallel(func(s int) error {
+		out, err := produce(s)
+		if err != nil {
+			return err
+		}
+		for i, rm := range out {
+			if i%256 == 0 {
+				if err := r.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if rm.dst < 0 || rm.dst >= n {
+				return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
+			}
+			if rm.dst != s {
+				m.count(rm.msg.tuple)
+			}
+			chans[rm.dst] <- rm.msg
+		}
+		return nil
+	})
+	// Close only after every producer has returned; collectors then
+	// terminate having drained everything, even on error or cancel.
+	for _, ch := range chans {
+		close(ch)
+	}
+	collectors.Wait()
+	if perr != nil {
+		return nil, perr
+	}
+	for s := range recv {
+		sortMessages(recv[s])
+	}
+	return recv, nil
+}
+
+// sortMessages orders a shard's received messages by (key, seq): the
+// reduce-replay order.
+func sortMessages(ms []message) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].key.I != ms[j].key.I {
+			return ms[i].key.I < ms[j].key.I
+		}
+		if ms[i].key.J != ms[j].key.J {
+			return ms[i].key.J < ms[j].key.J
+		}
+		return ms[i].seq < ms[j].seq
+	})
+}
+
+// broadcastTuples ships every tuple of rel to every shard and returns
+// each shard's copy in key order — the broadcast-join primitive.
+func (r *run) broadcastTuples(m *meter, rel *relation) ([][]engine.Tuple, error) {
+	recv, err := r.exchange(m, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range rel.parts[s] {
+			for d := 0; d < r.shards(); d++ {
+				out = append(out, routed{dst: d, msg: message{key: t.Key, tuple: t}})
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return messageTuples(recv), nil
+}
+
+// gatherAt ships every tuple of rel to one shard and returns them in
+// key order; used for single-tuple moves and the transform stitch.
+func (r *run) gatherAt(m *meter, rel *relation, dst int) ([]engine.Tuple, error) {
+	recv, err := r.exchange(m, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range rel.parts[s] {
+			out = append(out, routed{dst: dst, msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return messageTuples(recv)[dst], nil
+}
+
+// routeByKey re-homes every tuple of rel onto shardOf(key) — the
+// co-partitioning primitive (a no-op, and free, for relations already
+// hash partitioned).
+func (r *run) routeByKey(m *meter, rel *relation) ([][]engine.Tuple, error) {
+	recv, err := r.exchange(m, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range rel.parts[s] {
+			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return messageTuples(recv), nil
+}
+
+// messageTuples strips the routing envelope, preserving order.
+func messageTuples(recv [][]message) [][]engine.Tuple {
+	out := make([][]engine.Tuple, len(recv))
+	for s, ms := range recv {
+		if len(ms) == 0 {
+			continue
+		}
+		ts := make([]engine.Tuple, len(ms))
+		for i, g := range ms {
+			ts[i] = g.tuple
+		}
+		out[s] = ts
+	}
+	return out
+}
+
+// foldMessages is the group-by-SUM reduce: contributions arrive sorted
+// by (key, seq); the first contribution of each key becomes the
+// accumulator and later ones are folded with tensor.AddInPlace — the
+// exact operation sequence of the sequential executors' accumulator
+// maps, so sums are bit-identical.
+func foldMessages(msgs []message) []engine.Tuple {
+	var out []engine.Tuple
+	for _, g := range msgs {
+		if n := len(out); n > 0 && out[n-1].Key == g.key {
+			tensor.AddInPlace(out[n-1].Dense, g.tuple.Dense)
+		} else {
+			out = append(out, engine.Tuple{Key: g.key, Dense: g.tuple.Dense})
+		}
+	}
+	return out
+}
+
+// foldInto sums sorted contributions into a zeroed accumulator,
+// mirroring the sequential executors that start from tensor.NewDense.
+func foldInto(acc *tensor.Dense, msgs []message) {
+	for _, g := range msgs {
+		tensor.AddInPlace(acc, g.tuple.Dense)
+	}
+}

@@ -1,0 +1,231 @@
+package dist_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// goldenShards are the shard counts every workload is checked at: the
+// degenerate single shard, an even split, and a prime count that
+// misaligns with every tile grid.
+var goldenShards = []int{1, 2, 7}
+
+// assertBitIdentical executes ann on the sequential engine and on the
+// dist runtime at every golden shard count, requiring every sink to be
+// bit-for-bit identical (math.Float64bits, not a tolerance).
+func assertBitIdentical(t *testing.T, name string, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
+	t.Helper()
+	eng := engine.New(cl)
+	want, err := eng.RunCollect(ann, inputs)
+	if err != nil {
+		t.Fatalf("%s: sequential run: %v", name, err)
+	}
+	for _, shards := range goldenShards {
+		rt, err := dist.New(cl, shards)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, rep, err := rt.Run(context.Background(), ann, inputs)
+		if err != nil {
+			t.Fatalf("%s @%d shards: dist run: %v", name, shards, err)
+		}
+		if rep == nil || rep.Shards != shards {
+			t.Fatalf("%s @%d shards: bad report %+v", name, shards, rep)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s @%d shards: %d sinks, sequential produced %d", name, shards, len(got), len(want))
+		}
+		for id, w := range want {
+			g, ok := got[id]
+			if !ok {
+				t.Fatalf("%s @%d shards: sink %d missing", name, shards, id)
+			}
+			if g.Rows != w.Rows || g.Cols != w.Cols {
+				t.Fatalf("%s @%d shards: sink %d is %dx%d, want %dx%d", name, shards, id, g.Rows, g.Cols, w.Rows, w.Cols)
+			}
+			for i := range w.Data {
+				if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+					t.Fatalf("%s @%d shards: sink %d entry (%d,%d): dist %v (bits %x) != sequential %v (bits %x)\nplan:\n%s",
+						name, shards, id, i/w.Cols, i%w.Cols,
+						g.Data[i], math.Float64bits(g.Data[i]),
+						w.Data[i], math.Float64bits(w.Data[i]), ann.Describe())
+				}
+			}
+		}
+	}
+}
+
+func optimize(t *testing.T, g *core.Graph, env *core.Env) *core.Annotation {
+	t.Helper()
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ann
+}
+
+// TestGoldenMatMulChain covers the §8.2 chain workload generator at an
+// executable scale.
+func TestGoldenMatMulChain(t *testing.T) {
+	sz := workload.ChainSizes{
+		Name: "scaled",
+		A:    shape.New(100, 300), B: shape.New(300, 500),
+		C: shape.New(500, 1), D: shape.New(1, 500),
+		E: shape.New(500, 100), F: shape.New(500, 100),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	ann := optimize(t, g, env)
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	assertBitIdentical(t, "matmul-chain", env.Cluster, ann, inputs)
+}
+
+// TestGoldenFFNN covers the three FFNN workload generators (W2 update,
+// full backprop, three-pass) at a scaled size.
+func TestGoldenFFNN(t *testing.T) {
+	cfg := workload.ScaledFFNN(workload.PaperFFNN(80000), 500)
+	gens := map[string]func(workload.FFNNConfig) (*core.Graph, error){
+		"w2update": workload.FFNNW2Update,
+		"backprop": workload.FFNNBackprop,
+		"3pass":    workload.FFNNThreePass,
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	for name, gen := range gens {
+		g, err := gen(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ann := optimize(t, g, env)
+		rng := rand.New(rand.NewSource(3))
+		assertBitIdentical(t, "ffnn-"+name, env.Cluster, ann, workload.FFNNInputs(rng, cfg))
+	}
+}
+
+// TestGoldenBlockInverse covers the two-level block-inverse generator.
+func TestGoldenBlockInverse(t *testing.T) {
+	cfg := workload.BlockInverseConfig{Outer: 40, Inner1: 16, Inner2: 24, BlockFormat: format.NewSingle()}
+	g, err := workload.BlockInverse2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	ann := optimize(t, g, env)
+	rng := rand.New(rand.NewSource(1))
+	n, n1 := int(cfg.Outer), int(cfg.Inner1)
+	full := tensor.RandNormal(rng, 2*n, 2*n)
+	for i := 0; i < 2*n; i++ {
+		full.Set(i, i, full.At(i, i)+float64(2*n))
+	}
+	inputs := map[string]*tensor.Dense{
+		"A11": full.Slice(0, n1, 0, n1), "A12": full.Slice(0, n1, n1, n),
+		"A21": full.Slice(n1, n, 0, n1), "A22": full.Slice(n1, n, n1, n),
+		"B1": full.Slice(0, n1, n, 2*n), "B2": full.Slice(n1, n, n, 2*n),
+		"C1": full.Slice(n, 2*n, 0, n1), "C2": full.Slice(n, 2*n, n1, n),
+		"D": full.Slice(n, 2*n, n, 2*n),
+	}
+	assertBitIdentical(t, "block-inverse", env.Cluster, ann, inputs)
+}
+
+// TestGoldenSparse covers sparse formats: a CSR-input FFNN forward
+// layer and a COO-input multiply.
+func TestGoldenSparse(t *testing.T) {
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	{
+		g := core.NewGraph()
+		x := g.Input("X", shape.New(200, 3000), 0.01, format.NewCSRSingle())
+		w1 := g.Input("W1", shape.New(3000, 80), 1, format.NewRowStrip(1000))
+		z1 := g.MustApply(op.Op{Kind: op.MatMul}, x, w1)
+		g.MustApply(op.Op{Kind: op.ReLU}, z1)
+		ann := optimize(t, g, env)
+		rng := rand.New(rand.NewSource(2))
+		inputs := map[string]*tensor.Dense{
+			"X":  tensor.RandSparse(rng, 200, 3000, 0.01),
+			"W1": tensor.RandNormal(rng, 3000, 80),
+		}
+		assertBitIdentical(t, "sparse-csr-forward", env.Cluster, ann, inputs)
+	}
+	{
+		g := core.NewGraph()
+		x := g.Input("X", shape.New(150, 400), 0.005, format.NewCOO())
+		w := g.Input("W", shape.New(400, 60), 1, format.NewSingle())
+		g.MustApply(op.Op{Kind: op.MatMul}, x, w)
+		ann := optimize(t, g, env)
+		rng := rand.New(rand.NewSource(4))
+		inputs := map[string]*tensor.Dense{
+			"X": tensor.RandSparse(rng, 150, 400, 0.005),
+			"W": tensor.RandNormal(rng, 400, 60),
+		}
+		assertBitIdentical(t, "sparse-coo-mm", env.Cluster, ann, inputs)
+	}
+}
+
+// TestGoldenRandomGraphs mirrors the engine's strongest integration
+// property across both engines: random DAGs over mixed formats must
+// agree bit-for-bit at every shard count.
+func TestGoldenRandomGraphs(t *testing.T) {
+	env := core.NewEnv(costmodel.LocalTest(4), format.All())
+	kinds := []op.Kind{op.MatMul, op.Add, op.Sub, op.Hadamard, op.Transpose,
+		op.ReLU, op.ReLUGrad, op.Neg, op.ScalarMul, op.Softmax, op.RowSums, op.ColSums}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := core.NewGraph()
+		const n = 120
+		s := shape.New(n, n)
+		srcFormats := []format.Format{
+			format.NewSingle(), format.NewTile(100), format.NewRowStrip(100), format.NewColStrip(100),
+		}
+		inputs := make(map[string]*tensor.Dense)
+		nIn := 2 + rng.Intn(2)
+		for i := 0; i < nIn; i++ {
+			name := string(rune('A' + i))
+			g.Input(name, s, 1, srcFormats[rng.Intn(len(srcFormats))])
+			inputs[name] = tensor.RandNormal(rng, n, n)
+		}
+		for i := 0; i < 4+rng.Intn(4); i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			o := op.Op{Kind: k}
+			if k == op.ScalarMul {
+				o.Scalar = rng.Float64()*2 - 1
+			}
+			pickSquare := func() *core.Vertex {
+				for {
+					v := g.Vertices[rng.Intn(len(g.Vertices))]
+					if v.Shape == s {
+						return v
+					}
+				}
+			}
+			var err error
+			if o.Arity() == 2 {
+				_, err = g.Apply(o, pickSquare(), pickSquare())
+			} else {
+				_, err = g.Apply(o, pickSquare())
+			}
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		ann := optimize(t, g, env)
+		assertBitIdentical(t, "random-dag", env.Cluster, ann, inputs)
+	}
+}

@@ -1,0 +1,822 @@
+package dist
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/op"
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// distExec executes one atomic computation implementation over sharded
+// relations that are already in the implementation's required formats.
+// Every executor mirrors its sequential counterpart in
+// internal/engine/executors.go operation for operation: same kernels,
+// same pairing, and — via (key, seq)-sorted exchanges — the same
+// floating-point reduction order, so results are byte-identical.
+type distExec func(r *run, v *core.Vertex, ins []*relation) (*relation, error)
+
+var distExecutors = map[string]distExec{}
+
+func init() {
+	distExecutors["mm-single-single"] = dMMSingleSingle
+	distExecutors["mm-bcast-single-colstrip"] = dMMBcastSingleColStrip
+	distExecutors["mm-rowstrip-bcast-single"] = dMMRowStripBcastSingle
+	distExecutors["mm-rowstrip-colstrip"] = dMMRowStripColStrip
+	distExecutors["mm-colstrip-rowstrip-agg"] = dMMColStripRowStripAgg
+	distExecutors["mm-tile-tile-shuffle"] = dMMTileTileShuffle
+	distExecutors["mm-tile-tile-bcast"] = dMMTileTileBcast
+	distExecutors["mm-bcast-single-tile"] = dMMBcastSingleTile
+	distExecutors["mm-tile-bcast-single"] = dMMTileBcastSingle
+	distExecutors["mm-csr-single-single"] = dMMCSRSingleSingle
+	distExecutors["mm-bcast-csr-rowstrip-agg"] = dMMBcastCSRRowStripAgg
+	distExecutors["mm-csr-rowstrip-bcast-single"] = dMMCSRRowStripBcastSingle
+	distExecutors["mm-bcast-coo-single"] = dMMBcastCOOSingle
+
+	for _, name := range []string{"add-single", "sub-single", "hadamard-single"} {
+		distExecutors[name] = dEWSingle
+	}
+	for _, name := range []string{"add-copart", "sub-copart", "hadamard-copart"} {
+		distExecutors[name] = dEWCoPart
+	}
+	for _, name := range []string{"relu-map", "relugrad-map", "sigmoid-map", "exp-map", "neg-map", "scalarmul-map"} {
+		distExecutors[name] = dMap
+	}
+	distExecutors["softmax-single"] = dMap
+	distExecutors["softmax-rowstrip"] = dMap
+	distExecutors["addbias-single"] = dAddBias
+	distExecutors["addbias-rowstrip-bcast"] = dAddBias
+	distExecutors["rowsums-single"] = dRowSums
+	distExecutors["rowsums-rowstrip"] = dRowSums
+	distExecutors["colsums-single"] = dColSums
+	distExecutors["colsums-colstrip"] = dColSums
+	distExecutors["transpose-single"] = dTransposeDense
+	distExecutors["transpose-tile"] = dTransposeDense
+	distExecutors["transpose-strip"] = dTransposeDense
+	distExecutors["transpose-csr-single"] = dTransposeCSR
+	distExecutors["inverse-single"] = dInverse
+}
+
+// singleRelAt builds a one-tuple relation resident on the given shard.
+func (r *run) singleRelAt(f format.Format, s shape.Shape, density float64, t engine.Tuple, shard int) *relation {
+	parts := make([][]engine.Tuple, r.shards())
+	parts[shard] = []engine.Tuple{t}
+	return &relation{format: f, shape: s, density: density, parts: parts}
+}
+
+// colocate moves the smaller of two one-tuple relations to the shard
+// holding the larger (the movement the cost model prices as min-bytes)
+// and returns both tuples plus the compute site.
+func (r *run) colocate(v *core.Vertex, a, b *relation) (engine.Tuple, engine.Tuple, int, error) {
+	ta, sa, err := a.soleTuple()
+	if err != nil {
+		return engine.Tuple{}, engine.Tuple{}, -1, err
+	}
+	tb, sb, err := b.soleTuple()
+	if err != nil {
+		return engine.Tuple{}, engine.Tuple{}, -1, err
+	}
+	site := sa
+	if tb.Bytes() > ta.Bytes() {
+		site = sb
+	}
+	if sa != site || sb != site {
+		m := r.fab.meterFor(v.ID, "move", "co-locate singles")
+		if sa != site {
+			ts, err := r.gatherAt(m, a, site)
+			if err != nil {
+				return engine.Tuple{}, engine.Tuple{}, -1, err
+			}
+			ta = ts[0]
+		}
+		if sb != site {
+			ts, err := r.gatherAt(m, b, site)
+			if err != nil {
+				return engine.Tuple{}, engine.Tuple{}, -1, err
+			}
+			tb = ts[0]
+		}
+	}
+	return ta, tb, site, nil
+}
+
+// broadcastSingleDense broadcasts a one-tuple dense relation and
+// returns each shard's copy.
+func (r *run) broadcastSingleDense(v *core.Vertex, rel *relation, label string) ([]*tensor.Dense, error) {
+	if _, _, err := rel.singleDense(); err != nil {
+		return nil, err
+	}
+	m := r.fab.meterFor(v.ID, "broadcast", label)
+	copies, err := r.broadcastTuples(m, rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Dense, r.shards())
+	for s := range copies {
+		if len(copies[s]) != 1 || copies[s][0].Dense == nil {
+			return nil, fmt.Errorf("dist: broadcast of %v delivered %d tuples to shard %d", rel.format, len(copies[s]), s)
+		}
+		out[s] = copies[s][0].Dense
+	}
+	return out, nil
+}
+
+func dMMSingleSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	if _, _, err := ins[0].singleDense(); err != nil {
+		return nil, err
+	}
+	if _, _, err := ins[1].singleDense(); err != nil {
+		return nil, err
+	}
+	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(site, func() error {
+		out := tensor.MatMul(ta.Dense, tb.Dense)
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
+		return nil
+	})
+	return rel, err
+}
+
+func dMMBcastSingleColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	as, err := r.broadcastSingleDense(v, ins[0], "broadcast(a)")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		for _, t := range sortedShard(ins[1], s) {
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.MatMul(as[s], t.Dense)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: ins[1].format, shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		for _, t := range sortedShard(ins[0], s) {
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.MatMul(t.Dense, bs[s])})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMRowStripColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	// Broadcast the smaller side; every (rowstrip, colstrip) pair is
+	// multiplied where the larger side's tuple lives, and each output
+	// tile is shuffled to its home shard.
+	bcast := 0
+	if ins[1].bytes() < ins[0].bytes() {
+		bcast = 1
+	}
+	m := r.fab.meterFor(v.ID, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
+	copies, err := r.broadcastTuples(m, ins[bcast])
+	if err != nil {
+		return nil, err
+	}
+	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(out)")
+	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
+		var out []routed
+		for _, tl := range sortedShard(ins[1-bcast], s) {
+			for _, tc := range copies[s] {
+				ta, tb := tl, tc
+				if bcast == 0 {
+					ta, tb = tc, tl
+				}
+				key := engine.Key{I: ta.Key.I, J: tb.Key.J}
+				out = append(out, routed{dst: r.shardOf(key), msg: message{
+					key:   key,
+					tuple: engine.Tuple{Key: key, Dense: tensor.MatMul(ta.Dense, tb.Dense)},
+				}})
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: format.NewTile(ins[0].format.Block), shape: v.Shape, density: 1,
+		parts: messageTuples(recv)}, nil
+}
+
+func dMMColStripRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	// Co-partition by contraction index: A's colstrip (0, k) joins B's
+	// rowstrip (k, 0) on shardOf((k, 0)) — B is already home there, so
+	// only A moves. Partial products then aggregate on the owner shard
+	// in contraction order.
+	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(a)")
+	recvA, err := r.exchange(sh, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range ins[0].parts[s] {
+			dst := r.shardOf(engine.Key{I: t.Key.J, J: 0})
+			out = append(out, routed{dst: dst, msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	owner := r.ownerShard(v.ID)
+	ag := r.fab.meterFor(v.ID, "aggregate", "partials→owner")
+	recvP, err := r.exchange(ag, func(s int) ([]routed, error) {
+		bByKey := make(map[int64]*tensor.Dense)
+		for _, t := range ins[1].parts[s] {
+			bByKey[t.Key.I] = t.Dense
+		}
+		var out []routed
+		for _, ma := range recvA[s] { // sorted: contraction index ascending
+			ta := ma.tuple
+			tb, ok := bByKey[ta.Key.J]
+			if !ok {
+				return nil, fmt.Errorf("dist: co-partition join missed strip %d", ta.Key.J)
+			}
+			prod := tensor.MatMul(ta.Dense, tb)
+			out = append(out, routed{dst: owner, msg: message{
+				key: engine.Key{I: 0, J: 0}, seq: ta.Key.J,
+				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(owner, func() error {
+		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		foldInto(acc, recvP[owner])
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
+		return nil
+	})
+	return rel, err
+}
+
+// tileTileProducts pairs A tiles (i, k) with B tiles (k, j), multiplies
+// where pair() says the pair is resident, and group-by-SUM reduces the
+// partial products onto each output tile's home shard in contraction
+// order — shared by the shuffle and broadcast tile strategies.
+func tileTileProducts(r *run, v *core.Vertex, blk int64,
+	produce func(shard int, emit func(ta, tb engine.Tuple)) error) (*relation, error) {
+	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(out)")
+	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
+		var out []routed
+		err := produce(s, func(ta, tb engine.Tuple) {
+			key := engine.Key{I: ta.Key.I, J: tb.Key.J}
+			prod := tensor.MatMul(ta.Dense, tb.Dense)
+			out = append(out, routed{dst: r.shardOf(key), msg: message{
+				key: key, seq: ta.Key.J,
+				tuple: engine.Tuple{Key: key, Dense: prod},
+			}})
+		})
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		parts[s] = foldMessages(recv[s])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: format.NewTile(blk), shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMTileTileShuffle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	// Shuffle both sides by contraction index k so tile pairs meet on
+	// shardOf((k, k)).
+	cOf := func(k int64) int { return r.shardOf(engine.Key{I: k, J: k}) }
+	shA := r.fab.meterFor(v.ID, "shuffle", "shuffle(a)")
+	recvA, err := r.exchange(shA, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range ins[0].parts[s] {
+			out = append(out, routed{dst: cOf(t.Key.J), msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shB := r.fab.meterFor(v.ID, "shuffle", "shuffle(b)")
+	recvB, err := r.exchange(shB, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range ins[1].parts[s] {
+			out = append(out, routed{dst: cOf(t.Key.I), msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tileTileProducts(r, v, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
+		bByRow := make(map[int64][]engine.Tuple)
+		for _, m := range recvB[s] { // sorted, so buckets stay key-ordered
+			bByRow[m.key.I] = append(bByRow[m.key.I], m.tuple)
+		}
+		for _, ma := range recvA[s] {
+			for _, tb := range bByRow[ma.key.J] {
+				emit(ma.tuple, tb)
+			}
+		}
+		return nil
+	})
+}
+
+func dMMTileTileBcast(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	// Broadcast the smaller side; each pair is multiplied where the
+	// larger side's tile lives (exactly once, since that tile is unique
+	// to one shard).
+	bcast := 0
+	if ins[1].bytes() < ins[0].bytes() {
+		bcast = 1
+	}
+	m := r.fab.meterFor(v.ID, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
+	copies, err := r.broadcastTuples(m, ins[bcast])
+	if err != nil {
+		return nil, err
+	}
+	return tileTileProducts(r, v, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
+		if bcast == 1 {
+			bByRow := make(map[int64][]engine.Tuple)
+			for _, t := range copies[s] {
+				bByRow[t.Key.I] = append(bByRow[t.Key.I], t)
+			}
+			for _, ta := range sortedShard(ins[0], s) {
+				for _, tb := range bByRow[ta.Key.J] {
+					emit(ta, tb)
+				}
+			}
+			return nil
+		}
+		bByRow := make(map[int64][]engine.Tuple)
+		for _, t := range sortedShard(ins[1], s) {
+			bByRow[t.Key.I] = append(bByRow[t.Key.I], t)
+		}
+		for _, ta := range copies[s] {
+			for _, tb := range bByRow[ta.Key.J] {
+				emit(ta, tb)
+			}
+		}
+		return nil
+	})
+}
+
+func dMMBcastSingleTile(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	as, err := r.broadcastSingleDense(v, ins[0], "broadcast(a)")
+	if err != nil {
+		return nil, err
+	}
+	b := int(ins[1].format.Block)
+	sh := r.fab.meterFor(v.ID, "shuffle", "partials")
+	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
+		a := as[s]
+		var out []routed
+		for _, tb := range sortedShard(ins[1], s) {
+			c0 := int(tb.Key.I) * b
+			aSlice := a.Slice(0, a.Rows, c0, c0+tb.Dense.Rows)
+			prod := tensor.MatMul(aSlice, tb.Dense)
+			key := engine.Key{I: 0, J: tb.Key.J}
+			out = append(out, routed{dst: r.shardOf(key), msg: message{
+				key: key, seq: tb.Key.I,
+				tuple: engine.Tuple{Key: key, Dense: prod},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		parts[s] = foldMessages(recv[s])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: format.NewColStrip(ins[1].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMTileBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+	if err != nil {
+		return nil, err
+	}
+	bk := int(ins[0].format.Block)
+	sh := r.fab.meterFor(v.ID, "shuffle", "partials")
+	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
+		b := bs[s]
+		var out []routed
+		for _, ta := range sortedShard(ins[0], s) {
+			r0 := int(ta.Key.J) * bk
+			bSlice := b.Slice(r0, r0+ta.Dense.Cols, 0, b.Cols)
+			prod := tensor.MatMul(ta.Dense, bSlice)
+			key := engine.Key{I: ta.Key.I, J: 0}
+			out = append(out, routed{dst: r.shardOf(key), msg: message{
+				key: key, seq: ta.Key.J,
+				tuple: engine.Tuple{Key: key, Dense: prod},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		parts[s] = foldMessages(recv[s])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMCSRSingleSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	if _, _, err := ins[0].singleCSR(); err != nil {
+		return nil, err
+	}
+	if _, _, err := ins[1].singleDense(); err != nil {
+		return nil, err
+	}
+	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(site, func() error {
+		out := ta.CSR.MulDense(tb.Dense)
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
+		return nil
+	})
+	return rel, err
+}
+
+func dMMBcastCSRRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	if _, _, err := ins[0].singleCSR(); err != nil {
+		return nil, err
+	}
+	m := r.fab.meterFor(v.ID, "broadcast", "broadcast(a)")
+	copies, err := r.broadcastTuples(m, ins[0])
+	if err != nil {
+		return nil, err
+	}
+	h := int(ins[1].format.Block)
+	owner := r.ownerShard(v.ID)
+	ag := r.fab.meterFor(v.ID, "aggregate", "partials→owner")
+	recv, err := r.exchange(ag, func(s int) ([]routed, error) {
+		if len(copies[s]) != 1 || copies[s][0].CSR == nil {
+			return nil, fmt.Errorf("dist: broadcast csr missing on shard %d", s)
+		}
+		a := copies[s][0].CSR
+		var out []routed
+		for _, tb := range sortedShard(ins[1], s) {
+			r0 := int(tb.Key.I) * h
+			aSlice := engine.CSRColSlice(a, r0, r0+tb.Dense.Rows)
+			prod := aSlice.MulDense(tb.Dense)
+			out = append(out, routed{dst: owner, msg: message{
+				key: engine.Key{I: 0, J: 0}, seq: tb.Key.I,
+				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(owner, func() error {
+		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		foldInto(acc, recv[owner])
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
+		return nil
+	})
+	return rel, err
+}
+
+func dMMCSRRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		for _, ta := range sortedShard(ins[0], s) {
+			parts[s] = append(parts[s], engine.Tuple{Key: ta.Key, Dense: ta.CSR.MulDense(bs[s])})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dMMBcastCOOSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+	if err != nil {
+		return nil, err
+	}
+	owner := r.ownerShard(v.ID)
+	ag := r.fab.meterFor(v.ID, "aggregate", "scaled rows→owner")
+	recv, err := r.exchange(ag, func(s int) ([]routed, error) {
+		b := bs[s]
+		var out []routed
+		for _, t := range sortedShard(ins[0], s) {
+			if !t.IsVal {
+				return nil, fmt.Errorf("dist: COO relation holds a non-triple tuple")
+			}
+			if t.Val == 0 {
+				continue
+			}
+			// Scale b's row t.Key.J by the triple's value; the owner adds
+			// the products into the accumulator row — the identical
+			// multiply-then-add the sequential executor performs.
+			c := tensor.NewDense(1, b.Cols)
+			brow := b.Data[int(t.Key.J)*b.Cols : (int(t.Key.J)+1)*b.Cols]
+			for j, bv := range brow {
+				c.Data[j] = t.Val * bv
+			}
+			out = append(out, routed{dst: owner, msg: message{
+				key:   t.Key,
+				tuple: engine.Tuple{Key: t.Key, Dense: c},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(owner, func() error {
+		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		for _, g := range recv[owner] { // sorted by element coordinate
+			row := acc.Data[int(g.key.I)*acc.Cols : (int(g.key.I)+1)*acc.Cols]
+			for j, cv := range g.tuple.Dense.Data {
+				row[j] += cv
+			}
+		}
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
+		return nil
+	})
+	return rel, err
+}
+
+func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
+	switch k {
+	case op.Add:
+		return tensor.Add
+	case op.Sub:
+		return tensor.Sub
+	case op.Hadamard:
+		return tensor.Hadamard
+	}
+	panic(fmt.Sprintf("dist: %v is not an elementwise op", k))
+}
+
+func dEWSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	if _, _, err := ins[0].singleDense(); err != nil {
+		return nil, err
+	}
+	if _, _, err := ins[1].singleDense(); err != nil {
+		return nil, err
+	}
+	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	if err != nil {
+		return nil, err
+	}
+	kern := ewKernel(v.Op.Kind)
+	var rel *relation
+	err = r.on(site, func() error {
+		out := kern(ta.Dense, tb.Dense)
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
+		return nil
+	})
+	return rel, err
+}
+
+func dEWCoPart(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	// Re-home both sides onto shardOf(key) — free for relations already
+	// hash partitioned — then join locally per shard.
+	cp := r.fab.meterFor(v.ID, "copart", "co-partition join")
+	ra, err := r.routeByKey(cp, ins[0])
+	if err != nil {
+		return nil, err
+	}
+	rb, err := r.routeByKey(cp, ins[1])
+	if err != nil {
+		return nil, err
+	}
+	kern := ewKernel(v.Op.Kind)
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		bByKey := make(map[engine.Key]*tensor.Dense, len(rb[s]))
+		for _, t := range rb[s] {
+			bByKey[t.Key] = t.Dense
+		}
+		for _, ta := range ra[s] {
+			tb, ok := bByKey[ta.Key]
+			if !ok {
+				return fmt.Errorf("dist: co-partition join missed key %v", ta.Key)
+			}
+			parts[s] = append(parts[s], engine.Tuple{Key: ta.Key, Dense: kern(ta.Dense, tb)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
+	switch o.Kind {
+	case op.ReLU:
+		return tensor.ReLU
+	case op.ReLUGrad:
+		return tensor.ReLUGrad
+	case op.Sigmoid:
+		return tensor.Sigmoid
+	case op.Exp:
+		return tensor.Exp
+	case op.Neg:
+		return tensor.Neg
+	case op.Softmax:
+		return tensor.Softmax
+	case op.ScalarMul:
+		s := o.Scalar
+		return func(m *tensor.Dense) *tensor.Dense { return tensor.Scale(m, s) }
+	}
+	panic(fmt.Sprintf("dist: %v is not a map op", o.Kind))
+}
+
+func dMap(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	kern := mapKernel(v.Op)
+	parts := make([][]engine.Tuple, r.shards())
+	err := r.parallel(func(s int) error {
+		for _, t := range sortedShard(ins[0], s) {
+			switch {
+			case t.Dense != nil:
+				parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: kern(t.Dense)})
+			case t.CSR != nil:
+				parts[s] = append(parts[s], engine.Tuple{Key: t.Key, CSR: sparse.FromDense(kern(t.CSR.ToDense()))})
+			case t.IsVal:
+				d := tensor.FromRows([][]float64{{t.Val}})
+				parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Val: kern(d).At(0, 0), IsVal: true})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: ins[0].format, shape: v.Shape, density: ins[0].density, parts: parts}, nil
+}
+
+func dAddBias(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(bias)")
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Tuple, r.shards())
+	err = r.parallel(func(s int) error {
+		for _, t := range sortedShard(ins[0], s) {
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.AddBias(t.Dense, bs[s])})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dRowSums(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	return dLocalMap(r, v, ins[0], tensor.RowSums)
+}
+
+func dColSums(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	return dLocalMap(r, v, ins[0], tensor.ColSums)
+}
+
+// dLocalMap applies a per-tuple dense kernel shard-locally, keeping
+// keys and placement.
+func dLocalMap(r *run, v *core.Vertex, in *relation, kern func(*tensor.Dense) *tensor.Dense) (*relation, error) {
+	parts := make([][]engine.Tuple, r.shards())
+	err := r.parallel(func(s int) error {
+		for _, t := range sortedShard(in, s) {
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: kern(t.Dense)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: in.format, shape: v.Shape, density: 1, parts: parts}, nil
+}
+
+func dTransposeDense(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	in := ins[0]
+	var outFmt format.Format
+	switch in.format.Kind {
+	case format.Single:
+		t, holder, err := in.soleTuple()
+		if err != nil {
+			return nil, err
+		}
+		var rel *relation
+		err = r.on(holder, func() error {
+			rel = r.singleRelAt(format.NewSingle(), v.Shape, in.density,
+				engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: tensor.Transpose(t.Dense)}, holder)
+			return nil
+		})
+		return rel, err
+	case format.Tile:
+		outFmt = in.format
+	case format.RowStrip:
+		outFmt = format.NewColStrip(in.format.Block)
+	case format.ColStrip:
+		outFmt = format.NewRowStrip(in.format.Block)
+	default:
+		return nil, fmt.Errorf("dist: transpose executor got %v", in.format)
+	}
+	// Transposing flips keys, so every chunk re-homes: a shuffle.
+	sh := r.fab.meterFor(v.ID, "shuffle", "transposed chunks")
+	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
+		var out []routed
+		for _, t := range sortedShard(in, s) {
+			nk := engine.Key{I: t.Key.J, J: t.Key.I}
+			out = append(out, routed{dst: r.shardOf(nk), msg: message{
+				key:   nk,
+				tuple: engine.Tuple{Key: nk, Dense: tensor.Transpose(t.Dense)},
+			}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: outFmt, shape: v.Shape, density: in.density, parts: messageTuples(recv)}, nil
+}
+
+func dTransposeCSR(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	a, holder, err := ins[0].singleCSR()
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(holder, func() error {
+		out := sparse.FromDense(tensor.Transpose(a.ToDense()))
+		rel = r.singleRelAt(format.NewCSRSingle(), v.Shape, ins[0].density,
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, CSR: out}, holder)
+		return nil
+	})
+	return rel, err
+}
+
+func dInverse(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+	a, holder, err := ins[0].singleDense()
+	if err != nil {
+		return nil, err
+	}
+	var rel *relation
+	err = r.on(holder, func() error {
+		inv, err := tensor.Inverse(a)
+		if err != nil {
+			return err
+		}
+		rel = r.singleRelAt(format.NewSingle(), v.Shape, 1,
+			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: inv}, holder)
+		return nil
+	})
+	return rel, err
+}

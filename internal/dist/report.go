@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ExchangeStat is the measured traffic of one exchange: all messages of
+// one movement pattern at one vertex (or edge transform).
+type ExchangeStat struct {
+	Vertex   int    // consuming vertex ID
+	Kind     string // broadcast | shuffle | aggregate | copart | move | gather | transform
+	Label    string // human-readable detail, e.g. "shuffle(a)"
+	Bytes    int64  // payload bytes that crossed shard boundaries
+	Messages int64  // tuples that crossed shard boundaries
+}
+
+// Report is what one dist run actually did, the measured counterpart of
+// the cost model's predicted features.
+type Report struct {
+	Shards    int
+	NetBytes  int64           // total payload bytes that crossed shard boundaries
+	Messages  int64           // total tuples that crossed shard boundaries
+	Exchanges []ExchangeStat  // per-edge breakdown, ordered by (vertex, label)
+	PeakBytes int64           // peak resident relation bytes during the run
+	ShardBusy []time.Duration // per-shard time spent inside tasks
+	Wall      time.Duration   // end-to-end wall time of the run
+}
+
+// BusiestShard returns the largest per-shard busy time.
+func (r *Report) BusiestShard() time.Duration {
+	var m time.Duration
+	for _, d := range r.ShardBusy {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TotalBusy returns the summed busy time across shards.
+func (r *Report) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, d := range r.ShardBusy {
+		t += d
+	}
+	return t
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist run: %d shards, wall %v, peak %d B resident\n", r.Shards, r.Wall.Round(time.Microsecond), r.PeakBytes)
+	fmt.Fprintf(&b, "  fabric: %d B in %d messages across %d exchanges\n", r.NetBytes, r.Messages, len(r.Exchanges))
+	fmt.Fprintf(&b, "  busiest shard busy %v of %v total\n", r.BusiestShard().Round(time.Microsecond), r.TotalBusy().Round(time.Microsecond))
+	for _, x := range r.Exchanges {
+		if x.Bytes == 0 && x.Messages == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  v%-3d %-9s %-24s %12d B %8d msgs\n", x.Vertex, x.Kind, x.Label, x.Bytes, x.Messages)
+	}
+	return b.String()
+}
+
+// sortExchanges orders stats deterministically for the report.
+func sortExchanges(xs []ExchangeStat) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Vertex != xs[j].Vertex {
+			return xs[i].Vertex < xs[j].Vertex
+		}
+		if xs[i].Kind != xs[j].Kind {
+			return xs[i].Kind < xs[j].Kind
+		}
+		return xs[i].Label < xs[j].Label
+	})
+}

@@ -1,0 +1,318 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+)
+
+// run is the per-execution state: one worker goroutine per shard fed by
+// a task queue, the comms fabric, and the annotation being executed.
+type run struct {
+	rt      *Runtime
+	ctx     context.Context
+	ann     *core.Annotation
+	fab     *fabric
+	tasks   []chan func()
+	workers sync.WaitGroup
+	busy    []atomic.Int64 // nanoseconds inside tasks, per shard
+}
+
+func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
+	r := &run{
+		rt:    rt,
+		ctx:   ctx,
+		ann:   ann,
+		fab:   &fabric{shards: rt.shards},
+		tasks: make([]chan func(), rt.shards),
+		busy:  make([]atomic.Int64, rt.shards),
+	}
+	for s := 0; s < rt.shards; s++ {
+		r.tasks[s] = make(chan func(), 16)
+		r.workers.Add(1)
+		go func(s int) {
+			defer r.workers.Done()
+			for fn := range r.tasks[s] {
+				t0 := time.Now()
+				fn()
+				r.busy[s].Add(int64(time.Since(t0)))
+			}
+		}(s)
+	}
+	return r
+}
+
+// stop shuts the shard pools down and waits for every worker to exit,
+// so a finished (or cancelled) run leaks no goroutines.
+func (r *run) stop() {
+	for _, ch := range r.tasks {
+		close(ch)
+	}
+	r.workers.Wait()
+}
+
+func (r *run) shards() int { return r.rt.shards }
+
+// shardOf hashes a tuple key to its home shard — the same mixing as the
+// sequential engine's worker placement, over the shard count.
+func (r *run) shardOf(k engine.Key) int {
+	h := uint64(k.I)*0x9e3779b97f4a7c15 ^ uint64(k.J)*0xff51afd7ed558ccd
+	return int(h % uint64(r.shards()))
+}
+
+// ownerShard is the deterministic home of a vertex's single-tuple
+// output: spreading owners by vertex ID keeps independent single-chunk
+// chains on different shards, which is where the DAG parallelism of
+// single-format plans comes from.
+func (r *run) ownerShard(id int) int {
+	if id < 0 {
+		id = -id
+	}
+	return id % r.shards()
+}
+
+// parallel runs fn(s) on every shard's worker and waits for all of
+// them; the first error (by shard index) is returned.
+func (r *run) parallel(fn func(shard int) error) error {
+	errs := make([]error, r.shards())
+	var wg sync.WaitGroup
+	wg.Add(r.shards())
+	for s := 0; s < r.shards(); s++ {
+		s := s
+		r.tasks[s] <- func() {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// on runs fn on one shard's worker and waits for it.
+func (r *run) on(shard int, fn func() error) error {
+	var wg sync.WaitGroup
+	var err error
+	wg.Add(1)
+	r.tasks[shard] <- func() {
+		defer wg.Done()
+		err = fn()
+	}
+	wg.Wait()
+	return err
+}
+
+// place distributes freshly produced tuples: chunked-kind formats are
+// hash partitioned by key; single-kind formats live on the producing
+// vertex's owner shard.
+func (r *run) place(v *core.Vertex, f format.Format, s shape.Shape, density float64, tuples []engine.Tuple) *relation {
+	parts := make([][]engine.Tuple, r.shards())
+	if f.Kind == format.Single || f.Kind == format.CSRSingle {
+		parts[r.ownerShard(v.ID)] = tuples
+	} else {
+		for _, t := range tuples {
+			d := r.shardOf(t.Key)
+			parts[d] = append(parts[d], t)
+		}
+	}
+	return &relation{format: f, shape: s, density: density, parts: parts}
+}
+
+// execute schedules the dataflow DAG: every vertex whose inputs are
+// ready is launched concurrently; a completed vertex releases inputs
+// whose last consumer has now run (sinks are retained). Returns the
+// retained relations and the peak resident bytes.
+func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64, error) {
+	g := r.ann.Graph
+	byID := make(map[int]*core.Vertex, len(g.Vertices))
+	refs := make(map[int]int, len(g.Vertices))
+	retain := make(map[int]bool)
+	for _, v := range g.Vertices {
+		byID[v.ID] = v
+		for _, in := range v.Ins {
+			refs[in.ID]++
+		}
+	}
+	for _, v := range g.Sinks() {
+		retain[v.ID] = true
+	}
+
+	type result struct {
+		id  int
+		rel *relation
+		err error
+	}
+	results := make(chan result)
+	rels := make(map[int]*relation, len(g.Vertices))
+	done := make(map[int]bool, len(g.Vertices))
+	launched := make(map[int]bool, len(g.Vertices))
+	var failed error
+	var resident, peak int64
+	inFlight, completed := 0, 0
+
+	ready := func(v *core.Vertex) bool {
+		if launched[v.ID] {
+			return false
+		}
+		for _, in := range v.Ins {
+			if !done[in.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	launch := func(v *core.Vertex) {
+		launched[v.ID] = true
+		// Snapshot input relations now: ref counts guarantee they stay
+		// alive until this consumer completes.
+		ins := make([]*relation, len(v.Ins))
+		for j, in := range v.Ins {
+			ins[j] = rels[in.ID]
+		}
+		inFlight++
+		go func(v *core.Vertex) {
+			rel, err := r.execVertex(v, ins, inputs)
+			results <- result{id: v.ID, rel: rel, err: err}
+		}(v)
+	}
+
+	for {
+		if failed == nil {
+			if err := r.ctx.Err(); err != nil {
+				failed = fmt.Errorf("dist: execution aborted: %w", err)
+			} else {
+				for _, v := range g.Vertices {
+					if ready(v) {
+						launch(v)
+					}
+				}
+			}
+		}
+		if inFlight == 0 {
+			break
+		}
+		res := <-results
+		inFlight--
+		if res.err != nil {
+			if failed == nil {
+				failed = res.err
+			}
+			continue
+		}
+		rels[res.id] = res.rel
+		done[res.id] = true
+		completed++
+		resident += res.rel.bytes()
+		if resident > peak {
+			peak = resident
+		}
+		for _, in := range byID[res.id].Ins {
+			refs[in.ID]--
+			if refs[in.ID] == 0 && !retain[in.ID] {
+				resident -= rels[in.ID].bytes()
+				delete(rels, in.ID)
+			}
+		}
+	}
+	if failed != nil {
+		return nil, peak, failed
+	}
+	if completed != len(g.Vertices) {
+		return nil, peak, fmt.Errorf("dist: scheduler stalled with %d of %d vertices executed",
+			completed, len(g.Vertices))
+	}
+	return rels, peak, nil
+}
+
+// execVertex runs one vertex: load for sources, otherwise edge
+// transforms followed by the vertex's dist operator, verified against
+// the annotated output format.
+func (r *run) execVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+	if err := r.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", v.ID, err)
+	}
+	if v.IsSource {
+		m, ok := inputs[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("dist: no input matrix for source %q", v.Name)
+		}
+		if int64(m.Rows) != v.Shape.Rows || int64(m.Cols) != v.Shape.Cols {
+			return nil, fmt.Errorf("dist: input %q is %dx%d, graph declares %v",
+				v.Name, m.Rows, m.Cols, v.Shape)
+		}
+		var rel *relation
+		err := r.on(r.ownerShard(v.ID), func() error {
+			tuples, s, density, err := engine.Chunk(m, v.SrcFormat, r.rt.cluster.MaxTupleBytes)
+			if err != nil {
+				return fmt.Errorf("dist: loading %q: %w", v.Name, err)
+			}
+			rel = r.place(v, v.SrcFormat, s, density, tuples)
+			return nil
+		})
+		return rel, err
+	}
+	im := r.ann.VertexImpl[v.ID]
+	if im == nil {
+		return nil, fmt.Errorf("dist: vertex %d has no implementation", v.ID)
+	}
+	exec, ok := distExecutors[im.Name]
+	if !ok {
+		return nil, fmt.Errorf("dist: no executor for implementation %q", im.Name)
+	}
+	for j := range ins {
+		tr := r.ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
+		if tr == nil {
+			return nil, fmt.Errorf("dist: edge into vertex %d arg %d has no transformation", v.ID, j)
+		}
+		if ins[j] == nil {
+			return nil, fmt.Errorf("dist: vertex %d input %d was freed early", v.ID, j)
+		}
+		if !tr.Identity() {
+			var err error
+			ins[j], err = r.transform(v, j, ins[j], tr.Target())
+			if err != nil {
+				return nil, fmt.Errorf("dist: transforming input %d of vertex %d: %w", j, v.ID, err)
+			}
+		}
+	}
+	out, err := exec(r, v, ins)
+	if err != nil {
+		return nil, fmt.Errorf("dist: executing vertex %d (%s): %w", v.ID, im.Name, err)
+	}
+	if out.format != r.ann.VertexFormat[v.ID] {
+		return nil, fmt.Errorf("dist: vertex %d produced %v, annotation says %v",
+			v.ID, out.format, r.ann.VertexFormat[v.ID])
+	}
+	return out, nil
+}
+
+// report snapshots the run's meters and timers.
+func (r *run) report(peak int64, wall time.Duration) *Report {
+	rep := &Report{
+		Shards:    r.shards(),
+		Exchanges: r.fab.stats(),
+		PeakBytes: peak,
+		ShardBusy: make([]time.Duration, r.shards()),
+		Wall:      wall,
+	}
+	for s := 0; s < r.shards(); s++ {
+		rep.ShardBusy[s] = time.Duration(r.busy[s].Load())
+	}
+	for _, x := range rep.Exchanges {
+		rep.NetBytes += x.Bytes
+		rep.Messages += x.Messages
+	}
+	return rep
+}

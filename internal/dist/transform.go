@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"fmt"
+
+	"matopt/internal/core"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+)
+
+// transform re-lays-out a relation into the target format for one input
+// edge: tuples are gathered onto a deterministic stitch shard, the
+// matrix is assembled and re-chunked there with the exact code the
+// sequential engine's Transform uses (so values stay bit-identical),
+// and the new chunks are scattered to their home shards. Gather and
+// scatter traffic is metered on one "transform" exchange.
+func (r *run) transform(v *core.Vertex, arg int, rel *relation, target format.Format) (*relation, error) {
+	if target == rel.format {
+		return rel, nil
+	}
+	m := r.fab.meterFor(v.ID, "transform", fmt.Sprintf("arg%d %v→%v", arg, rel.format, target))
+	stitch := r.ownerShard(v.ID + 31*arg)
+	gathered, err := r.gatherAt(m, rel, stitch)
+	if err != nil {
+		return nil, err
+	}
+	var tuples []engine.Tuple
+	var s shape.Shape
+	var density float64
+	err = r.on(stitch, func() error {
+		whole := &engine.Relation{
+			Format: rel.format, Shape: rel.shape, Density: rel.density,
+			Parts: [][]engine.Tuple{gathered},
+		}
+		md, err := engine.Assemble(whole)
+		if err != nil {
+			return fmt.Errorf("dist: transform assemble: %w", err)
+		}
+		tuples, s, density, err = engine.Chunk(md, target, r.rt.cluster.MaxTupleBytes)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if target.Kind == format.Single || target.Kind == format.CSRSingle {
+		return r.singleRelAt(target, s, density, tuples[0], stitch), nil
+	}
+	// Scatter the re-chunked tuples from the stitch shard to their home
+	// shards.
+	recv, err := r.exchange(m, func(sh int) ([]routed, error) {
+		if sh != stitch {
+			return nil, nil
+		}
+		var out []routed
+		for _, t := range tuples {
+			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{key: t.Key, tuple: t}})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &relation{format: target, shape: s, density: density, parts: messageTuples(recv)}, nil
+}

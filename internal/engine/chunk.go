@@ -10,14 +10,16 @@ import (
 	"matopt/internal/tensor"
 )
 
-// Load chunks a dense matrix into the given physical format and
-// distributes the tuples across workers. Sparse target formats extract
-// the non-zeros.
-func (e *Engine) Load(m *tensor.Dense, f format.Format) (*Relation, error) {
+// Chunk splits a dense matrix into the tuples of the given physical
+// format, validating the layout against the per-tuple size bound.
+// Sparse target formats extract the non-zeros. It is the layout half of
+// Load, shared with the dist runtime's sharded loader; placement (which
+// worker or shard each tuple lives on) is the caller's concern.
+func Chunk(m *tensor.Dense, f format.Format, maxTupleBytes int64) ([]Tuple, shape.Shape, float64, error) {
 	s := shape.New(int64(m.Rows), int64(m.Cols))
 	density := m.Density()
-	if !f.Valid(s, density, e.Cluster.MaxTupleBytes) {
-		return nil, fmt.Errorf("engine: %v cannot store a %v matrix", f, s)
+	if !f.Valid(s, density, maxTupleBytes) {
+		return nil, s, density, fmt.Errorf("engine: %v cannot store a %v matrix", f, s)
 	}
 	var tuples []Tuple
 	switch f.Kind {
@@ -68,16 +70,32 @@ func (e *Engine) Load(m *tensor.Dense, f format.Format) (*Relation, error) {
 			})
 		}
 	default:
-		return nil, fmt.Errorf("engine: unknown format %v", f)
+		return nil, s, density, fmt.Errorf("engine: unknown format %v", f)
+	}
+	return tuples, s, density, nil
+}
+
+// Load chunks a dense matrix into the given physical format and
+// distributes the tuples across workers.
+func (e *Engine) Load(m *tensor.Dense, f format.Format) (*Relation, error) {
+	tuples, s, density, err := Chunk(m, f, e.Cluster.MaxTupleBytes)
+	if err != nil {
+		return nil, err
 	}
 	return e.place(f, s, density, tuples), nil
 }
 
-// Collect assembles a relation back into a dense matrix, validating that
-// its tuples tile the shape exactly.
-func (e *Engine) Collect(r *Relation) (*tensor.Dense, error) {
+// Assemble reconstructs the dense matrix a relation stores, validating
+// that its tuples tile the shape exactly. It is the layout half of
+// Collect, shared with the dist runtime's gather path; tuple order does
+// not matter because every tuple writes a disjoint region (or, for COO,
+// a distinct element).
+func Assemble(r *Relation) (*tensor.Dense, error) {
 	m := tensor.NewDense(int(r.Shape.Rows), int(r.Shape.Cols))
-	tuples := e.all(r, false)
+	var tuples []Tuple
+	for _, p := range r.Parts {
+		tuples = append(tuples, p...)
+	}
 	switch r.Format.Kind {
 	case format.Single:
 		if len(tuples) != 1 || tuples[0].Dense == nil {
@@ -125,6 +143,12 @@ func (e *Engine) Collect(r *Relation) (*tensor.Dense, error) {
 	return m, nil
 }
 
+// Collect assembles a relation back into a dense matrix, validating that
+// its tuples tile the shape exactly.
+func (e *Engine) Collect(r *Relation) (*tensor.Dense, error) {
+	return Assemble(r)
+}
+
 // Transform re-lays-out a relation into the target format: each source
 // tuple is sliced into fragments aligned to the target grid, fragments
 // are shuffled to the target chunks' home workers, and a group-by stitch
@@ -155,8 +179,10 @@ func (e *Engine) Transform(r *Relation, target format.Format) (*Relation, error)
 	return e.Load(m, target)
 }
 
-// sortTuples orders tuples by key for deterministic iteration.
-func sortTuples(ts []Tuple) {
+// SortTuples orders tuples by key for deterministic iteration; both
+// engines rely on this order to make floating-point accumulation
+// reproducible.
+func SortTuples(ts []Tuple) {
 	sort.Slice(ts, func(i, j int) bool {
 		if ts[i].Key.I != ts[j].Key.I {
 			return ts[i].Key.I < ts[j].Key.I

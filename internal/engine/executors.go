@@ -70,7 +70,7 @@ func allOf(r *Relation) []Tuple {
 	for _, p := range r.Parts {
 		out = append(out, p...)
 	}
-	sortTuples(out)
+	SortTuples(out)
 	return out
 }
 
@@ -151,7 +151,10 @@ func execMMColStripRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*
 			return nil, fmt.Errorf("engine: co-partition join missed strip %d", ta.Key.J)
 		}
 		e.chargeFlops(mmFlops(ta.Dense, tb))
-		tensor.MatMulAdd(acc, ta.Dense, tb)
+		// Materialize the partial product and fold it with AddInPlace —
+		// the same operation sequence the dist runtime's group-by-SUM
+		// reduce replays, keeping the two engines bit-identical.
+		tensor.AddInPlace(acc, tensor.MatMul(ta.Dense, tb))
 	}
 	e.chargeInter(acc.Bytes())
 	e.chargeNet(acc.Bytes()) // tree reduction of partials
@@ -265,9 +268,10 @@ func execMMCSRSingleSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Rela
 	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
 }
 
-// csrColSlice extracts columns [c0, c1) of a CSR matrix, renumbering
-// column indices to the slice.
-func csrColSlice(m *sparse.CSR, c0, c1 int) *sparse.CSR {
+// CSRColSlice extracts columns [c0, c1) of a CSR matrix, renumbering
+// column indices to the slice; shared with the dist runtime's sparse
+// aggregation operator.
+func CSRColSlice(m *sparse.CSR, c0, c1 int) *sparse.CSR {
 	rowPtr := make([]int, m.Rows+1)
 	var colIdx []int
 	var val []float64
@@ -297,7 +301,7 @@ func execMMBcastCSRRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*
 	acc := tensor.NewDense(int(outShape.Rows), int(outShape.Cols))
 	for _, tb := range allOf(ins[1]) {
 		r0 := int(tb.Key.I) * h
-		aSlice := csrColSlice(a, r0, r0+tb.Dense.Rows)
+		aSlice := CSRColSlice(a, r0, r0+tb.Dense.Rows)
 		e.chargeFlops(2 * int64(aSlice.NNZ()) * int64(tb.Dense.Cols))
 		tensor.AddInPlace(acc, aSlice.MulDense(tb.Dense))
 	}

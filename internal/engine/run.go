@@ -17,14 +17,47 @@ func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map
 // RunCtx executes an annotated compute graph end to end on real data:
 // inputs maps source-vertex names to dense matrices, which are loaded in
 // each source's declared format; every edge transformation and every
-// vertex implementation then runs through the relational executors. The
-// returned map holds the resulting relation of every vertex (sinks
-// included), so callers can Collect whichever results they need. The
-// context is checked between vertices, so a cancelled context aborts the
-// run at the next vertex boundary with the context's error.
+// vertex implementation then runs through the relational executors.
+//
+// Relations are ref-counted by consumer edge: once a vertex's last
+// consumer has executed, its relation is dropped, bounding peak memory
+// on deep graphs. The returned map therefore holds only the sinks'
+// relations; callers that need a specific intermediate should use
+// RunKeep / RunKeepCtx. The context is checked between vertices, so a
+// cancelled context aborts the run at the next vertex boundary with the
+// context's error.
 func (e *Engine) RunCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
-	rels := make(map[int]*Relation, len(ann.Graph.Vertices))
-	for _, v := range ann.Graph.Vertices {
+	return e.RunKeepCtx(ctx, ann, inputs, nil)
+}
+
+// RunKeep is RunKeepCtx without cancellation.
+func (e *Engine) RunKeep(ann *core.Annotation, inputs map[string]*tensor.Dense, keep []int) (map[int]*Relation, error) {
+	return e.RunKeepCtx(context.Background(), ann, inputs, keep)
+}
+
+// RunKeepCtx is RunCtx that additionally retains the relations of the
+// vertex IDs listed in keep (on top of the sinks, which are always
+// retained), so callers can Collect chosen intermediates after the run.
+func (e *Engine) RunKeepCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense, keep []int) (map[int]*Relation, error) {
+	g := ann.Graph
+	// refs[id] counts the consumer edges of vertex id that have not yet
+	// executed; a relation is dropped when its count reaches zero unless
+	// the vertex is retained (a sink or explicitly kept).
+	refs := make(map[int]int, len(g.Vertices))
+	retain := make(map[int]bool, len(keep))
+	for _, v := range g.Vertices {
+		for _, in := range v.Ins {
+			refs[in.ID]++
+		}
+	}
+	for _, v := range g.Sinks() {
+		retain[v.ID] = true
+	}
+	for _, id := range keep {
+		retain[id] = true
+	}
+	rels := make(map[int]*Relation, len(g.Vertices))
+	for _, v := range g.Vertices {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("engine: execution aborted before vertex %d: %w", v.ID, err)
 		}
@@ -59,6 +92,9 @@ func (e *Engine) RunCtx(ctx context.Context, ann *core.Annotation, inputs map[st
 				return nil, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
 			}
 			r := rels[in.ID]
+			if r == nil {
+				return nil, fmt.Errorf("engine: vertex %d input %d (vertex %d) was freed early", v.ID, j, in.ID)
+			}
 			if !tr.Identity() {
 				var err error
 				r, err = e.Transform(r, tr.Target())
@@ -77,6 +113,14 @@ func (e *Engine) RunCtx(ctx context.Context, ann *core.Annotation, inputs map[st
 				v.ID, out.Format, ann.VertexFormat[v.ID])
 		}
 		rels[v.ID] = out
+		// This vertex has consumed its inputs: release producers whose
+		// last consumer just ran.
+		for _, in := range v.Ins {
+			refs[in.ID]--
+			if refs[in.ID] == 0 && !retain[in.ID] {
+				delete(rels, in.ID)
+			}
+		}
 	}
 	return rels, nil
 }

@@ -128,22 +128,23 @@ func TestBlockInverseNumerics(t *testing.T) {
 		"C2":  full.Slice(n, 2*n, n1, n),
 		"D":   full.Slice(n, 2*n, n, 2*n),
 	}
+	// D̄ = S⁻¹ is the bottom-right block of the true inverse. Find the
+	// outer Schur inverse vertex: the last Inverse op in the graph. It is
+	// not a sink, so ask the run to keep its relation alive.
+	var sinvID = -1
+	for _, v := range g.Vertices {
+		if !v.IsSource && v.Op.Kind.String() == "inverse" {
+			sinvID = v.ID
+		}
+	}
 	eng := engine.New(e.Cluster)
-	rels, err := eng.Run(ann, inputs)
+	rels, err := eng.RunKeep(ann, inputs, []int{sinvID})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantInv, err := tensor.Inverse(full)
 	if err != nil {
 		t.Fatal(err)
-	}
-	// D̄ = S⁻¹ is the bottom-right block of the true inverse. Find the
-	// outer Schur inverse vertex: the last Inverse op in the graph.
-	var sinvID = -1
-	for _, v := range g.Vertices {
-		if !v.IsSource && v.Op.Kind.String() == "inverse" {
-			sinvID = v.ID
-		}
 	}
 	got, err := eng.Collect(rels[sinvID])
 	if err != nil {

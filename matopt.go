@@ -10,6 +10,13 @@
 // running time on a cluster profile. The resulting Plan can be executed
 // on real data with an Executor or walked at paper scale with Simulate.
 //
+// An Executor runs plans on one of two runtimes: the sequential
+// reference engine (the default), or — with WithEngineKind(DistEngine) —
+// a sharded multi-worker runtime that hash-partitions every relation
+// across WithShards worker shards, executes independent DAG vertices
+// concurrently, and meters every byte crossing a shard boundary
+// (DistReport). The two produce bit-identical results.
+//
 //	b := matopt.NewBuilder()
 //	a := b.Input("A", 100, 10000, matopt.RowStrips(10))
 //	m := b.Input("B", 10000, 100, matopt.ColStrips(10))

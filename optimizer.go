@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"matopt/internal/core"
 	"matopt/internal/costmodel"
+	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/tensor"
@@ -230,25 +232,95 @@ func (p *Plan) Annotation() *core.Annotation { return p.ann }
 // Verify re-checks the plan's type-correctness (§4.2).
 func (p *Plan) Verify() error { return p.ann.Verify(p.env) }
 
-// Executor runs plans on real data over the in-process relational engine.
+// EngineKind selects which execution runtime an Executor drives.
+type EngineKind int
+
+const (
+	// SequentialEngine is the in-process relational engine: one vertex at
+	// a time, tuples iterated in sorted order. It is the reference
+	// semantics every other engine must reproduce bit-for-bit.
+	SequentialEngine EngineKind = iota
+	// DistEngine is the sharded multi-worker runtime (internal/dist):
+	// relations hash-partitioned across shard goroutines, operators
+	// exchanging tuples over a byte-metered shuffle fabric, independent
+	// DAG vertices executing concurrently. Results are bit-identical to
+	// SequentialEngine; each run additionally produces a DistReport.
+	DistEngine
+)
+
+// ExecutorOption configures an Executor.
+type ExecutorOption func(*Executor)
+
+// WithEngineKind selects the execution runtime (default SequentialEngine).
+func WithEngineKind(k EngineKind) ExecutorOption { return func(x *Executor) { x.kind = k } }
+
+// WithShards sets the DistEngine's shard count; n ≤ 0 selects
+// dist.DefaultShards (GOMAXPROCS). Ignored by the sequential engine.
+func WithShards(n int) ExecutorOption { return func(x *Executor) { x.shards = n } }
+
+// DistReport is the dist runtime's per-run measurement: actual bytes and
+// messages over every exchange, per-shard busy time, and peak resident
+// bytes — directly comparable against the cost model's predictions.
+type DistReport = dist.Report
+
+// Executor runs plans on real data, over either the in-process
+// sequential relational engine or the sharded dist runtime.
 type Executor struct {
-	eng *engine.Engine
+	cluster Cluster
+	eng     *engine.Engine
+	kind    EngineKind
+	shards  int
+
+	mu         sync.Mutex
+	lastReport *DistReport
 }
 
-// NewExecutor returns an executor for the given cluster profile.
-func NewExecutor(cl Cluster) *Executor { return &Executor{eng: engine.New(cl)} }
+// NewExecutor returns an executor for the given cluster profile;
+// options select the runtime (default: sequential).
+func NewExecutor(cl Cluster, opts ...ExecutorOption) *Executor {
+	x := &Executor{cluster: cl, eng: engine.New(cl)}
+	for _, opt := range opts {
+		opt(x)
+	}
+	if x.shards <= 0 {
+		x.shards = dist.DefaultShards()
+	}
+	return x
+}
 
 // Run executes the plan; inputs maps input names to dense matrices. The
 // result maps each sink's vertex ID to its dense output; for the common
 // single-output case use RunSingle.
 func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
-	return x.eng.RunCollect(p.ann, inputs)
+	return x.RunCtx(context.Background(), p, inputs)
 }
 
 // RunCtx is Run under a caller-supplied context; execution checks the
 // context between vertices and aborts with its error when cancelled.
 func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	if x.kind == DistEngine {
+		rt, err := dist.New(x.cluster, x.shards)
+		if err != nil {
+			return nil, err
+		}
+		outs, rep, err := rt.Run(ctx, p.ann, inputs)
+		if err != nil {
+			return nil, err
+		}
+		x.mu.Lock()
+		x.lastReport = rep
+		x.mu.Unlock()
+		return outs, nil
+	}
 	return x.eng.RunCollectCtx(ctx, p.ann, inputs)
+}
+
+// DistReport returns the measurement of the most recent DistEngine run,
+// or nil when none has completed.
+func (x *Executor) DistReport() *DistReport {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.lastReport
 }
 
 // RunSingle executes a single-output plan and returns its result.
@@ -272,7 +344,9 @@ func (x *Executor) Stats() engine.Stats { return x.eng.Stats() }
 // plan runs vertex by vertex, every intermediate's true density is
 // measured, and when an estimate's relative error exceeds threshold
 // (the paper suggests 1.2) the remaining computation is re-optimized
-// with the measured densities before continuing.
+// with the measured densities before continuing. Adaptive execution
+// always uses the sequential engine, regardless of WithEngineKind —
+// its vertex-at-a-time measurement loop has no sharded counterpart yet.
 func (x *Executor) RunAdaptive(o *Optimizer, b *Builder, inputs map[string]*tensor.Dense, threshold float64) (*engine.AdaptiveResult, error) {
 	if b.err != nil {
 		return nil, b.err
