@@ -30,8 +30,12 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/
 
 # Runs every benchmark once and records the dist-vs-sequential
-# comparison in BENCH_dist.json.
+# comparison in BENCH_dist.json plus the fault-tolerance overhead in
+# BENCH_dist_faults.json (nofault_ns there should stay within noise of
+# dist_ns here).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
 		-bench BenchmarkDistVsSequential -benchtime 1x ./internal/dist/
+	BENCH_DIST_FAULTS_JSON=$(CURDIR)/BENCH_dist_faults.json $(GO) test -run '^$$' \
+		-bench BenchmarkDistFaultOverhead -benchtime 1x ./internal/dist/

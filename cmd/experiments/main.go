@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "regenerate one figure (1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, dist); default all")
+	fig := flag.String("fig", "", "regenerate one figure (1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, dist, faults); default all")
 	budget := flag.Duration("brute-budget", 30*time.Second,
 		"time budget per brute-force run in Figure 13 (the paper used 30m)")
 	shards := flag.Int("shards", dist.DefaultShards(),
@@ -38,9 +38,10 @@ func main() {
 		"1": figures.Fig1, "4": figures.Fig4, "5": figures.Fig5,
 		"6": figures.Fig6, "7": figures.Fig7, "8": figures.Fig8,
 		"9": figures.Fig9, "10": figures.Fig10, "11": figures.Fig11,
-		"12":   figures.Fig12,
-		"13":   func() figures.Table { return figures.Fig13(*budget) },
-		"dist": func() figures.Table { return figures.DistValidation(*shards) },
+		"12":     figures.Fig12,
+		"13":     func() figures.Table { return figures.Fig13(*budget) },
+		"dist":   func() figures.Table { return figures.DistValidation(*shards) },
+		"faults": func() figures.Table { return figures.FaultRecovery(*shards) },
 	}
 	if *fig != "" {
 		f, ok := run[*fig]

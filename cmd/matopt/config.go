@@ -1,0 +1,46 @@
+package main
+
+import "fmt"
+
+// execConfig holds the execution-related flag values so their
+// validation is testable without invoking main.
+type execConfig struct {
+	Engine      string // sim | seq | dist
+	Shards      int
+	Scale       int64
+	Parallelism int
+	Faults      int   // number of seeded faults to inject (dist only)
+	FaultSeed   int64 // schedule seed
+	MaxRetries  int   // per-vertex retry budget
+	Fallback    bool  // degrade to sequential when retries are exhausted
+}
+
+func (c execConfig) validate() error {
+	if c.Parallelism <= 0 {
+		return fmt.Errorf("-parallelism must be positive, got %d", c.Parallelism)
+	}
+	if c.Shards <= 0 {
+		return fmt.Errorf("-shards must be positive, got %d", c.Shards)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %d", c.Scale)
+	}
+	switch c.Engine {
+	case "sim", "seq", "dist":
+	default:
+		return fmt.Errorf("unknown engine %q (want sim, seq or dist)", c.Engine)
+	}
+	if c.Faults < 0 {
+		return fmt.Errorf("-faults must be non-negative, got %d", c.Faults)
+	}
+	if c.FaultSeed < 0 {
+		return fmt.Errorf("-fault-seed must be non-negative, got %d", c.FaultSeed)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("-max-retries must be non-negative, got %d", c.MaxRetries)
+	}
+	if c.Faults > 0 && c.Engine != "dist" {
+		return fmt.Errorf("-faults requires -engine dist, got -engine %s", c.Engine)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// valid returns a config that passes validation; tests mutate one
+// field at a time.
+func valid() execConfig {
+	return execConfig{
+		Engine: "dist", Shards: 4, Scale: 100, Parallelism: 8,
+		Faults: 0, FaultSeed: 1, MaxRetries: 2,
+	}
+}
+
+func TestExecConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*execConfig)
+		wantErr string // "" means the config must validate
+	}{
+		{"defaults", func(c *execConfig) {}, ""},
+		{"sim engine", func(c *execConfig) { c.Engine = "sim" }, ""},
+		{"seq engine", func(c *execConfig) { c.Engine = "seq" }, ""},
+		{"faults on dist", func(c *execConfig) { c.Faults = 5 }, ""},
+		{"zero retries", func(c *execConfig) { c.MaxRetries = 0 }, ""},
+		{"zero fault seed", func(c *execConfig) { c.FaultSeed = 0 }, ""},
+
+		{"zero parallelism", func(c *execConfig) { c.Parallelism = 0 }, "-parallelism"},
+		{"negative parallelism", func(c *execConfig) { c.Parallelism = -3 }, "-parallelism"},
+		{"zero shards", func(c *execConfig) { c.Shards = 0 }, "-shards"},
+		{"negative shards", func(c *execConfig) { c.Shards = -1 }, "-shards"},
+		{"zero scale", func(c *execConfig) { c.Scale = 0 }, "-scale"},
+		{"negative scale", func(c *execConfig) { c.Scale = -100 }, "-scale"},
+		{"unknown engine", func(c *execConfig) { c.Engine = "mpi" }, "unknown engine"},
+		{"negative faults", func(c *execConfig) { c.Faults = -1 }, "-faults must be non-negative"},
+		{"negative fault seed", func(c *execConfig) { c.FaultSeed = -7 }, "-fault-seed"},
+		{"negative max retries", func(c *execConfig) { c.MaxRetries = -2 }, "-max-retries"},
+		{"faults with sim engine", func(c *execConfig) { c.Engine = "sim"; c.Faults = 3 }, "-faults requires -engine dist"},
+		{"faults with seq engine", func(c *execConfig) { c.Engine = "seq"; c.Faults = 1 }, "-faults requires -engine dist"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := valid()
+			tc.mutate(&c)
+			err := c.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %q", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestValidateReportsFirstProblem: validation stops at the first bad
+// flag so the user sees one actionable message, not a cascade.
+func TestValidateReportsFirstProblem(t *testing.T) {
+	c := valid()
+	c.Shards = 0
+	c.Faults = -1
+	err := c.validate()
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("want the -shards error first, got %v", err)
+	}
+}

@@ -9,11 +9,18 @@
 // -shards workers, verifies its outputs bit-for-bit against the
 // sequential engine, and prints the measured shuffle traffic.
 //
+// -faults N injects a seeded schedule of N deterministic failures
+// (crashed tasks, dropped or delayed exchanges, straggler shards) into
+// the dist run; the runtime recovers via lineage-based retries (capped
+// by -max-retries) and, when retries are exhausted, degrades to the
+// sequential engine — outputs stay bit-identical either way.
+//
 //	matopt -workload ffnn -hidden 80000 -workers 10
 //	matopt -workload chain -sizeset 2
 //	matopt -workload inverse
 //	matopt -workload motivating
 //	matopt -workload ffnn -engine dist -shards 8 -scale 500
+//	matopt -workload chain -engine dist -shards 8 -faults 5 -fault-seed 7
 package main
 
 import (
@@ -53,25 +60,21 @@ func main() {
 	engSel := flag.String("engine", "sim", "sim (simulate at paper scale) | seq | dist (execute, scaled by -scale)")
 	shards := flag.Int("shards", dist.DefaultShards(), "dist engine shard count")
 	scale := flag.Int64("scale", 100, "divisor applied to workload dimensions before real execution")
+	faults := flag.Int("faults", 0, "number of seeded faults to inject into the dist run (0 = none)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+	maxRetries := flag.Int("max-retries", dist.DefaultMaxRetries, "dist engine per-vertex retry budget")
+	fallback := flag.Bool("fallback", true, "degrade to the sequential engine when dist retries are exhausted")
 	flag.Parse()
 
-	if *par <= 0 {
-		log.Fatalf("-parallelism must be positive, got %d", *par)
+	cfg := execConfig{
+		Engine: *engSel, Shards: *shards, Scale: *scale, Parallelism: *par,
+		Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
+		Fallback: *fallback,
 	}
-	if *shards <= 0 {
-		log.Fatalf("-shards must be positive, got %d", *shards)
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
 	}
-	if *scale <= 0 {
-		log.Fatalf("-scale must be positive, got %d", *scale)
-	}
-	execute := false
-	switch *engSel {
-	case "sim":
-	case "seq", "dist":
-		execute = true
-	default:
-		log.Fatalf("unknown engine %q (want sim, seq or dist)", *engSel)
-	}
+	execute := cfg.Engine != "sim"
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -130,7 +133,7 @@ func main() {
 	fmt.Print(ann.Describe())
 
 	if execute {
-		run(ctx, *engSel, *shards, env.Cluster, ann, inputs)
+		run(ctx, cfg, env.Cluster, ann, inputs)
 		return
 	}
 	rep, err := engine.Simulate(ann, env)
@@ -248,7 +251,9 @@ func buildExecutable(wl string, hidden int64, sizeSet int, scale int64, rng *ran
 
 // run executes the annotated plan for real. The dist path always runs
 // the sequential engine too and cross-checks every output bit by bit.
-func run(ctx context.Context, engSel string, shards int, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
+// When cfg.Faults > 0, a seeded fault schedule is injected and the run
+// must recover (or, with -fallback, degrade) to the same bits.
+func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
 	seq := engine.New(cl)
 	t0 := time.Now()
 	want, err := seq.RunCollectCtx(ctx, ann, inputs)
@@ -257,17 +262,38 @@ func run(ctx context.Context, engSel string, shards int, cl costmodel.Cluster, a
 	}
 	seqWall := time.Since(t0)
 	fmt.Printf("\nsequential engine: %d outputs in %v\n", len(want), seqWall.Round(time.Millisecond))
-	if engSel == "seq" {
+	if cfg.Engine == "seq" {
 		return
 	}
 
-	rt, err := dist.New(cl, shards)
+	opts := []dist.Option{dist.WithMaxRetries(cfg.MaxRetries)}
+	if cfg.Faults > 0 {
+		ids := make([]int, 0, len(ann.Graph.Vertices))
+		for _, v := range ann.Graph.Vertices {
+			ids = append(ids, v.ID)
+		}
+		plan := dist.RandomFaults(cfg.FaultSeed, cfg.Faults, ids, cfg.Shards)
+		fmt.Printf("injecting %d seeded faults (seed %d):\n", cfg.Faults, cfg.FaultSeed)
+		for _, f := range plan.Faults() {
+			fmt.Printf("  %v\n", f)
+		}
+		opts = append(opts, dist.WithFaults(plan))
+	}
+	rt, err := dist.New(cl, cfg.Shards, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	got, rep, err := rt.Run(ctx, ann, inputs)
 	if err != nil {
-		log.Fatalf("dist run: %v", err)
+		if !cfg.Fallback || ctx.Err() != nil {
+			log.Fatalf("dist run: %v", err)
+		}
+		// Graceful degradation: the sequential outputs are already in
+		// hand, so report the downgrade and serve those.
+		rep.Degraded = true
+		rep.DegradedCause = err.Error()
+		fmt.Printf("dist engine (%d shards) degraded to sequential: %v\n%s", cfg.Shards, err, rep)
+		return
 	}
 	for id, w := range want {
 		g, ok := got[id]
@@ -280,7 +306,7 @@ func run(ctx context.Context, engSel string, shards int, cl costmodel.Cluster, a
 			}
 		}
 	}
-	fmt.Printf("dist engine (%d shards): outputs bit-identical to sequential ✓\n%s", shards, rep)
+	fmt.Printf("dist engine (%d shards): outputs bit-identical to sequential ✓\n%s", cfg.Shards, rep)
 	if rep.Wall > 0 {
 		fmt.Printf("speedup over sequential: %.2fx\n", float64(seqWall)/float64(rep.Wall))
 	}

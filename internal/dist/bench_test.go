@@ -112,3 +112,111 @@ func BenchmarkDistVsSequential(b *testing.B) {
 		}
 	}
 }
+
+// faultBenchResult is the record `make bench` writes to
+// BENCH_dist_faults.json: the cost of the fault-injection hooks when no
+// plan is armed (which every fault-free run now pays) next to a run
+// that crashes and recovers every vertex once.
+type faultBenchResult struct {
+	Workload        string  `json:"workload"`
+	Shards          int     `json:"shards"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NoFaultNs       int64   `json:"nofault_ns"`       // nil FaultPlan: the PR-2-comparable number
+	EmptyPlanNs     int64   `json:"empty_plan_ns"`    // armed but empty plan: per-hook lookup cost
+	CrashRecoverNs  int64   `json:"crash_recover_ns"` // crash every vertex once, recover
+	RecoveryRetries int64   `json:"recovery_retries"`
+	HookOverheadPct float64 `json:"hook_overhead_pct"` // (empty_plan - nofault) / nofault
+}
+
+// BenchmarkDistFaultOverhead measures what fault tolerance costs a run
+// that never fails. The nofault_ns series is directly comparable with
+// dist_ns in BENCH_dist.json (same workload, same shard count): the
+// nil-plan hooks and per-vertex attempt counters must stay within noise
+// of the pre-recovery runtime. When BENCH_DIST_FAULTS_JSON names a
+// file, the comparison is written there as JSON.
+func BenchmarkDistFaultOverhead(b *testing.B) {
+	const shards = 8
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	var crashAll []dist.Fault
+	for _, v := range ann.Graph.Vertices {
+		crashAll = append(crashAll, dist.Fault{Kind: dist.FaultCrash, Vertex: v.ID})
+	}
+
+	// A fresh runtime per variant: FaultPlan latches are once-only, so
+	// the crash variant re-arms its plan every iteration.
+	timeRun := func(opts ...dist.Option) (time.Duration, *dist.Report) {
+		rt, err := dist.New(cl, shards, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		_, rep, err := rt.Run(context.Background(), ann, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0), rep
+	}
+
+	var noFault, emptyPlan, crashRecover time.Duration
+	var retries int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := timeRun()
+		noFault += d
+		d, _ = timeRun(dist.WithFaults(dist.NewFaultPlan()))
+		emptyPlan += d
+		var rep *dist.Report
+		d, rep = timeRun(dist.WithFaults(dist.NewFaultPlan(crashAll...)))
+		crashRecover += d
+		retries = rep.Retries
+	}
+	b.StopTimer()
+
+	noFaultNs := noFault.Nanoseconds() / int64(b.N)
+	emptyNs := emptyPlan.Nanoseconds() / int64(b.N)
+	crashNs := crashRecover.Nanoseconds() / int64(b.N)
+	overhead := float64(emptyNs-noFaultNs) / float64(noFaultNs)
+	b.ReportMetric(float64(noFaultNs), "nofault-ns/op")
+	b.ReportMetric(float64(emptyNs), "emptyplan-ns/op")
+	b.ReportMetric(float64(crashNs), "crashrecover-ns/op")
+
+	if path := os.Getenv("BENCH_DIST_FAULTS_JSON"); path != "" {
+		out, err := json.MarshalIndent(faultBenchResult{
+			Workload:        "matmul-chain (scaled)",
+			Shards:          shards,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			NoFaultNs:       noFaultNs,
+			EmptyPlanNs:     emptyNs,
+			CrashRecoverNs:  crashNs,
+			RecoveryRetries: retries,
+			HookOverheadPct: overhead * 100,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

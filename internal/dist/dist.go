@@ -39,6 +39,73 @@ import (
 type Runtime struct {
 	cluster costmodel.Cluster
 	shards  int
+
+	faults          *FaultPlan
+	maxRetries      int
+	backoffBase     time.Duration
+	backoffCap      time.Duration
+	vertexDeadline  time.Duration
+	exchangeTimeout time.Duration
+}
+
+// Recovery defaults: two retries with sub-millisecond-to-50ms capped
+// exponential backoff keep recovery latency negligible next to any real
+// vertex's compute, and the 30s guards only ever fire on genuinely
+// wedged runs.
+const (
+	DefaultMaxRetries      = 2
+	defaultBackoffBase     = 500 * time.Microsecond
+	defaultBackoffCap      = 50 * time.Millisecond
+	defaultVertexDeadline  = 30 * time.Second
+	defaultExchangeTimeout = 30 * time.Second
+)
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithFaults installs a deterministic fault-injection schedule; nil
+// (the default) injects nothing and costs one nil check per hook.
+func WithFaults(p *FaultPlan) Option { return func(rt *Runtime) { rt.faults = p } }
+
+// WithMaxRetries sets how many times a vertex whose execution fails
+// transiently (ErrShardFailed, ErrExchangeTimeout) is recomputed before
+// the run gives up with ErrRetriesExhausted. Negative values are
+// clamped to 0 (fail on first fault). Default DefaultMaxRetries.
+func WithMaxRetries(n int) Option {
+	return func(rt *Runtime) {
+		if n < 0 {
+			n = 0
+		}
+		rt.maxRetries = n
+	}
+}
+
+// WithRetryBackoff sets the capped exponential backoff between retry
+// attempts: attempt i waits min(base<<i, cap). Non-positive values keep
+// the defaults.
+func WithRetryBackoff(base, cap time.Duration) Option {
+	return func(rt *Runtime) {
+		if base > 0 {
+			rt.backoffBase = base
+		}
+		if cap > 0 {
+			rt.backoffCap = cap
+		}
+	}
+}
+
+// WithVertexDeadline bounds the total recovery window of one vertex:
+// once a vertex has been failing for this long, the run stops retrying
+// it. Zero disables the deadline.
+func WithVertexDeadline(d time.Duration) Option {
+	return func(rt *Runtime) { rt.vertexDeadline = d }
+}
+
+// WithExchangeTimeout bounds how long one exchange may take before the
+// consuming vertex fails with ErrExchangeTimeout (and is retried). Zero
+// disables the timeout.
+func WithExchangeTimeout(d time.Duration) Option {
+	return func(rt *Runtime) { rt.exchangeTimeout = d }
 }
 
 // DefaultShards is the shard count used when the caller does not choose
@@ -48,11 +115,23 @@ func DefaultShards() int { return runtime.GOMAXPROCS(0) }
 // New returns a runtime with the given cluster profile (for per-tuple
 // size bounds) and shard count. The shard count must be positive; use
 // DefaultShards to size it to the host.
-func New(cl costmodel.Cluster, shards int) (*Runtime, error) {
+func New(cl costmodel.Cluster, shards int, opts ...Option) (*Runtime, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("dist: shard count must be positive, got %d", shards)
 	}
-	return &Runtime{cluster: cl, shards: shards}, nil
+	rt := &Runtime{
+		cluster:         cl,
+		shards:          shards,
+		maxRetries:      DefaultMaxRetries,
+		backoffBase:     defaultBackoffBase,
+		backoffCap:      defaultBackoffCap,
+		vertexDeadline:  defaultVertexDeadline,
+		exchangeTimeout: defaultExchangeTimeout,
+	}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	return rt, nil
 }
 
 // Shards returns the configured shard count.
@@ -61,25 +140,32 @@ func (rt *Runtime) Shards() int { return rt.shards }
 // Run executes an annotated compute graph on real data and returns the
 // assembled dense result of every sink vertex, keyed by vertex ID,
 // together with a Report of what the run measured. Results are
-// byte-identical to the sequential engine's. The context cancels the
-// run at the next vertex or exchange boundary.
+// byte-identical to the sequential engine's — including runs that
+// recovered from injected or transient faults, since every vertex
+// recomputation replays the same deterministic kernels over immutable
+// inputs. The context cancels the run at the next vertex, exchange or
+// backoff boundary.
+//
+// On error the Report is still returned (with whatever the run metered
+// before failing) so callers deciding whether to degrade to another
+// engine can see the faults and retries that led here.
 func (rt *Runtime) Run(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, *Report, error) {
 	start := time.Now()
 	r := newRun(rt, ctx, ann)
 	defer r.stop()
 	rels, peak, err := r.execute(inputs)
 	if err != nil {
-		return nil, nil, err
+		return nil, r.report(peak, time.Since(start)), err
 	}
 	outs := make(map[int]*tensor.Dense)
 	for _, v := range ann.Graph.Sinks() {
 		rel := rels[v.ID]
 		if rel == nil {
-			return nil, nil, fmt.Errorf("dist: sink %d has no relation after the run", v.ID)
+			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: sink %d has no relation after the run: %w", v.ID, core.ErrInternal)
 		}
 		m, err := engine.Assemble(rel.asEngine())
 		if err != nil {
-			return nil, nil, fmt.Errorf("dist: collecting sink %d: %w", v.ID, err)
+			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: collecting sink %d: %w", v.ID, err)
 		}
 		outs[v.ID] = m
 	}

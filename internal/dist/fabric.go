@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"matopt/internal/engine"
 	"matopt/internal/tensor"
@@ -58,12 +59,27 @@ func (f *fabric) meterFor(vertex int, kind, label string) *meter {
 	return m
 }
 
-// stats snapshots every meter as exchange statistics.
+// stats snapshots every meter as exchange statistics. Meters sharing a
+// (vertex, kind, label) identity — a retried vertex registers a fresh
+// meter per attempt — are merged, so recovery traffic is counted in the
+// exchange it belongs to rather than listed as a duplicate row.
 func (f *fabric) stats() []ExchangeStat {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	type key struct {
+		vertex      int
+		kind, label string
+	}
+	idx := make(map[key]int, len(f.meters))
 	out := make([]ExchangeStat, 0, len(f.meters))
 	for _, m := range f.meters {
+		k := key{m.vertex, m.kind, m.label}
+		if i, ok := idx[k]; ok {
+			out[i].Bytes += m.bytes.Load()
+			out[i].Messages += m.msgs.Load()
+			continue
+		}
+		idx[k] = len(out)
 		out = append(out, ExchangeStat{
 			Vertex: m.vertex, Kind: m.kind, Label: m.label,
 			Bytes: m.bytes.Load(), Messages: m.msgs.Load(),
@@ -80,6 +96,15 @@ func (f *fabric) stats() []ExchangeStat {
 // makes the pattern deadlock-free regardless of fan-in. Returns the
 // per-shard received messages sorted by (key, seq) — the deterministic
 // order every reduce replays.
+//
+// Failure semantics: a drop fault discards a producing shard's
+// messages in flight; since receivers cannot distinguish lost data from
+// slow data, the loss surfaces — like a genuine stall past the
+// runtime's exchange timeout — as ErrExchangeTimeout on the consuming
+// vertex, which the scheduler retries. On the timer-driven timeout path
+// the producers may still be running, so channel close and collector
+// shutdown are handed to a background drainer; the shard workers
+// themselves stay healthy for the retry.
 func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
 	n := r.shards()
 	chans := make([]chan message, n)
@@ -95,27 +120,65 @@ func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][
 			}
 		}(s)
 	}
-	perr := r.parallel(func(s int) error {
-		out, err := produce(s)
-		if err != nil {
-			return err
-		}
-		for i, rm := range out {
-			if i%256 == 0 {
-				if err := r.ctx.Err(); err != nil {
+	drop, delay := r.rt.faults.exchangeFaults(m.vertex, m.label, r.attemptOf(m.vertex))
+	var lost atomic.Bool
+	prodDone := make(chan error, 1)
+	go func() {
+		prodDone <- r.parallel(func(s int) error {
+			if delay != nil && (delay.Shard == -1 || delay.Shard == s) {
+				if err := r.sleepCtx(delay.Delay); err != nil {
 					return err
 				}
 			}
-			if rm.dst < 0 || rm.dst >= n {
-				return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
+			out, err := produce(s)
+			if err != nil {
+				return err
 			}
-			if rm.dst != s {
-				m.count(rm.msg.tuple)
+			if drop != nil && (drop.Shard == -1 || drop.Shard == s) {
+				lost.Store(true)
+				return nil // the messages vanish in flight
 			}
-			chans[rm.dst] <- rm.msg
-		}
-		return nil
-	})
+			for i, rm := range out {
+				if i%256 == 0 {
+					if err := r.ctx.Err(); err != nil {
+						return err
+					}
+				}
+				if rm.dst < 0 || rm.dst >= n {
+					return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
+				}
+				if rm.dst != s {
+					m.count(rm.msg.tuple)
+				}
+				chans[rm.dst] <- rm.msg
+			}
+			return nil
+		})
+	}()
+
+	var perr error
+	var timeoutCh <-chan time.Time
+	if d := r.rt.exchangeTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case perr = <-prodDone:
+	case <-timeoutCh:
+		// Producers are still running (a stalled link, a straggler
+		// mid-delay). Hand cleanup to a drainer that closes the
+		// channels once every producer has returned so the collectors
+		// terminate; the recv buffers are abandoned.
+		go func() {
+			<-prodDone
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		return nil, fmt.Errorf("dist: exchange %q at vertex %d exceeded its %v timeout: %w",
+			m.label, m.vertex, r.rt.exchangeTimeout, ErrExchangeTimeout)
+	}
 	// Close only after every producer has returned; collectors then
 	// terminate having drained everything, even on error or cancel.
 	for _, ch := range chans {
@@ -125,10 +188,30 @@ func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][
 	if perr != nil {
 		return nil, perr
 	}
+	if lost.Load() {
+		return nil, fmt.Errorf("dist: exchange %q at vertex %d lost messages (injected %v): %w",
+			m.label, m.vertex, *drop, ErrExchangeTimeout)
+	}
 	for s := range recv {
 		sortMessages(recv[s])
 	}
 	return recv, nil
+}
+
+// sleepCtx waits d, returning early with the context's error when the
+// run is cancelled — injected delays must never outlive a cancel.
+func (r *run) sleepCtx(d time.Duration) error {
+	if d <= 0 {
+		return r.ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
 }
 
 // sortMessages orders a shard's received messages by (key, seq): the

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection: the paper's optimizer targets real clusters where
+// workers crash, straggle and lose messages. The dist runtime injects
+// those failures deterministically — a FaultPlan is a fixed schedule,
+// not a random process at execution time — so every chaos test is
+// reproducible bit for bit: the same plan against the same computation
+// always fails at the same points and recovers along the same path.
+//
+// Injection points mirror where a real deployment fails:
+//
+//   - FaultCrash fires at the top of a vertex execution attempt — the
+//     stand-in for a worker process dying mid-task. It surfaces as
+//     ErrShardFailed and is retryable.
+//   - FaultDropExchange discards one shard's (or every shard's)
+//     outgoing messages of one exchange. The receiving side can only
+//     notice missing data by timing out, so a drop surfaces as
+//     ErrExchangeTimeout and is retryable.
+//   - FaultDelayExchange stalls one producing shard of an exchange for
+//     Delay before it emits — a slow link. If the delay exceeds the
+//     runtime's exchange timeout the exchange fails (and is retried);
+//     otherwise the run is merely slower and the output unchanged.
+//   - FaultSlowShard makes every task on one shard sleep Delay before
+//     running — a straggler node. Nothing fails; the schedule of the
+//     DAG shifts and the output must still be bit-identical.
+
+// FaultKind selects what a Fault breaks.
+type FaultKind int
+
+const (
+	// FaultCrash fails a vertex execution attempt with ErrShardFailed.
+	FaultCrash FaultKind = iota
+	// FaultDropExchange loses an exchange's messages; surfaces as
+	// ErrExchangeTimeout on the consuming vertex.
+	FaultDropExchange
+	// FaultDelayExchange stalls one producing shard of an exchange for
+	// Delay before it sends.
+	FaultDelayExchange
+	// FaultSlowShard delays every task on Shard by Delay (a straggler).
+	FaultSlowShard
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDropExchange:
+		return "drop"
+	case FaultDelayExchange:
+		return "delay"
+	case FaultSlowShard:
+		return "slow"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled failure. Crash, drop and delay faults fire at
+// most once, on the attempt they name; a slow-shard fault applies to
+// every task on its shard for the whole run.
+type Fault struct {
+	Kind    FaultKind
+	Vertex  int           // target vertex ID (crash/drop/delay); -1 matches any vertex
+	Label   string        // exchange label filter (drop/delay); "" matches any exchange of the vertex
+	Shard   int           // target shard (slow; drop/delay producer side); -1 matches all shards
+	Attempt int           // the vertex execution attempt the fault fires on (0 = first)
+	Delay   time.Duration // stall length (delay/slow)
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultSlowShard:
+		return fmt.Sprintf("slow(shard %d, %v/task)", f.Shard, f.Delay)
+	case FaultDelayExchange:
+		return fmt.Sprintf("delay(v%d %q attempt %d, %v)", f.Vertex, f.Label, f.Attempt, f.Delay)
+	case FaultDropExchange:
+		return fmt.Sprintf("drop(v%d %q attempt %d)", f.Vertex, f.Label, f.Attempt)
+	default:
+		return fmt.Sprintf("crash(v%d attempt %d)", f.Vertex, f.Attempt)
+	}
+}
+
+// faultState is one scheduled fault plus its once-only firing latch.
+type faultState struct {
+	Fault
+	fired atomic.Bool
+}
+
+// FaultPlan is a deterministic schedule of failures for one or more
+// runs. A plan is safe for concurrent use; each one-shot fault fires
+// exactly once across all runs sharing the plan, so tests normally
+// build a fresh plan per run.
+type FaultPlan struct {
+	faults []*faultState
+}
+
+// NewFaultPlan builds an explicit fault schedule.
+func NewFaultPlan(faults ...Fault) *FaultPlan {
+	p := &FaultPlan{}
+	for _, f := range faults {
+		p.faults = append(p.faults, &faultState{Fault: f})
+	}
+	return p
+}
+
+// RandomFaults derives a schedule of n faults from a seed: crashes,
+// drops and delays over the given vertex IDs and a possible straggler
+// shard. Every fault targets attempt 0, so a runtime with at least one
+// retry always recovers. The same (seed, n, vertices, shards) always
+// yields the same schedule.
+func RandomFaults(seed int64, n int, vertices []int, shards int) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	var fs []Fault
+	for i := 0; i < n; i++ {
+		var v int
+		if len(vertices) > 0 {
+			v = vertices[rng.Intn(len(vertices))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			fs = append(fs, Fault{Kind: FaultCrash, Vertex: v})
+		case 1:
+			fs = append(fs, Fault{Kind: FaultDropExchange, Vertex: v, Shard: -1})
+		case 2:
+			fs = append(fs, Fault{Kind: FaultDelayExchange, Vertex: v, Shard: -1,
+				Delay: time.Duration(1+rng.Intn(3)) * time.Millisecond})
+		default:
+			fs = append(fs, Fault{Kind: FaultSlowShard, Shard: rng.Intn(shards),
+				Delay: 50 * time.Microsecond})
+		}
+	}
+	return NewFaultPlan(fs...)
+}
+
+// Faults returns the scheduled faults, fired or not.
+func (p *FaultPlan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	out := make([]Fault, len(p.faults))
+	for i, f := range p.faults {
+		out[i] = f.Fault
+	}
+	return out
+}
+
+// Injected reports how many scheduled faults have fired so far.
+func (p *FaultPlan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, f := range p.faults {
+		if f.fired.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// crash returns the matching crash fault for this vertex attempt,
+// claiming it so it fires exactly once. All methods are nil-safe: a
+// runtime with no plan pays one pointer comparison per injection point.
+func (p *FaultPlan) crash(vertex, attempt int) *Fault {
+	if p == nil {
+		return nil
+	}
+	for _, f := range p.faults {
+		if f.Kind != FaultCrash || f.Attempt != attempt {
+			continue
+		}
+		if f.Vertex != -1 && f.Vertex != vertex {
+			continue
+		}
+		if f.fired.CompareAndSwap(false, true) {
+			return &f.Fault
+		}
+	}
+	return nil
+}
+
+// exchangeFaults returns the drop and delay faults (if any) scheduled
+// for this exchange of this vertex attempt, claiming each.
+func (p *FaultPlan) exchangeFaults(vertex int, label string, attempt int) (drop, delay *Fault) {
+	if p == nil {
+		return nil, nil
+	}
+	for _, f := range p.faults {
+		if f.Kind != FaultDropExchange && f.Kind != FaultDelayExchange {
+			continue
+		}
+		if f.Attempt != attempt {
+			continue
+		}
+		if f.Vertex != -1 && f.Vertex != vertex {
+			continue
+		}
+		if f.Label != "" && f.Label != label {
+			continue
+		}
+		switch {
+		case f.Kind == FaultDropExchange && drop == nil:
+			if f.fired.CompareAndSwap(false, true) {
+				drop = &f.Fault
+			}
+		case f.Kind == FaultDelayExchange && delay == nil:
+			if f.fired.CompareAndSwap(false, true) {
+				delay = &f.Fault
+			}
+		}
+	}
+	return drop, delay
+}
+
+// slow returns the straggler delay for a shard's tasks (0 = none). A
+// slow-shard fault is marked fired on first use but keeps applying for
+// the whole run.
+func (p *FaultPlan) slow(shard int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	for _, f := range p.faults {
+		if f.Kind == FaultSlowShard && (f.Shard == -1 || f.Shard == shard) {
+			f.fired.Store(true)
+			return f.Delay
+		}
+	}
+	return 0
+}

@@ -1,0 +1,437 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// chaosShards are the shard counts the fault sweep runs at: an even
+// split and a prime count that misaligns with every tile grid.
+var chaosShards = []int{2, 7}
+
+// leakChecked runs fn and then requires the process goroutine count to
+// return to its starting level: a run that failed, recovered, timed out
+// or was cancelled must not leave workers, collectors, producers or
+// drainers behind.
+func leakChecked(t *testing.T, fn func()) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// chaosWorkload builds the scaled matmul chain the sweep uses — small
+// enough that crash-each-vertex × drop-each-exchange × {2,7} shards
+// stays fast, with a DAG deep enough to exercise every exchange kind.
+func chaosWorkload(t *testing.T) (*core.Annotation, map[string]*tensor.Dense, costmodel.Cluster) {
+	t.Helper()
+	sz := workload.ChainSizes{
+		Name: "chaos",
+		A:    shape.New(60, 150), B: shape.New(150, 250),
+		C: shape.New(250, 1), D: shape.New(1, 250),
+		E: shape.New(250, 60), F: shape.New(250, 60),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	return ann, inputs, env.Cluster
+}
+
+// seqGolden runs the annotation on the sequential engine.
+func seqGolden(t *testing.T, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) map[int]*tensor.Dense {
+	t.Helper()
+	want, err := engine.New(cl).RunCollect(ann, inputs)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	return want
+}
+
+// runFaulted executes ann on a dist runtime with the given fault plan
+// and requires every sink to match the sequential golden bit for bit.
+func runFaulted(t *testing.T, name string, cl costmodel.Cluster, shards int, plan *dist.FaultPlan,
+	ann *core.Annotation, inputs map[string]*tensor.Dense, want map[int]*tensor.Dense,
+	opts ...dist.Option) *dist.Report {
+	t.Helper()
+	rt, err := dist.New(cl, shards, append([]dist.Option{dist.WithFaults(plan)}, opts...)...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	got, rep, err := rt.Run(context.Background(), ann, inputs)
+	if err != nil {
+		t.Fatalf("%s @%d shards: dist run did not recover: %v", name, shards, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s @%d shards: %d sinks, sequential produced %d", name, shards, len(got), len(want))
+	}
+	for id, w := range want {
+		g := got[id]
+		if g == nil || g.Rows != w.Rows || g.Cols != w.Cols {
+			t.Fatalf("%s @%d shards: sink %d missing or misshapen", name, shards, id)
+		}
+		for i := range w.Data {
+			if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+				t.Fatalf("%s @%d shards: sink %d entry %d: dist bits %x != sequential bits %x",
+					name, shards, id, i, math.Float64bits(g.Data[i]), math.Float64bits(w.Data[i]))
+			}
+		}
+	}
+	return rep
+}
+
+// TestChaosSweep is the seeded fault sweep: crash each vertex once,
+// drop each exchange once, run with a straggler shard, and run a
+// combined schedule — at shards {2, 7}. Every schedule must recover to
+// bit-identical outputs, and the Report must count each injected fault
+// and each retry taken.
+func TestChaosSweep(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	want := seqGolden(t, cl, ann, inputs)
+
+	for _, shards := range chaosShards {
+		// Fault-free profiling run: the exchange list drives the
+		// drop-each-exchange schedules below.
+		base := runFaulted(t, "fault-free", cl, shards, nil, ann, inputs, want)
+		if base.FaultsInjected != 0 || base.Retries != 0 {
+			t.Fatalf("fault-free run reports recovery: %+v", base)
+		}
+
+		// Crash each vertex once on its first attempt.
+		for _, v := range ann.Graph.Vertices {
+			plan := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultCrash, Vertex: v.ID})
+			rep := runFaulted(t, "crash", cl, shards, plan, ann, inputs, want)
+			if rep.FaultsInjected != 1 {
+				t.Fatalf("crash v%d @%d shards: %d faults injected, want 1", v.ID, shards, rep.FaultsInjected)
+			}
+			if rep.Retries != 1 || rep.RetriesByVertex[v.ID] != 1 {
+				t.Fatalf("crash v%d @%d shards: retries=%d byVertex=%v, want exactly one retry of v%d",
+					v.ID, shards, rep.Retries, rep.RetriesByVertex, v.ID)
+			}
+		}
+
+		// Drop each exchange once: every (vertex, label) the fault-free
+		// run metered loses its messages on the vertex's first attempt.
+		for _, x := range base.Exchanges {
+			plan := dist.NewFaultPlan(dist.Fault{
+				Kind: dist.FaultDropExchange, Vertex: x.Vertex, Label: x.Label, Shard: -1,
+			})
+			rep := runFaulted(t, "drop "+x.Label, cl, shards, plan, ann, inputs, want)
+			if rep.FaultsInjected != 1 {
+				t.Fatalf("drop %s v%d @%d shards: %d faults injected, want 1", x.Label, x.Vertex, shards, rep.FaultsInjected)
+			}
+			if rep.RetriesByVertex[x.Vertex] < 1 {
+				t.Fatalf("drop %s v%d @%d shards: vertex was not retried: %v", x.Label, x.Vertex, shards, rep.RetriesByVertex)
+			}
+		}
+
+		// One straggler shard: nothing fails, the schedule just shifts.
+		plan := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultSlowShard, Shard: shards - 1, Delay: 100 * time.Microsecond})
+		rep := runFaulted(t, "straggler", cl, shards, plan, ann, inputs, want)
+		if rep.FaultsInjected != 1 || rep.Retries != 0 {
+			t.Fatalf("straggler @%d shards: injected=%d retries=%d, want 1/0", shards, rep.FaultsInjected, rep.Retries)
+		}
+
+		// Combined schedule: a crash, a dropped exchange and a straggler
+		// in the same run. The dropped exchange must belong to a vertex
+		// other than the crashed one — a crash preempts the vertex's
+		// first attempt before its exchanges run, so a drop scheduled on
+		// the same vertex's attempt 0 would never fire.
+		mid := ann.Graph.Vertices[len(ann.Graph.Vertices)/2]
+		dropX := base.Exchanges[0]
+		for _, x := range base.Exchanges {
+			if x.Vertex != mid.ID {
+				dropX = x
+				break
+			}
+		}
+		combined := dist.NewFaultPlan(
+			dist.Fault{Kind: dist.FaultCrash, Vertex: mid.ID},
+			dist.Fault{Kind: dist.FaultDropExchange, Vertex: dropX.Vertex, Label: dropX.Label, Shard: -1},
+			dist.Fault{Kind: dist.FaultSlowShard, Shard: 0, Delay: 50 * time.Microsecond},
+		)
+		rep = runFaulted(t, "combined", cl, shards, combined, ann, inputs, want)
+		if rep.FaultsInjected != 3 {
+			t.Fatalf("combined @%d shards: %d faults injected, want 3", shards, rep.FaultsInjected)
+		}
+		if rep.Retries < 2 {
+			t.Fatalf("combined @%d shards: %d retries, want ≥ 2 (crash + drop)", shards, rep.Retries)
+		}
+	}
+}
+
+// TestChaosSeededRandomSchedules runs seeded RandomFaults schedules over
+// an FFNN workload: every seed must recover to bit-identical outputs.
+func TestChaosSeededRandomSchedules(t *testing.T) {
+	cfg := workload.ScaledFFNN(workload.PaperFFNN(80000), 500)
+	g, err := workload.FFNNW2Update(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	inputs := workload.FFNNInputs(rng, cfg)
+	want := seqGolden(t, env.Cluster, ann, inputs)
+
+	ids := make([]int, len(ann.Graph.Vertices))
+	for i, v := range ann.Graph.Vertices {
+		ids[i] = v.ID
+	}
+	for _, shards := range chaosShards {
+		for seed := int64(1); seed <= 4; seed++ {
+			plan := dist.RandomFaults(seed, 5, ids, shards)
+			rep := runFaulted(t, "random-schedule", cl3(), shards, plan, ann, inputs, want)
+			if rep.FaultsInjected > int64(len(plan.Faults())) {
+				t.Fatalf("seed %d @%d shards: injected %d of %d scheduled", seed, shards, rep.FaultsInjected, len(plan.Faults()))
+			}
+		}
+	}
+}
+
+func cl3() costmodel.Cluster { return costmodel.LocalTest(3) }
+
+// TestDelayedExchangeRecovers covers both delay outcomes: a short delay
+// under the timeout merely slows the run; a delay past the exchange
+// timeout fails the vertex, which retries and recovers.
+func TestDelayedExchangeRecovers(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	want := seqGolden(t, cl, ann, inputs)
+
+	short := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultDelayExchange, Vertex: -1, Shard: -1, Delay: 2 * time.Millisecond})
+	rep := runFaulted(t, "short-delay", cl, 4, short, ann, inputs, want)
+	if rep.FaultsInjected != 1 || rep.Retries != 0 {
+		t.Fatalf("short delay: injected=%d retries=%d, want 1/0", rep.FaultsInjected, rep.Retries)
+	}
+
+	// The abandoned producer keeps its shard worker asleep for the full
+	// injected delay, so the first retries can themselves time out while
+	// queued behind it; a generous retry budget lets the run outlast the
+	// stall, as it would a real straggling link.
+	leakChecked(t, func() {
+		long := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultDelayExchange, Vertex: -1, Shard: -1, Delay: 300 * time.Millisecond})
+		rep = runFaulted(t, "long-delay", cl, 4, long, ann, inputs, want,
+			dist.WithExchangeTimeout(100*time.Millisecond), dist.WithMaxRetries(8))
+		if rep.Retries < 1 {
+			t.Fatalf("long delay: vertex was not retried: %+v", rep)
+		}
+	})
+}
+
+// TestRetriesExhausted crashes one vertex on every allowed attempt: the
+// run must fail with ErrRetriesExhausted wrapping ErrShardFailed, still
+// return its Report, and leak nothing.
+func TestRetriesExhausted(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	v := ann.Graph.Vertices[0].ID
+	leakChecked(t, func() {
+		plan := dist.NewFaultPlan(
+			dist.Fault{Kind: dist.FaultCrash, Vertex: v, Attempt: 0},
+			dist.Fault{Kind: dist.FaultCrash, Vertex: v, Attempt: 1},
+			dist.Fault{Kind: dist.FaultCrash, Vertex: v, Attempt: 2},
+		)
+		rt, err := dist.New(cl, 4, dist.WithFaults(plan), dist.WithMaxRetries(2),
+			dist.WithRetryBackoff(time.Microsecond, time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := rt.Run(context.Background(), ann, inputs)
+		if err == nil {
+			t.Fatal("run succeeded with a vertex crashing on every attempt")
+		}
+		if !errors.Is(err, dist.ErrRetriesExhausted) {
+			t.Fatalf("error does not wrap ErrRetriesExhausted: %v", err)
+		}
+		if !errors.Is(err, dist.ErrShardFailed) {
+			t.Fatalf("error does not wrap the last attempt's ErrShardFailed: %v", err)
+		}
+		if rep == nil || rep.Retries != 2 || rep.FaultsInjected != 3 {
+			t.Fatalf("failed run's report should still meter recovery, got %+v", rep)
+		}
+	})
+}
+
+// TestVertexDeadlineExhausts bounds a vertex's recovery window: with a
+// tiny deadline and a long backoff, a second failure stops retrying.
+func TestVertexDeadlineExhausts(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	v := ann.Graph.Vertices[0].ID
+	plan := dist.NewFaultPlan(
+		dist.Fault{Kind: dist.FaultCrash, Vertex: v, Attempt: 0},
+		dist.Fault{Kind: dist.FaultCrash, Vertex: v, Attempt: 1},
+	)
+	rt, err := dist.New(cl, 2, dist.WithFaults(plan), dist.WithMaxRetries(10),
+		dist.WithRetryBackoff(20*time.Millisecond, 20*time.Millisecond),
+		dist.WithVertexDeadline(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = rt.Run(context.Background(), ann, inputs)
+	if !errors.Is(err, dist.ErrRetriesExhausted) {
+		t.Fatalf("deadline exceeded should surface as ErrRetriesExhausted, got %v", err)
+	}
+}
+
+// TestShutdownCleanOnFailure is the shutdown-gap check: runs that fail
+// at different points — no retries allowed, a missing input, retries
+// exhausted mid-DAG — must drain every worker, collector and producer
+// goroutine before Run returns.
+func TestShutdownCleanOnFailure(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+
+	t.Run("first-fault-fatal", func(t *testing.T) {
+		leakChecked(t, func() {
+			for _, v := range ann.Graph.Vertices {
+				plan := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultCrash, Vertex: v.ID})
+				rt, err := dist.New(cl, 4, dist.WithFaults(plan), dist.WithMaxRetries(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := rt.Run(context.Background(), ann, inputs); !errors.Is(err, dist.ErrShardFailed) {
+					t.Fatalf("crash v%d with no retries: want ErrShardFailed, got %v", v.ID, err)
+				}
+			}
+		})
+	})
+
+	t.Run("missing-input", func(t *testing.T) {
+		leakChecked(t, func() {
+			rt, err := dist.New(cl, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partial := map[string]*tensor.Dense{"A": inputs["A"]}
+			if _, _, err := rt.Run(context.Background(), ann, partial); err == nil {
+				t.Fatal("run with missing inputs succeeded")
+			}
+		})
+	})
+
+	t.Run("dropped-exchange-fatal", func(t *testing.T) {
+		leakChecked(t, func() {
+			plan := dist.NewFaultPlan(
+				dist.Fault{Kind: dist.FaultDropExchange, Vertex: -1, Shard: -1, Attempt: 0},
+				dist.Fault{Kind: dist.FaultDropExchange, Vertex: -1, Shard: -1, Attempt: 1},
+				dist.Fault{Kind: dist.FaultDropExchange, Vertex: -1, Shard: -1, Attempt: 2},
+			)
+			rt, err := dist.New(cl, 7, dist.WithFaults(plan),
+				dist.WithRetryBackoff(time.Microsecond, time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = rt.Run(context.Background(), ann, inputs)
+			if !errors.Is(err, dist.ErrExchangeTimeout) {
+				t.Fatalf("want ErrExchangeTimeout after drops exhaust retries, got %v", err)
+			}
+		})
+	})
+}
+
+// TestCancelDuringBackoff cancels the run while a crashed vertex is
+// waiting out its retry backoff: the run must return context.Canceled
+// promptly — not after the backoff — and leak nothing.
+func TestCancelDuringBackoff(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	v := ann.Graph.Vertices[0].ID
+	leakChecked(t, func() {
+		plan := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultCrash, Vertex: v})
+		rt, err := dist.New(cl, 4, dist.WithFaults(plan),
+			dist.WithRetryBackoff(time.Hour, time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := rt.Run(ctx, ann, inputs)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		t0 := time.Now()
+		cancel()
+		select {
+		case err = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled run did not return")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error does not wrap context.Canceled: %v", err)
+		}
+		if waited := time.Since(t0); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v; the hour-long backoff was not interrupted", waited)
+		}
+	})
+}
+
+// TestCancelDuringInjectedDelay cancels the run while an exchange is
+// stalled by an injected delay (mid-retryable-failure): the delay must
+// not outlive the cancel.
+func TestCancelDuringInjectedDelay(t *testing.T) {
+	ann, inputs, cl := chaosWorkload(t)
+	leakChecked(t, func() {
+		plan := dist.NewFaultPlan(dist.Fault{Kind: dist.FaultDelayExchange, Vertex: -1, Shard: -1, Delay: time.Hour})
+		rt, err := dist.New(cl, 4, dist.WithFaults(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := rt.Run(ctx, ann, inputs)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		t0 := time.Now()
+		cancel()
+		select {
+		case err = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled run did not return")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error does not wrap context.Canceled: %v", err)
+		}
+		if waited := time.Since(t0); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v; the injected delay was not interrupted", waited)
+		}
+	})
+}

@@ -18,7 +18,10 @@ type ExchangeStat struct {
 }
 
 // Report is what one dist run actually did, the measured counterpart of
-// the cost model's predicted features.
+// the cost model's predicted features. Recovery is part of the
+// measurement: traffic of failed attempts stays in the exchange meters
+// (re-shipping data is a real cost of recovery), and every injected
+// fault and vertex recomputation is counted.
 type Report struct {
 	Shards    int
 	NetBytes  int64           // total payload bytes that crossed shard boundaries
@@ -27,6 +30,12 @@ type Report struct {
 	PeakBytes int64           // peak resident relation bytes during the run
 	ShardBusy []time.Duration // per-shard time spent inside tasks
 	Wall      time.Duration   // end-to-end wall time of the run
+
+	FaultsInjected  int64       // scheduled faults that fired during the run
+	Retries         int64       // total vertex recomputations taken
+	RetriesByVertex map[int]int // vertex ID → recomputations (nil when none)
+	Degraded        bool        // run fell back to the sequential engine
+	DegradedCause   string      // the dist failure that forced the fallback
 }
 
 // BusiestShard returns the largest per-shard busy time.
@@ -54,6 +63,28 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "dist run: %d shards, wall %v, peak %d B resident\n", r.Shards, r.Wall.Round(time.Microsecond), r.PeakBytes)
 	fmt.Fprintf(&b, "  fabric: %d B in %d messages across %d exchanges\n", r.NetBytes, r.Messages, len(r.Exchanges))
 	fmt.Fprintf(&b, "  busiest shard busy %v of %v total\n", r.BusiestShard().Round(time.Microsecond), r.TotalBusy().Round(time.Microsecond))
+	if r.FaultsInjected > 0 || r.Retries > 0 {
+		fmt.Fprintf(&b, "  recovery: %d faults injected, %d vertex retries", r.FaultsInjected, r.Retries)
+		if len(r.RetriesByVertex) > 0 {
+			ids := make([]int, 0, len(r.RetriesByVertex))
+			for id := range r.RetriesByVertex {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			b.WriteString(" (")
+			for i, id := range ids {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "v%d×%d", id, r.RetriesByVertex[id])
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, "  DEGRADED to sequential engine: %s\n", r.DegradedCause)
+	}
 	for _, x := range r.Exchanges {
 		if x.Bytes == 0 && x.Messages == 0 {
 			continue

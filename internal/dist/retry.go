@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/tensor"
+)
+
+// Typed failure surface of the dist runtime. Transient failures —
+// a shard dying mid-task, an exchange that never completes — are
+// retryable; everything else (type errors, missing inputs, internal
+// inconsistencies wrapping core.ErrInternal, and the run context's own
+// cancellation) aborts the run immediately.
+var (
+	// ErrShardFailed reports that a shard's task for a vertex died
+	// mid-execution (in-process: an injected crash; on a real network
+	// backend: a worker failure).
+	ErrShardFailed = errors.New("dist: shard task failed")
+	// ErrExchangeTimeout reports that an exchange did not complete in
+	// time — messages were lost or a link stalled past the runtime's
+	// exchange timeout.
+	ErrExchangeTimeout = errors.New("dist: exchange timed out")
+	// ErrRetriesExhausted reports that a vertex kept failing past the
+	// runtime's retry budget or per-vertex deadline; it wraps the last
+	// attempt's error.
+	ErrRetriesExhausted = errors.New("dist: vertex retries exhausted")
+)
+
+// retryable reports whether an attempt error is transient: only shard
+// failures and exchange timeouts are worth re-executing a vertex for.
+func retryable(err error) bool {
+	return errors.Is(err, ErrShardFailed) || errors.Is(err, ErrExchangeTimeout)
+}
+
+// lineage is the recovery record of one relation: which vertex produced
+// it under which annotation, and how many attempts that took. Because
+// the scheduler ref-counts every relation until its last consumer has
+// *completed* (not merely started), a failed consumer's inputs are
+// always still resident — recomputing a vertex never requires rerunning
+// its ancestors, exactly the property RDD lineage buys Spark.
+type lineage struct {
+	vertex   int    // producing vertex ID
+	impl     string // implementation name from the annotation ("load" for sources)
+	attempts int    // executions needed (1 = no faults)
+}
+
+// runVertex executes one vertex with recovery: transient failures
+// (ErrShardFailed, ErrExchangeTimeout) are retried with capped
+// exponential backoff up to the runtime's retry budget and per-vertex
+// deadline; deterministic inputs make every re-execution produce the
+// same bits as a fault-free run. The input snapshot is re-copied per
+// attempt so a retry re-derives edge transforms from the original
+// relations rather than a half-transformed attempt state.
+func (r *run) runVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		r.setAttempt(v.ID, attempt)
+		attemptIns := append([]*relation(nil), ins...)
+		rel, err := r.execVertex(v, attemptIns, inputs)
+		if err == nil {
+			r.recordLineage(v, attempt+1)
+			return rel, nil
+		}
+		if cerr := r.ctx.Err(); cerr != nil {
+			// The run was cancelled; report the context's cause rather
+			// than whatever the teardown surfaced as.
+			return nil, fmt.Errorf("dist: vertex %d aborted: %w", v.ID, cerr)
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		if attempt >= r.rt.maxRetries {
+			return nil, fmt.Errorf("%w: vertex %d failed %d times: %w",
+				ErrRetriesExhausted, v.ID, attempt+1, err)
+		}
+		if dl := r.rt.vertexDeadline; dl > 0 && time.Since(start) >= dl {
+			return nil, fmt.Errorf("%w: vertex %d exceeded its %v recovery deadline: %w",
+				ErrRetriesExhausted, v.ID, dl, err)
+		}
+		r.recordRetry(v.ID)
+		if berr := r.sleepBackoff(attempt); berr != nil {
+			return nil, fmt.Errorf("dist: vertex %d aborted during retry backoff: %w", v.ID, berr)
+		}
+	}
+}
+
+// sleepBackoff waits the capped exponential backoff for the given
+// attempt, returning early with the context's error on cancellation.
+func (r *run) sleepBackoff(attempt int) error {
+	d := r.rt.backoffBase << uint(attempt)
+	if d > r.rt.backoffCap || d <= 0 {
+		d = r.rt.backoffCap
+	}
+	if d <= 0 {
+		return r.ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// setAttempt records which execution attempt of a vertex is in flight,
+// so exchanges started on its behalf consult the fault plan with the
+// right attempt number. One vertex runs one attempt at a time.
+func (r *run) setAttempt(vertex, attempt int) {
+	r.att[vertex].Store(int32(attempt))
+}
+
+// attemptOf returns the vertex's in-flight attempt number.
+func (r *run) attemptOf(vertex int) int {
+	if vertex < 0 || vertex >= len(r.att) {
+		return 0
+	}
+	return int(r.att[vertex].Load())
+}
+
+// recordRetry meters one recomputation of a vertex.
+func (r *run) recordRetry(vertex int) {
+	r.recMu.Lock()
+	if r.retries == nil {
+		r.retries = make(map[int]int)
+	}
+	r.retries[vertex]++
+	r.recMu.Unlock()
+}
+
+// recordLineage notes the recovery record of a completed vertex.
+func (r *run) recordLineage(v *core.Vertex, attempts int) {
+	impl := "load"
+	if im := r.ann.VertexImpl[v.ID]; im != nil {
+		impl = im.Name
+	}
+	r.recMu.Lock()
+	if r.lineages == nil {
+		r.lineages = make(map[int]lineage)
+	}
+	r.lineages[v.ID] = lineage{vertex: v.ID, impl: impl, attempts: attempts}
+	r.recMu.Unlock()
+}

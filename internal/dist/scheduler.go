@@ -15,7 +15,9 @@ import (
 )
 
 // run is the per-execution state: one worker goroutine per shard fed by
-// a task queue, the comms fabric, and the annotation being executed.
+// a task queue, the comms fabric, the annotation being executed, and
+// the recovery bookkeeping (per-vertex attempt counters, retry meters
+// and lineage records).
 type run struct {
 	rt      *Runtime
 	ctx     context.Context
@@ -24,6 +26,11 @@ type run struct {
 	tasks   []chan func()
 	workers sync.WaitGroup
 	busy    []atomic.Int64 // nanoseconds inside tasks, per shard
+
+	att      []atomic.Int32  // in-flight execution attempt, per vertex
+	recMu    sync.Mutex      // guards retries and lineages
+	retries  map[int]int     // vertex ID → recomputations taken
+	lineages map[int]lineage // vertex ID → recovery record
 }
 
 func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
@@ -34,13 +41,18 @@ func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
 		fab:   &fabric{shards: rt.shards},
 		tasks: make([]chan func(), rt.shards),
 		busy:  make([]atomic.Int64, rt.shards),
+		att:   make([]atomic.Int32, len(ann.Graph.Vertices)),
 	}
 	for s := 0; s < rt.shards; s++ {
 		r.tasks[s] = make(chan func(), 16)
+		straggle := rt.faults.slow(s)
 		r.workers.Add(1)
 		go func(s int) {
 			defer r.workers.Done()
 			for fn := range r.tasks[s] {
+				if straggle > 0 {
+					time.Sleep(straggle)
+				}
 				t0 := time.Now()
 				fn()
 				r.busy[s].Add(int64(time.Since(t0)))
@@ -183,7 +195,7 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		}
 		inFlight++
 		go func(v *core.Vertex) {
-			rel, err := r.execVertex(v, ins, inputs)
+			rel, err := r.runVertex(v, ins, inputs)
 			results <- result{id: v.ID, rel: rel, err: err}
 		}(v)
 	}
@@ -230,8 +242,8 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		return nil, peak, failed
 	}
 	if completed != len(g.Vertices) {
-		return nil, peak, fmt.Errorf("dist: scheduler stalled with %d of %d vertices executed",
-			completed, len(g.Vertices))
+		return nil, peak, fmt.Errorf("dist: scheduler stalled with %d of %d vertices executed: %w",
+			completed, len(g.Vertices), core.ErrInternal)
 	}
 	return rels, peak, nil
 }
@@ -242,6 +254,9 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 func (r *run) execVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
 	if err := r.ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", v.ID, err)
+	}
+	if f := r.rt.faults.crash(v.ID, r.attemptOf(v.ID)); f != nil {
+		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, r.ownerShard(v.ID), ErrShardFailed)
 	}
 	if v.IsSource {
 		m, ok := inputs[v.Name]
@@ -298,14 +313,15 @@ func (r *run) execVertex(v *core.Vertex, ins []*relation, inputs map[string]*ten
 	return out, nil
 }
 
-// report snapshots the run's meters and timers.
+// report snapshots the run's meters, timers and recovery counters.
 func (r *run) report(peak int64, wall time.Duration) *Report {
 	rep := &Report{
-		Shards:    r.shards(),
-		Exchanges: r.fab.stats(),
-		PeakBytes: peak,
-		ShardBusy: make([]time.Duration, r.shards()),
-		Wall:      wall,
+		Shards:         r.shards(),
+		Exchanges:      r.fab.stats(),
+		PeakBytes:      peak,
+		ShardBusy:      make([]time.Duration, r.shards()),
+		Wall:           wall,
+		FaultsInjected: r.rt.faults.Injected(),
 	}
 	for s := 0; s < r.shards(); s++ {
 		rep.ShardBusy[s] = time.Duration(r.busy[s].Load())
@@ -314,5 +330,14 @@ func (r *run) report(peak int64, wall time.Duration) *Report {
 		rep.NetBytes += x.Bytes
 		rep.Messages += x.Messages
 	}
+	r.recMu.Lock()
+	if len(r.retries) > 0 {
+		rep.RetriesByVertex = make(map[int]int, len(r.retries))
+		for v, n := range r.retries {
+			rep.RetriesByVertex[v] = n
+			rep.Retries += int64(n)
+		}
+	}
+	r.recMu.Unlock()
 	return rep
 }

@@ -448,6 +448,7 @@ func AllCtx(ctx context.Context, bruteBudget time.Duration) ([]Table, error) {
 		Fig1, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10,
 		Fig11, Fig12, func() Table { return Fig13(bruteBudget) },
 		func() Table { return DistValidation(dist.DefaultShards()) },
+		func() Table { return FaultRecovery(dist.DefaultShards()) },
 	}
 	var tables []Table
 	for _, gen := range gens {

@@ -153,6 +153,20 @@ var ErrInfeasible = core.ErrInfeasible
 // bug in the search, not in the caller's computation).
 var ErrInternal = core.ErrInternal
 
+// ErrShardFailed reports that a dist-engine shard task died
+// mid-execution (in-process: an injected crash). Transient — the
+// runtime retries the vertex before surfacing it.
+var ErrShardFailed = dist.ErrShardFailed
+
+// ErrExchangeTimeout reports that a dist-engine exchange lost messages
+// or stalled past its timeout. Transient — retried like ErrShardFailed.
+var ErrExchangeTimeout = dist.ErrExchangeTimeout
+
+// ErrRetriesExhausted reports that a dist-engine vertex kept failing
+// past the retry budget or per-vertex deadline; with WithFallback the
+// Executor degrades to the sequential engine instead of returning it.
+var ErrRetriesExhausted = dist.ErrRetriesExhausted
+
 // Optimize computes the cost-optimal annotation of the builder's graph.
 func (o *Optimizer) Optimize(b *Builder, outputs ...Matrix) (*Plan, error) {
 	return o.OptimizeCtx(context.Background(), b, outputs...)
@@ -258,18 +272,70 @@ func WithEngineKind(k EngineKind) ExecutorOption { return func(x *Executor) { x.
 // dist.DefaultShards (GOMAXPROCS). Ignored by the sequential engine.
 func WithShards(n int) ExecutorOption { return func(x *Executor) { x.shards = n } }
 
+// WithFallback makes the Executor degrade gracefully: when a DistEngine
+// run fails after its retries are exhausted, the plan is transparently
+// re-executed on the sequential engine (which produces bit-identical
+// results) and the downgrade is recorded on DistReport. Cancellation is
+// never masked — a context error still aborts the run. Ignored by the
+// sequential engine.
+func WithFallback() ExecutorOption { return func(x *Executor) { x.fallback = true } }
+
+// WithMaxRetries bounds how many times the DistEngine recomputes a
+// vertex whose execution failed transiently before giving up (default
+// dist.DefaultMaxRetries). Ignored by the sequential engine.
+func WithMaxRetries(n int) ExecutorOption { return func(x *Executor) { x.maxRetries = &n } }
+
+// WithFaults installs a deterministic fault-injection schedule on the
+// DistEngine — crashes, dropped or delayed exchanges, straggler shards
+// — for chaos testing recovery paths. Outputs remain bit-identical to
+// the sequential engine under every recoverable schedule. Ignored by
+// the sequential engine.
+func WithFaults(p *FaultPlan) ExecutorOption { return func(x *Executor) { x.faults = p } }
+
+// FaultPlan is a deterministic schedule of injected failures for the
+// dist runtime; build one with NewFaultPlan or RandomFaults.
+type FaultPlan = dist.FaultPlan
+
+// Fault is one scheduled failure in a FaultPlan.
+type Fault = dist.Fault
+
+// FaultKind selects what a Fault breaks.
+type FaultKind = dist.FaultKind
+
+// Fault kinds, re-exported from the dist runtime.
+const (
+	FaultCrash         = dist.FaultCrash
+	FaultDropExchange  = dist.FaultDropExchange
+	FaultDelayExchange = dist.FaultDelayExchange
+	FaultSlowShard     = dist.FaultSlowShard
+)
+
+// NewFaultPlan builds an explicit fault schedule.
+func NewFaultPlan(faults ...Fault) *FaultPlan { return dist.NewFaultPlan(faults...) }
+
+// RandomFaults derives a reproducible schedule of n faults from a seed
+// over the given vertex IDs and shard count.
+func RandomFaults(seed int64, n int, vertices []int, shards int) *FaultPlan {
+	return dist.RandomFaults(seed, n, vertices, shards)
+}
+
 // DistReport is the dist runtime's per-run measurement: actual bytes and
-// messages over every exchange, per-shard busy time, and peak resident
-// bytes — directly comparable against the cost model's predictions.
+// messages over every exchange, per-shard busy time, peak resident
+// bytes — directly comparable against the cost model's predictions —
+// plus the recovery record (faults injected, retries taken, and whether
+// the run degraded to the sequential engine).
 type DistReport = dist.Report
 
 // Executor runs plans on real data, over either the in-process
 // sequential relational engine or the sharded dist runtime.
 type Executor struct {
-	cluster Cluster
-	eng     *engine.Engine
-	kind    EngineKind
-	shards  int
+	cluster    Cluster
+	eng        *engine.Engine
+	kind       EngineKind
+	shards     int
+	fallback   bool
+	maxRetries *int // nil = dist runtime default
+	faults     *FaultPlan
 
 	mu         sync.Mutex
 	lastReport *DistReport
@@ -297,15 +363,33 @@ func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tenso
 
 // RunCtx is Run under a caller-supplied context; execution checks the
 // context between vertices and aborts with its error when cancelled.
+// With WithFallback, a DistEngine run that fails for any reason other
+// than cancellation is transparently re-executed on the sequential
+// engine; DistReport then carries Degraded and the failure cause.
 func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
 	if x.kind == DistEngine {
-		rt, err := dist.New(x.cluster, x.shards)
+		opts := []dist.Option{dist.WithFaults(x.faults)}
+		if x.maxRetries != nil {
+			opts = append(opts, dist.WithMaxRetries(*x.maxRetries))
+		}
+		rt, err := dist.New(x.cluster, x.shards, opts...)
 		if err != nil {
 			return nil, err
 		}
 		outs, rep, err := rt.Run(ctx, p.ann, inputs)
 		if err != nil {
-			return nil, err
+			if !x.fallback || ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			if rep == nil {
+				rep = &dist.Report{Shards: x.shards}
+			}
+			rep.Degraded = true
+			rep.DegradedCause = err.Error()
+			x.mu.Lock()
+			x.lastReport = rep
+			x.mu.Unlock()
+			return x.eng.RunCollectCtx(ctx, p.ann, inputs)
 		}
 		x.mu.Lock()
 		x.lastReport = rep
