@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench docs-check
 
-check: fmt vet build test race
+check: fmt vet build test race docs-check
 
 # gofmt -l prints unformatted files; fail if it prints anything.
 fmt:
@@ -24,18 +24,28 @@ test:
 	$(GO) test ./...
 
 # The optimizer's parallel Frontier expansion, the engine's
-# context-aware execution and the sharded dist runtime are the
+# context-aware execution, the sharded dist runtime and the metrics
+# registry / tracer they hammer concurrently are the
 # concurrency-bearing packages.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/
+
+# Every exported identifier in the public matopt package must carry a
+# doc comment; docscheck prints one file:line per miss.
+docs-check:
+	$(GO) run ./cmd/docscheck -dir .
 
 # Runs every benchmark once and records the dist-vs-sequential
-# comparison in BENCH_dist.json plus the fault-tolerance overhead in
-# BENCH_dist_faults.json (nofault_ns there should stay within noise of
-# dist_ns here).
+# comparison in BENCH_dist.json (now with a span-derived phase_ns
+# breakdown), the fault-tolerance overhead in BENCH_dist_faults.json
+# (nofault_ns there should stay within noise of dist_ns here), and the
+# tracing overhead in BENCH_obs.json (untraced_ns should also stay
+# within noise of dist_ns).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
 		-bench BenchmarkDistVsSequential -benchtime 1x ./internal/dist/
 	BENCH_DIST_FAULTS_JSON=$(CURDIR)/BENCH_dist_faults.json $(GO) test -run '^$$' \
 		-bench BenchmarkDistFaultOverhead -benchtime 1x ./internal/dist/
+	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run '^$$' \
+		-bench BenchmarkDistTracingOverhead -benchtime 1x ./internal/dist/

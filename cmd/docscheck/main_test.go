@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckFlagsUndocumentedExports(t *testing.T) {
+	dir := writePkg(t, `package demo
+
+type Documented struct{}
+
+// Hit has a doc comment.
+func Hit() {}
+
+func Miss() {}
+
+func (Documented) MissMethod() {}
+
+const MissConst = 1
+
+// Grouped consts are covered by the block comment.
+const (
+	CoveredA = 1
+	CoveredB = 2
+)
+
+var MissVar = 3
+
+var CoveredVar = 4 // trailing line comments count
+
+type unexported struct{}
+
+func (unexported) Ignored() {}
+
+func alsoIgnored() {}
+`)
+	missing, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(missing, "\n")
+	for _, want := range []string{
+		"type Documented is undocumented",
+		"func Miss is undocumented",
+		"method MissMethod is undocumented",
+		"const MissConst is undocumented",
+		"var MissVar is undocumented",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing expected finding %q in:\n%s", want, joined)
+		}
+	}
+	if len(missing) != 5 {
+		t.Errorf("got %d findings, want 5:\n%s", len(missing), joined)
+	}
+	for _, name := range []string{"Hit", "CoveredA", "CoveredB", "CoveredVar", "Ignored", "alsoIgnored"} {
+		if strings.Contains(joined, name+" is undocumented") {
+			t.Errorf("false positive on %s:\n%s", name, joined)
+		}
+	}
+}
+
+func TestCheckCleanPackage(t *testing.T) {
+	dir := writePkg(t, `// Package demo is fully documented.
+package demo
+
+// Exported has a doc.
+type Exported struct{}
+
+// Do does.
+func (Exported) Do() {}
+`)
+	missing, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("clean package flagged: %v", missing)
+	}
+}
+
+func TestCheckSkipsTestFilesAndMainPackages(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"pkg_test.go": "package demo\n\nfunc TestOnlyHelper() {}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("test files must be skipped, got %v", missing)
+	}
+
+	mdir := writePkg(t, "package main\n\nfunc Exported() {}\n")
+	missing, err = check(mdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("package main must be skipped, got %v", missing)
+	}
+}

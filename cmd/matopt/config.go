@@ -9,11 +9,18 @@ type execConfig struct {
 	Shards      int
 	Scale       int64
 	Parallelism int
-	Faults      int   // number of seeded faults to inject (dist only)
-	FaultSeed   int64 // schedule seed
-	MaxRetries  int   // per-vertex retry budget
-	Fallback    bool  // degrade to sequential when retries are exhausted
+	Faults      int    // number of seeded faults to inject (dist only)
+	FaultSeed   int64  // schedule seed
+	MaxRetries  int    // per-vertex retry budget
+	Fallback    bool   // degrade to sequential when retries are exhausted
+	Trace       bool   // print the span tree after the run
+	TraceOut    string // write a Chrome trace_event file here ("" = off)
+	Metrics     bool   // print the metrics registry after the run
 }
+
+// tracing reports whether a tracer must be attached to the run: either
+// output form (-trace tree, -trace-out file) needs the spans recorded.
+func (c execConfig) tracing() bool { return c.Trace || c.TraceOut != "" }
 
 func (c execConfig) validate() error {
 	if c.Parallelism <= 0 {

@@ -26,6 +26,9 @@ func TestExecConfigValidate(t *testing.T) {
 		{"faults on dist", func(c *execConfig) { c.Faults = 5 }, ""},
 		{"zero retries", func(c *execConfig) { c.MaxRetries = 0 }, ""},
 		{"zero fault seed", func(c *execConfig) { c.FaultSeed = 0 }, ""},
+		{"trace on sim", func(c *execConfig) { c.Engine = "sim"; c.Trace = true }, ""},
+		{"trace-out on seq", func(c *execConfig) { c.Engine = "seq"; c.TraceOut = "t.json" }, ""},
+		{"metrics on dist", func(c *execConfig) { c.Metrics = true }, ""},
 
 		{"zero parallelism", func(c *execConfig) { c.Parallelism = 0 }, "-parallelism"},
 		{"negative parallelism", func(c *execConfig) { c.Parallelism = -3 }, "-parallelism"},
@@ -58,6 +61,29 @@ func TestExecConfigValidate(t *testing.T) {
 				t.Fatalf("want error containing %q, got %q", tc.wantErr, err)
 			}
 		})
+	}
+}
+
+// TestTracingSelector: either trace output form switches the tracer on;
+// -metrics alone does not (the registry is always live).
+func TestTracingSelector(t *testing.T) {
+	c := valid()
+	if c.tracing() {
+		t.Error("tracing() true with no trace flags set")
+	}
+	c.Trace = true
+	if !c.tracing() {
+		t.Error("tracing() false with -trace set")
+	}
+	c = valid()
+	c.TraceOut = "out.json"
+	if !c.tracing() {
+		t.Error("tracing() false with -trace-out set")
+	}
+	c = valid()
+	c.Metrics = true
+	if c.tracing() {
+		t.Error("-metrics alone must not enable span recording")
 	}
 }
 

@@ -19,8 +19,17 @@
 //	matopt -workload chain -sizeset 2
 //	matopt -workload inverse
 //	matopt -workload motivating
+//
+// -trace prints a span tree of the whole run (optimizer phases, dist
+// vertices, exchanges, retries); -trace-out FILE writes the same spans
+// as a Chrome trace_event file loadable in chrome://tracing or
+// Perfetto; -metrics dumps the process metrics registry (plan-cache
+// hit rate, shuffle bytes, retry counts — DESIGN.md §11).
+//
 //	matopt -workload ffnn -engine dist -shards 8 -scale 500
 //	matopt -workload chain -engine dist -shards 8 -faults 5 -fault-seed 7
+//	matopt -workload ffnn -engine dist -trace -metrics
+//	matopt -workload ffnn -engine dist -trace-out trace.json
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
@@ -40,6 +50,7 @@ import (
 	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/obs"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 	"matopt/internal/workload"
@@ -64,12 +75,15 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	maxRetries := flag.Int("max-retries", dist.DefaultMaxRetries, "dist engine per-vertex retry budget")
 	fallback := flag.Bool("fallback", true, "degrade to the sequential engine when dist retries are exhausted")
+	trace := flag.Bool("trace", false, "print a span tree of the run (optimizer phases, dist vertices, exchanges)")
+	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace_event file to this path")
+	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
 	flag.Parse()
 
 	cfg := execConfig{
 		Engine: *engSel, Shards: *shards, Scale: *scale, Parallelism: *par,
 		Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
-		Fallback: *fallback,
+		Fallback: *fallback, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatal(err)
@@ -107,7 +121,18 @@ func main() {
 	if !*sparse {
 		env.DisableSparse()
 	}
+	// One root span wraps optimization and execution so the exported
+	// trace's top-level spans cover the whole measured run.
+	var tr *obs.Tracer
+	var root *obs.Span
+	if cfg.tracing() {
+		tr = obs.NewTracer()
+		root = tr.Start(nil, "matopt").SetStr("workload", *wl).SetStr("engine", cfg.Engine)
+	}
 	sessOpts := []core.SessionOption{core.WithParallelism(*par)}
+	if tr != nil {
+		sessOpts = append(sessOpts, core.WithTracer(tr, root))
+	}
 	var ann *core.Annotation
 	switch *alg {
 	case "auto":
@@ -133,7 +158,8 @@ func main() {
 	fmt.Print(ann.Describe())
 
 	if execute {
-		run(ctx, cfg, env.Cluster, ann, inputs)
+		run(ctx, cfg, env.Cluster, ann, inputs, tr, root)
+		emitObs(cfg, tr, root)
 		return
 	}
 	rep, err := engine.Simulate(ann, env)
@@ -145,6 +171,39 @@ func main() {
 	fmt.Printf("features: %.3g FLOPs, %.3g net bytes, %.3g intermediate bytes, %.0f tuples\n",
 		rep.Features.FLOPs, rep.Features.NetBytes, rep.Features.InterBytes, rep.Features.Tuples)
 	fmt.Printf("peak per-worker working set: %.1f GB\n", rep.PeakWorkerBytes/(1<<30))
+	emitObs(cfg, tr, root)
+}
+
+// emitObs closes the root span and writes whichever observability
+// outputs the flags asked for: the span tree (-trace), a Chrome
+// trace_event file (-trace-out) and the metrics registry (-metrics).
+func emitObs(cfg execConfig, tr *obs.Tracer, root *obs.Span) {
+	root.End()
+	if tr != nil {
+		snap := tr.Snapshot()
+		if cfg.Trace {
+			fmt.Printf("\ntrace (%d spans, root coverage %.0f%%):\n%s",
+				len(snap.Spans), 100*snap.WallCoverage(), snap.Tree())
+		}
+		if cfg.TraceOut != "" {
+			f, err := os.Create(cfg.TraceOut)
+			if err != nil {
+				log.Fatalf("-trace-out: %v", err)
+			}
+			if err := snap.WriteChromeTrace(f); err != nil {
+				f.Close()
+				log.Fatalf("-trace-out: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("-trace-out: %v", err)
+			}
+			fmt.Printf("\nwrote %d spans to %s (load in chrome://tracing or Perfetto)\n",
+				len(snap.Spans), cfg.TraceOut)
+		}
+	}
+	if cfg.Metrics {
+		fmt.Printf("\nmetrics:\n%s", obs.Default().Render())
+	}
 }
 
 // buildPaperScale builds the workload at the paper's published sizes,
@@ -253,7 +312,7 @@ func buildExecutable(wl string, hidden int64, sizeSet int, scale int64, rng *ran
 // the sequential engine too and cross-checks every output bit by bit.
 // When cfg.Faults > 0, a seeded fault schedule is injected and the run
 // must recover (or, with -fallback, degrade) to the same bits.
-func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
+func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense, tr *obs.Tracer, root *obs.Span) {
 	seq := engine.New(cl)
 	t0 := time.Now()
 	want, err := seq.RunCollectCtx(ctx, ann, inputs)
@@ -267,6 +326,9 @@ func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.An
 	}
 
 	opts := []dist.Option{dist.WithMaxRetries(cfg.MaxRetries)}
+	if tr != nil {
+		opts = append(opts, dist.WithTracer(tr, root))
+	}
 	if cfg.Faults > 0 {
 		ids := make([]int, 0, len(ann.Graph.Vertices))
 		for _, v := range ann.Graph.Vertices {

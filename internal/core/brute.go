@@ -40,7 +40,11 @@ func Brute(g *Graph, env *Env, budget time.Duration) (*Annotation, error) {
 // deadline returns ErrTimeout, a cancelled parent context its own error.
 func (s *Session) Brute(g *Graph) (ann *Annotation, err error) {
 	start := time.Now()
-	defer func() { s.finish(ann, start) }()
+	bspan := s.tr.Start(s.span, "brute.enumerate")
+	defer func() {
+		s.finish(ann, start)
+		bspan.SetInt("candidates", s.stats.CandidatesEvaluated).End()
+	}()
 	env := s.env
 	cache := make(transCache)
 

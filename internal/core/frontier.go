@@ -7,6 +7,7 @@ import (
 
 	"matopt/internal/format"
 	"matopt/internal/impl"
+	"matopt/internal/obs"
 	"matopt/internal/trans"
 )
 
@@ -156,7 +157,16 @@ type argOption struct {
 // produce byte-identical plans and costs.
 func (s *Session) Frontier(g *Graph) (ann *Annotation, err error) {
 	start := time.Now()
-	defer func() { s.finish(ann, start) }()
+	fspan := s.tr.Start(s.span, "frontier")
+	var rspan *obs.Span // current frontier.round; ended by the defer on error paths
+	defer func() {
+		s.finish(ann, start)
+		rspan.End()
+		fspan.SetInt("classes", int64(s.stats.ClassesExpanded)).
+			SetInt("candidates", s.stats.CandidatesEvaluated).
+			SetInt("pruned", int64(s.stats.EntriesPruned)).
+			End()
+	}()
 	env := s.env
 	cache := make(transCache)
 	intern := newFmtIntern()
@@ -224,6 +234,8 @@ func (s *Session) Frontier(g *Graph) (ann *Annotation, err error) {
 		}
 		visited[v.ID] = true
 		s.stats.ClassesExpanded++
+		rspan.End()
+		rspan = s.tr.Start(fspan, "frontier.round").SetInt("vertex", int64(v.ID))
 
 		// The classes feeding v (line 10 of Algorithm 4).
 		var argClasses []*fclass
@@ -549,6 +561,7 @@ func (s *Session) Frontier(g *Graph) (ann *Annotation, err error) {
 			return nil, ErrInfeasible
 		}
 		s.stats.EntriesPruned += pruneEntries(entries, env.MaxClassEntries)
+		rspan.SetInt("combos", int64(len(comboKeys))).SetInt("entries", int64(len(entries)))
 
 		for _, c := range argClasses {
 			removeClass(c)

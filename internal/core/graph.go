@@ -5,6 +5,15 @@
 // algorithms — exhaustive Brute (Alg. 2), the Felsenstein-style dynamic
 // program for tree-shaped graphs (Alg. 3), and the Frontier dynamic
 // program for general DAGs (Alg. 4).
+//
+// Searches run inside a Session, which threads a context.Context
+// through all three algorithms (deadline → ErrTimeout, cancellation →
+// context.Canceled), bounds the Frontier's candidate evaluation to a
+// worker pool (WithParallelism; parallel and serial searches return
+// byte-identical plans), collects per-run Stats, and — when a tracer is
+// attached with WithTracer — wraps each phase in obs spans ("frontier"
+// with one "frontier.round" per expanded vertex, "treedp",
+// "brute.enumerate"; DESIGN.md §11).
 package core
 
 import (

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"matopt/internal/obs"
 )
 
 // ErrInternal reports an inconsistency inside the optimizer itself — a
@@ -47,6 +49,8 @@ type Session struct {
 	env         *Env
 	parallelism int
 	stats       Stats
+	tr          *obs.Tracer
+	span        *obs.Span
 }
 
 // SessionOption configures a Session.
@@ -58,6 +62,15 @@ type SessionOption func(*Session)
 // for latency.
 func WithParallelism(n int) SessionOption {
 	return func(s *Session) { s.parallelism = n }
+}
+
+// WithTracer attaches an obs tracer to the session: each algorithm run
+// opens a span ("frontier", "treedp", "brute.enumerate") under parent,
+// and the Frontier DP adds one "frontier.round" child per vertex
+// expansion. A nil tracer (the default) keeps tracing disabled with no
+// overhead; see DESIGN.md §11 for the span taxonomy.
+func WithTracer(t *obs.Tracer, parent *obs.Span) SessionOption {
+	return func(s *Session) { s.tr, s.span = t, parent }
 }
 
 // NewSession returns a session that optimizes under ctx: algorithms poll

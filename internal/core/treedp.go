@@ -50,7 +50,13 @@ func (s *Session) TreeDP(g *Graph) (ann *Annotation, err error) {
 		return nil, ErrNotTree
 	}
 	start := time.Now()
-	defer func() { s.finish(ann, start) }()
+	tspan := s.tr.Start(s.span, "treedp")
+	defer func() {
+		s.finish(ann, start)
+		tspan.SetInt("tables", int64(s.stats.ClassesExpanded)).
+			SetInt("candidates", s.stats.CandidatesEvaluated).
+			End()
+	}()
 	env := s.env
 	cache := make(transCache)
 	tables := make([]map[format.Format]*treeEntry, len(g.Vertices))

@@ -14,21 +14,26 @@ import (
 	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/obs"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 	"matopt/internal/workload"
 )
 
 // benchResult is the record `make bench` writes to BENCH_dist.json.
+// PhaseNs is a span-derived breakdown of one traced run: total
+// nanoseconds per span name (dist.run, vertex, exchange, …), summed
+// over a separate instrumented pass so the timed loop stays untraced.
 type benchResult struct {
-	Workload   string  `json:"workload"`
-	Shards     int     `json:"shards"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	SeqNs      int64   `json:"seq_ns"`
-	DistNs     int64   `json:"dist_ns"`
-	Speedup    float64 `json:"speedup"`
-	NetBytes   int64   `json:"net_bytes"`
-	PeakBytes  int64   `json:"peak_bytes"`
+	Workload   string           `json:"workload"`
+	Shards     int              `json:"shards"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	SeqNs      int64            `json:"seq_ns"`
+	DistNs     int64            `json:"dist_ns"`
+	Speedup    float64          `json:"speedup"`
+	NetBytes   int64            `json:"net_bytes"`
+	PeakBytes  int64            `json:"peak_bytes"`
+	PhaseNs    map[string]int64 `json:"phase_ns"`
 }
 
 // BenchmarkDistVsSequential times the same optimized plan on the
@@ -94,6 +99,20 @@ func BenchmarkDistVsSequential(b *testing.B) {
 	b.ReportMetric(speedup, "speedup")
 
 	if path := os.Getenv("BENCH_DIST_JSON"); path != "" {
+		// One traced pass, outside the timed loop, for the phase
+		// breakdown.
+		tr := obs.NewTracer()
+		trt, err := dist.New(cl, shards, dist.WithTracer(tr, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := trt.Run(context.Background(), ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		phases := make(map[string]int64)
+		for name, d := range tr.Snapshot().DurationsByName() {
+			phases[name] = d.Nanoseconds()
+		}
 		out, err := json.MarshalIndent(benchResult{
 			Workload:   "matmul-chain (scaled)",
 			Shards:     shards,
@@ -103,6 +122,108 @@ func BenchmarkDistVsSequential(b *testing.B) {
 			Speedup:    speedup,
 			NetBytes:   rep.NetBytes,
 			PeakBytes:  rep.PeakBytes,
+			PhaseNs:    phases,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// obsBenchResult is the record `make bench` writes to BENCH_obs.json:
+// the same workload with tracing off (the default every production run
+// pays: nil-receiver span hooks plus the always-on metrics registry)
+// and with a live tracer recording every span. untraced_ns is directly
+// comparable with dist_ns in BENCH_dist.json.
+type obsBenchResult struct {
+	Workload    string  `json:"workload"`
+	Shards      int     `json:"shards"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	UntracedNs  int64   `json:"untraced_ns"`
+	TracedNs    int64   `json:"traced_ns"`
+	Spans       int     `json:"spans_per_run"`
+	OverheadPct float64 `json:"tracing_overhead_pct"` // (traced - untraced) / untraced
+}
+
+// BenchmarkDistTracingOverhead measures what the observability layer
+// costs a dist run: disabled tracing must stay within noise of the
+// pre-obs runtime (the per-op cost of a nil-span hook is benchmarked
+// separately in internal/obs), and enabled tracing should stay cheap
+// enough to leave on during debugging. When BENCH_OBS_JSON names a
+// file, the comparison is written there as JSON.
+func BenchmarkDistTracingOverhead(b *testing.B) {
+	const shards = 8
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	plain, err := dist.New(cl, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	traced, err := dist.New(cl, shards, dist.WithTracer(tr, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var untracedTotal, tracedTotal time.Duration
+	var spans int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, _, err := plain.Run(context.Background(), ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		untracedTotal += time.Since(t0)
+
+		tr.Reset()
+		t1 := time.Now()
+		if _, _, err := traced.Run(context.Background(), ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		tracedTotal += time.Since(t1)
+		spans = len(tr.Snapshot().Spans)
+	}
+	b.StopTimer()
+
+	untracedNs := untracedTotal.Nanoseconds() / int64(b.N)
+	tracedNs := tracedTotal.Nanoseconds() / int64(b.N)
+	overhead := float64(tracedNs-untracedNs) / float64(untracedNs)
+	b.ReportMetric(float64(untracedNs), "untraced-ns/op")
+	b.ReportMetric(float64(tracedNs), "traced-ns/op")
+	b.ReportMetric(float64(spans), "spans/run")
+
+	if path := os.Getenv("BENCH_OBS_JSON"); path != "" {
+		out, err := json.MarshalIndent(obsBenchResult{
+			Workload:    "matmul-chain (scaled)",
+			Shards:      shards,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			UntracedNs:  untracedNs,
+			TracedNs:    tracedNs,
+			Spans:       spans,
+			OverheadPct: overhead * 100,
 		}, "", "  ")
 		if err != nil {
 			b.Fatal(err)

@@ -12,9 +12,14 @@
 // movement goes through channel-backed exchange primitives (broadcast,
 // co-partitioned join, shuffle-by-key, group-by-SUM aggregation) that
 // meter the actual bytes and message counts crossing shard boundaries.
-// Every run therefore produces a Report of measured shuffle traffic,
-// per-shard compute time and peak memory that can be held against the
-// cost model's predicted features.
+// Every run meters into its own obs.Registry — exchange traffic by
+// (vertex, kind, label), per-shard busy time, queue-wait and
+// vertex-duration histograms, retries — and its Report is built as a
+// view over that registry, including on failed and degraded runs, then
+// merged into the process-wide registry (DESIGN.md §11). With a tracer
+// attached (WithTracer) each run also records a span tree: dist.run →
+// vertex → attempt → exchange, plus retry.backoff during recovery.
+// Reports can be held against the cost model's predicted features.
 //
 // Determinism: the runtime produces byte-identical results to the
 // sequential engine. Floating-point addition is not associative, so
@@ -32,6 +37,7 @@ import (
 	"matopt/internal/core"
 	"matopt/internal/costmodel"
 	"matopt/internal/engine"
+	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
 
@@ -46,6 +52,9 @@ type Runtime struct {
 	backoffCap      time.Duration
 	vertexDeadline  time.Duration
 	exchangeTimeout time.Duration
+
+	tr   *obs.Tracer
+	span *obs.Span
 }
 
 // Recovery defaults: two retries with sub-millisecond-to-50ms capped
@@ -66,6 +75,16 @@ type Option func(*Runtime)
 // WithFaults installs a deterministic fault-injection schedule; nil
 // (the default) injects nothing and costs one nil check per hook.
 func WithFaults(p *FaultPlan) Option { return func(rt *Runtime) { rt.faults = p } }
+
+// WithTracer attaches an obs tracer: every Run opens a "dist.run" span
+// under parent, with per-vertex "vertex"/"attempt" children, one
+// "exchange" span per fabric exchange, and "retry.backoff" spans during
+// recovery (DESIGN.md §11). A nil tracer — the default — disables
+// tracing at zero cost; the metrics registry backing each Report is
+// unaffected by this option.
+func WithTracer(t *obs.Tracer, parent *obs.Span) Option {
+	return func(rt *Runtime) { rt.tr, rt.span = t, parent }
+}
 
 // WithMaxRetries sets how many times a vertex whose execution fails
 // transiently (ErrShardFailed, ErrExchangeTimeout) is recomputed before

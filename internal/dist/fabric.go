@@ -3,11 +3,13 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"matopt/internal/engine"
+	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
 
@@ -29,64 +31,43 @@ type routed struct {
 
 // meter counts the traffic of one exchange; only payloads that cross a
 // shard boundary are counted (local delivery is free, as on a cluster).
+// Counts land in the run's metrics registry under
+// dist.exchange.bytes/dist.exchange.messages, labelled by (vertex,
+// kind, label) — the identity the Report's exchange rows are built
+// from. A retried vertex asks for the same identity again and gets the
+// same counters, so recovery traffic merges into the exchange it
+// belongs to rather than appearing as a duplicate row.
 type meter struct {
 	vertex int
 	kind   string
 	label  string
-	bytes  atomic.Int64
-	msgs   atomic.Int64
+	bytes  *obs.Counter
+	msgs   *obs.Counter
 }
 
 func (m *meter) count(t engine.Tuple) {
 	m.bytes.Add(t.Bytes())
-	m.msgs.Add(1)
+	m.msgs.Inc()
 }
 
-// fabric owns the run's meters; exchanges register one meter each, and
-// the final report snapshots them.
+// fabric hands out exchange meters backed by the run's registry.
 type fabric struct {
 	shards int
-	mu     sync.Mutex
-	meters []*meter
+	reg    *obs.Registry
 }
 
-// meterFor registers a fresh meter for one exchange at one vertex.
+// meterFor returns the meter for one exchange identity at one vertex.
 func (f *fabric) meterFor(vertex int, kind, label string) *meter {
-	m := &meter{vertex: vertex, kind: kind, label: label}
-	f.mu.Lock()
-	f.meters = append(f.meters, m)
-	f.mu.Unlock()
-	return m
-}
-
-// stats snapshots every meter as exchange statistics. Meters sharing a
-// (vertex, kind, label) identity — a retried vertex registers a fresh
-// meter per attempt — are merged, so recovery traffic is counted in the
-// exchange it belongs to rather than listed as a duplicate row.
-func (f *fabric) stats() []ExchangeStat {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	type key struct {
-		vertex      int
-		kind, label string
+	ls := []obs.Label{
+		obs.L("vertex", strconv.Itoa(vertex)),
+		obs.L("kind", kind),
+		obs.L("label", label),
 	}
-	idx := make(map[key]int, len(f.meters))
-	out := make([]ExchangeStat, 0, len(f.meters))
-	for _, m := range f.meters {
-		k := key{m.vertex, m.kind, m.label}
-		if i, ok := idx[k]; ok {
-			out[i].Bytes += m.bytes.Load()
-			out[i].Messages += m.msgs.Load()
-			continue
-		}
-		idx[k] = len(out)
-		out = append(out, ExchangeStat{
-			Vertex: m.vertex, Kind: m.kind, Label: m.label,
-			Bytes: m.bytes.Load(), Messages: m.msgs.Load(),
-		})
+	return &meter{
+		vertex: vertex, kind: kind, label: label,
+		bytes: f.reg.Counter("dist.exchange.bytes", ls...),
+		msgs:  f.reg.Counter("dist.exchange.messages", ls...),
 	}
-	sortExchanges(out)
-	return out
 }
 
 // exchange is the fabric's one movement primitive: produce runs on every
@@ -106,6 +87,9 @@ func (f *fabric) stats() []ExchangeStat {
 // shutdown are handed to a background drainer; the shard workers
 // themselves stay healthy for the retry.
 func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
+	xspan := r.tr.Start(r.vspanOf(m.vertex), "exchange").
+		SetStr("kind", m.kind).SetStr("label", m.label).SetInt("vertex", int64(m.vertex))
+	defer xspan.End()
 	n := r.shards()
 	chans := make([]chan message, n)
 	recv := make([][]message, n)

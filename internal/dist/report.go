@@ -3,8 +3,11 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
+
+	"matopt/internal/obs"
 )
 
 // ExchangeStat is the measured traffic of one exchange: all messages of
@@ -92,6 +95,85 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  v%-3d %-9s %-24s %12d B %8d msgs\n", x.Vertex, x.Kind, x.Label, x.Bytes, x.Messages)
 	}
 	return b.String()
+}
+
+// reportFromRegistry builds a Report as a view over a run registry's
+// snapshot — the registry is the source of truth; the Report is the
+// stable struct callers already consume. Metric names are the dist.*
+// families DESIGN.md §11 documents: exchange counters keyed by
+// (vertex, kind, label) become Exchanges rows, dist.shard.busy_ns
+// counters become ShardBusy, dist.retries counters become
+// Retries/RetriesByVertex, and the dist.shards / dist.peak_bytes /
+// dist.wall_ns / dist.faults_injected gauges fill the scalars.
+func reportFromRegistry(snap []obs.Metric) *Report {
+	rep := &Report{}
+	label := func(m obs.Metric, key string) string {
+		for _, l := range m.Labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	type xkey struct {
+		vertex      int
+		kind, label string
+	}
+	xidx := make(map[xkey]int)
+	xrow := func(m obs.Metric) *ExchangeStat {
+		v, _ := strconv.Atoi(label(m, "vertex"))
+		k := xkey{vertex: v, kind: label(m, "kind"), label: label(m, "label")}
+		i, ok := xidx[k]
+		if !ok {
+			i = len(rep.Exchanges)
+			xidx[k] = i
+			rep.Exchanges = append(rep.Exchanges, ExchangeStat{Vertex: k.vertex, Kind: k.kind, Label: k.label})
+		}
+		return &rep.Exchanges[i]
+	}
+	busy := make(map[int]int64)
+	for _, m := range snap {
+		switch m.Name {
+		case "dist.shards":
+			rep.Shards = int(m.Value)
+		case "dist.peak_bytes":
+			rep.PeakBytes = m.Value
+		case "dist.wall_ns":
+			rep.Wall = time.Duration(m.Value)
+		case "dist.faults_injected":
+			rep.FaultsInjected = m.Value
+		case "dist.exchange.bytes":
+			x := xrow(m)
+			x.Bytes += m.Value
+			rep.NetBytes += m.Value
+		case "dist.exchange.messages":
+			x := xrow(m)
+			x.Messages += m.Value
+			rep.Messages += m.Value
+		case "dist.shard.busy_ns":
+			s, err := strconv.Atoi(label(m, "shard"))
+			if err == nil {
+				busy[s] = m.Value
+			}
+		case "dist.retries":
+			v, err := strconv.Atoi(label(m, "vertex"))
+			if err == nil && m.Value > 0 {
+				if rep.RetriesByVertex == nil {
+					rep.RetriesByVertex = make(map[int]int)
+				}
+				rep.RetriesByVertex[v] += int(m.Value)
+				rep.Retries += m.Value
+			}
+		}
+	}
+	rep.ShardBusy = make([]time.Duration, rep.Shards)
+	for s, ns := range busy {
+		if s >= 0 && s < len(rep.ShardBusy) {
+			rep.ShardBusy[s] = time.Duration(ns)
+		}
+	}
+	sortExchanges(rep.Exchanges)
+	return rep
 }
 
 // sortExchanges orders stats deterministically for the report.

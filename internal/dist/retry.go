@@ -3,9 +3,11 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"matopt/internal/core"
+	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
 
@@ -56,12 +58,28 @@ type lineage struct {
 // relations rather than a half-transformed attempt state.
 func (r *run) runVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
 	start := time.Now()
+	impl := "load"
+	if im := r.ann.VertexImpl[v.ID]; im != nil {
+		impl = im.Name
+	}
+	vspan := r.tr.Start(r.span, "vertex").SetInt("id", int64(v.ID)).SetStr("impl", impl)
+	defer func() {
+		r.vspan[v.ID].Store(nil)
+		r.vsec.Observe(time.Since(start).Seconds())
+		vspan.End()
+	}()
 	for attempt := 0; ; attempt++ {
 		r.setAttempt(v.ID, attempt)
+		aspan := r.tr.Start(vspan, "attempt").SetInt("n", int64(attempt))
+		if aspan != nil {
+			r.vspan[v.ID].Store(aspan) // exchanges of this attempt nest here
+		}
 		attemptIns := append([]*relation(nil), ins...)
 		rel, err := r.execVertex(v, attemptIns, inputs)
+		aspan.End()
 		if err == nil {
 			r.recordLineage(v, attempt+1)
+			vspan.SetInt("attempts", int64(attempt+1))
 			return rel, nil
 		}
 		if cerr := r.ctx.Err(); cerr != nil {
@@ -81,7 +99,10 @@ func (r *run) runVertex(v *core.Vertex, ins []*relation, inputs map[string]*tens
 				ErrRetriesExhausted, v.ID, dl, err)
 		}
 		r.recordRetry(v.ID)
-		if berr := r.sleepBackoff(attempt); berr != nil {
+		bspan := r.tr.Start(vspan, "retry.backoff").SetInt("attempt", int64(attempt))
+		berr := r.sleepBackoff(attempt)
+		bspan.End()
+		if berr != nil {
 			return nil, fmt.Errorf("dist: vertex %d aborted during retry backoff: %w", v.ID, berr)
 		}
 	}
@@ -122,14 +143,11 @@ func (r *run) attemptOf(vertex int) int {
 	return int(r.att[vertex].Load())
 }
 
-// recordRetry meters one recomputation of a vertex.
+// recordRetry meters one recomputation of a vertex into the run's
+// registry; the Report's Retries/RetriesByVertex are views over these
+// counters.
 func (r *run) recordRetry(vertex int) {
-	r.recMu.Lock()
-	if r.retries == nil {
-		r.retries = make(map[int]int)
-	}
-	r.retries[vertex]++
-	r.recMu.Unlock()
+	r.reg.Counter("dist.retries", obs.L("vertex", strconv.Itoa(vertex))).Inc()
 }
 
 // recordLineage notes the recovery record of a completed vertex.

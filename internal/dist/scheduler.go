@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,14 +11,16 @@ import (
 	"matopt/internal/core"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/obs"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 )
 
 // run is the per-execution state: one worker goroutine per shard fed by
-// a task queue, the comms fabric, the annotation being executed, and
-// the recovery bookkeeping (per-vertex attempt counters, retry meters
-// and lineage records).
+// a task queue, the comms fabric, the annotation being executed, the
+// run's metrics registry (every meter and timer lands there; the final
+// Report is a view over it), the optional tracer, and the recovery
+// bookkeeping (per-vertex attempt counters and lineage records).
 type run struct {
 	rt      *Runtime
 	ctx     context.Context
@@ -25,27 +28,39 @@ type run struct {
 	fab     *fabric
 	tasks   []chan func()
 	workers sync.WaitGroup
-	busy    []atomic.Int64 // nanoseconds inside tasks, per shard
+
+	reg   *obs.Registry              // per-run metrics; merged into obs.Default at report time
+	tr    *obs.Tracer                // nil when tracing is disabled
+	span  *obs.Span                  // the run's "dist.run" root span
+	vspan []atomic.Pointer[obs.Span] // per vertex: the in-flight attempt's span
+	qwait *obs.Histogram             // dist.queue.wait.seconds
+	vsec  *obs.Histogram             // dist.vertex.seconds
 
 	att      []atomic.Int32  // in-flight execution attempt, per vertex
-	recMu    sync.Mutex      // guards retries and lineages
-	retries  map[int]int     // vertex ID → recomputations taken
+	recMu    sync.Mutex      // guards lineages
 	lineages map[int]lineage // vertex ID → recovery record
 }
 
 func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
+	reg := obs.NewRegistry()
 	r := &run{
 		rt:    rt,
 		ctx:   ctx,
 		ann:   ann,
-		fab:   &fabric{shards: rt.shards},
+		reg:   reg,
+		tr:    rt.tr,
+		fab:   &fabric{shards: rt.shards, reg: reg},
 		tasks: make([]chan func(), rt.shards),
-		busy:  make([]atomic.Int64, rt.shards),
+		vspan: make([]atomic.Pointer[obs.Span], len(ann.Graph.Vertices)),
+		qwait: reg.Histogram("dist.queue.wait.seconds", obs.DefaultDurationBuckets()),
+		vsec:  reg.Histogram("dist.vertex.seconds", obs.DefaultDurationBuckets()),
 		att:   make([]atomic.Int32, len(ann.Graph.Vertices)),
 	}
+	r.span = rt.tr.Start(rt.span, "dist.run").SetInt("shards", int64(rt.shards))
 	for s := 0; s < rt.shards; s++ {
 		r.tasks[s] = make(chan func(), 16)
 		straggle := rt.faults.slow(s)
+		busy := reg.Counter("dist.shard.busy_ns", obs.L("shard", strconv.Itoa(s)))
 		r.workers.Add(1)
 		go func(s int) {
 			defer r.workers.Done()
@@ -55,11 +70,22 @@ func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
 				}
 				t0 := time.Now()
 				fn()
-				r.busy[s].Add(int64(time.Since(t0)))
+				busy.Add(int64(time.Since(t0)))
 			}
 		}(s)
 	}
 	return r
+}
+
+// vspanOf returns the span of the vertex's in-flight attempt, under
+// which its exchanges nest; nil when tracing is off or the vertex is
+// out of range (a defensive case for meters registered outside a
+// vertex's run).
+func (r *run) vspanOf(vertex int) *obs.Span {
+	if vertex < 0 || vertex >= len(r.vspan) {
+		return nil
+	}
+	return r.vspan[vertex].Load()
 }
 
 // stop shuts the shard pools down and waits for every worker to exit,
@@ -69,6 +95,7 @@ func (r *run) stop() {
 		close(ch)
 	}
 	r.workers.Wait()
+	r.span.End()
 }
 
 func (r *run) shards() int { return r.rt.shards }
@@ -91,6 +118,16 @@ func (r *run) ownerShard(id int) int {
 	return id % r.shards()
 }
 
+// submit queues fn on one shard's worker, metering how long the task
+// sat in the queue before the worker picked it up.
+func (r *run) submit(shard int, fn func()) {
+	enq := time.Now()
+	r.tasks[shard] <- func() {
+		r.qwait.Observe(time.Since(enq).Seconds())
+		fn()
+	}
+}
+
 // parallel runs fn(s) on every shard's worker and waits for all of
 // them; the first error (by shard index) is returned.
 func (r *run) parallel(fn func(shard int) error) error {
@@ -99,10 +136,10 @@ func (r *run) parallel(fn func(shard int) error) error {
 	wg.Add(r.shards())
 	for s := 0; s < r.shards(); s++ {
 		s := s
-		r.tasks[s] <- func() {
+		r.submit(s, func() {
 			defer wg.Done()
 			errs[s] = fn(s)
-		}
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -118,10 +155,10 @@ func (r *run) on(shard int, fn func() error) error {
 	var wg sync.WaitGroup
 	var err error
 	wg.Add(1)
-	r.tasks[shard] <- func() {
+	r.submit(shard, func() {
 		defer wg.Done()
 		err = fn()
-	}
+	})
 	wg.Wait()
 	return err
 }
@@ -313,31 +350,17 @@ func (r *run) execVertex(v *core.Vertex, ins []*relation, inputs map[string]*ten
 	return out, nil
 }
 
-// report snapshots the run's meters, timers and recovery counters.
+// report finalizes the run's registry (peak/wall/fault gauges), builds
+// the Report as a view over it, and merges the per-run readings into
+// the process-wide obs.Default registry. Called exactly once per Run,
+// on both the success and the error path, so even a run that is about
+// to degrade reports everything it metered.
 func (r *run) report(peak int64, wall time.Duration) *Report {
-	rep := &Report{
-		Shards:         r.shards(),
-		Exchanges:      r.fab.stats(),
-		PeakBytes:      peak,
-		ShardBusy:      make([]time.Duration, r.shards()),
-		Wall:           wall,
-		FaultsInjected: r.rt.faults.Injected(),
-	}
-	for s := 0; s < r.shards(); s++ {
-		rep.ShardBusy[s] = time.Duration(r.busy[s].Load())
-	}
-	for _, x := range rep.Exchanges {
-		rep.NetBytes += x.Bytes
-		rep.Messages += x.Messages
-	}
-	r.recMu.Lock()
-	if len(r.retries) > 0 {
-		rep.RetriesByVertex = make(map[int]int, len(r.retries))
-		for v, n := range r.retries {
-			rep.RetriesByVertex[v] = n
-			rep.Retries += int64(n)
-		}
-	}
-	r.recMu.Unlock()
+	r.reg.Gauge("dist.shards").Set(int64(r.shards()))
+	r.reg.Gauge("dist.peak_bytes").SetMax(peak)
+	r.reg.Gauge("dist.wall_ns").SetMax(int64(wall))
+	r.reg.Gauge("dist.faults_injected").Set(r.rt.faults.Injected())
+	rep := reportFromRegistry(r.reg.Snapshot())
+	obs.Default().Merge(r.reg)
 	return rep
 }

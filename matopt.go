@@ -50,6 +50,8 @@ func (m Matrix) Cols() int64 { return m.v.Shape.Cols }
 // Format is a physical matrix implementation for an input matrix.
 type Format struct{ f format.Format }
 
+// String names the format the way the optimizer's reports do, e.g.
+// "single", "rowstrip[100]" or "tile[64]".
 func (f Format) String() string { return f.f.String() }
 
 // Single stores the matrix in one tuple.

@@ -12,6 +12,7 @@ import (
 	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
 
@@ -67,6 +68,7 @@ type Optimizer struct {
 	parallelism int
 	cacheSize   int
 	noCache     bool
+	tracer      *Tracer
 
 	env   *core.Env
 	cache *planCache // nil when WithoutPlanCache was given
@@ -100,6 +102,14 @@ func WithoutPlanCache() Option { return func(o *Optimizer) { o.noCache = true } 
 // WithPlanCacheSize sets the plan cache's LRU capacity (default
 // DefaultPlanCacheSize).
 func WithPlanCacheSize(n int) Option { return func(o *Optimizer) { o.cacheSize = n } }
+
+// WithTracer attaches a tracer to the optimizer: every Optimize call
+// opens an "optimize" span with "plancache.lookup" and per-algorithm
+// children ("frontier" with one "frontier.round" per vertex, "treedp",
+// "brute.enumerate"). A nil tracer — the default — disables tracing at
+// zero cost. The same tracer may be shared with an Executor (see
+// WithTracing) so one Trace covers a plan's whole life.
+func WithTracer(t *Tracer) Option { return func(o *Optimizer) { o.tracer = t } }
 
 // NewOptimizer returns an optimizer for the given cluster profile.
 func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
@@ -186,12 +196,20 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	if g.NumOps() == 0 {
 		return nil, errors.New("matopt: computation has no operations")
 	}
+	span := o.tracer.Start(nil, "optimize").SetInt("vertices", int64(len(g.Vertices)))
+	defer span.End()
 	var key string
 	if o.cache != nil {
+		lspan := o.tracer.Start(span, "plancache.lookup")
 		key = fmt.Sprintf("%d|%s", o.algorithm, core.Fingerprint(g, o.env))
-		if ann, ok := o.cache.get(key); ok {
+		ann, ok := o.cache.get(key)
+		lspan.SetBool("hit", ok).End()
+		if ok {
+			obs.Default().Counter("matopt.plancache.hits").Inc()
+			span.SetBool("cached", true)
 			return &Plan{ann: ann, env: o.env, cached: true}, nil
 		}
+		obs.Default().Counter("matopt.plancache.misses").Inc()
 	}
 	var ann *core.Annotation
 	var err error
@@ -199,10 +217,10 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	if o.algorithm == BruteForce {
 		bctx, cancel := context.WithTimeout(ctx, o.budget)
 		defer cancel()
-		sess = o.newSession(bctx)
+		sess = o.newSession(bctx, span)
 		ann, err = sess.Brute(g)
 	} else {
-		sess = o.newSession(ctx)
+		sess = o.newSession(ctx, span)
 		ann, err = sess.Optimize(g)
 	}
 	if err != nil {
@@ -214,10 +232,13 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	return &Plan{ann: ann, env: o.env, stats: sess.Stats()}, nil
 }
 
-func (o *Optimizer) newSession(ctx context.Context) *core.Session {
+func (o *Optimizer) newSession(ctx context.Context, span *Span) *core.Session {
 	var opts []core.SessionOption
 	if o.parallelism > 0 {
 		opts = append(opts, core.WithParallelism(o.parallelism))
+	}
+	if o.tracer != nil {
+		opts = append(opts, core.WithTracer(o.tracer, span))
 	}
 	return core.NewSession(ctx, o.env, opts...)
 }
@@ -292,6 +313,16 @@ func WithMaxRetries(n int) ExecutorOption { return func(x *Executor) { x.maxRetr
 // the sequential engine.
 func WithFaults(p *FaultPlan) ExecutorOption { return func(x *Executor) { x.faults = p } }
 
+// WithTracing attaches a tracer to the Executor: every run opens an
+// "execute" span; a DistEngine run nests its "dist.run" span (with
+// per-vertex, per-attempt, per-exchange and retry children) underneath,
+// and a degraded run adds a "fallback.sequential" span carrying the
+// cause. A nil tracer — the default — disables tracing at zero cost.
+// Named WithTracing rather than WithTracer only because Optimizer and
+// Executor options are distinct types; share one *Tracer between both
+// to get a single Trace covering optimize + execute.
+func WithTracing(t *Tracer) ExecutorOption { return func(x *Executor) { x.tracer = t } }
+
 // FaultPlan is a deterministic schedule of injected failures for the
 // dist runtime; build one with NewFaultPlan or RandomFaults.
 type FaultPlan = dist.FaultPlan
@@ -336,6 +367,7 @@ type Executor struct {
 	fallback   bool
 	maxRetries *int // nil = dist runtime default
 	faults     *FaultPlan
+	tracer     *Tracer
 
 	mu         sync.Mutex
 	lastReport *DistReport
@@ -367,8 +399,11 @@ func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tenso
 // than cancellation is transparently re-executed on the sequential
 // engine; DistReport then carries Degraded and the failure cause.
 func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	span := x.tracer.Start(nil, "execute")
+	defer span.End()
 	if x.kind == DistEngine {
-		opts := []dist.Option{dist.WithFaults(x.faults)}
+		span.SetStr("engine", "dist")
+		opts := []dist.Option{dist.WithFaults(x.faults), dist.WithTracer(x.tracer, span)}
 		if x.maxRetries != nil {
 			opts = append(opts, dist.WithMaxRetries(*x.maxRetries))
 		}
@@ -381,6 +416,11 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 			if !x.fallback || ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
 			}
+			// Keep the failed attempt's Report — its meters record what
+			// the dist run shipped, retried and injected before giving
+			// up, which is exactly what a caller diagnosing the
+			// degradation needs. Only a run that died before newRun
+			// (impossible today) would leave rep nil.
 			if rep == nil {
 				rep = &dist.Report{Shards: x.shards}
 			}
@@ -389,6 +429,8 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 			x.mu.Lock()
 			x.lastReport = rep
 			x.mu.Unlock()
+			fspan := x.tracer.Start(span, "fallback.sequential").SetStr("cause", err.Error())
+			defer fspan.End()
 			return x.eng.RunCollectCtx(ctx, p.ann, inputs)
 		}
 		x.mu.Lock()
@@ -396,16 +438,28 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 		x.mu.Unlock()
 		return outs, nil
 	}
+	span.SetStr("engine", "seq")
+	sspan := x.tracer.Start(span, "seq.run")
+	defer sspan.End()
 	return x.eng.RunCollectCtx(ctx, p.ann, inputs)
 }
 
 // DistReport returns the measurement of the most recent DistEngine run,
-// or nil when none has completed.
+// or nil when none has completed. After a degraded run (WithFallback)
+// the report carries the attempted dist run's meters — traffic shipped,
+// retries taken, faults injected — alongside Degraded/DegradedCause,
+// not a zeroed report.
 func (x *Executor) DistReport() *DistReport {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.lastReport
 }
+
+// Trace returns a snapshot of the tracer attached with WithTracing, or
+// nil when the Executor is untraced. When the same tracer is shared
+// with the Optimizer, the snapshot covers both optimization and
+// execution spans.
+func (x *Executor) Trace() *Trace { return x.tracer.Snapshot() }
 
 // RunSingle executes a single-output plan and returns its result.
 func (x *Executor) RunSingle(p *Plan, inputs map[string]*tensor.Dense) (*tensor.Dense, error) {
