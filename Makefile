@@ -24,22 +24,28 @@ test:
 	$(GO) test ./...
 
 # The optimizer's parallel Frontier expansion, the engine's
-# context-aware execution, the sharded dist runtime and the metrics
-# registry / tracer they hammer concurrently are the
+# context-aware execution, the sharded dist runtime, the plan layer
+# (whose lowered IR is shared across concurrent engine runs) and the
+# metrics registry / tracer they hammer concurrently are the
 # concurrency-bearing packages.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/
 
-# Every exported identifier in the public matopt package must carry a
-# doc comment; docscheck prints one file:line per miss.
+# Every exported identifier in the public matopt package and the shared
+# physical-plan IR must carry a doc comment; docscheck prints one
+# file:line per miss.
 docs-check:
 	$(GO) run ./cmd/docscheck -dir .
+	$(GO) run ./cmd/docscheck -dir ./internal/plan
 
 # Runs every benchmark once and records the dist-vs-sequential
 # comparison in BENCH_dist.json (now with a span-derived phase_ns
 # breakdown), the fault-tolerance overhead in BENCH_dist_faults.json
-# (nofault_ns there should stay within noise of dist_ns here), and the
+# (nofault_ns there should stay within noise of dist_ns here), the
 # tracing overhead in BENCH_obs.json (untraced_ns should also stay
+# within noise of dist_ns), and the plan layer's lowering / -explain /
+# serialization costs in BENCH_plan.json (dist_plan_ns there is the
+# same workload executed from a pre-lowered plan, so it too should stay
 # within noise of dist_ns).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -49,3 +55,5 @@ bench:
 		-bench BenchmarkDistFaultOverhead -benchtime 1x ./internal/dist/
 	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run '^$$' \
 		-bench BenchmarkDistTracingOverhead -benchtime 1x ./internal/dist/
+	BENCH_PLAN_JSON=$(CURDIR)/BENCH_plan.json $(GO) test -run '^$$' \
+		-bench BenchmarkPlanLowering -benchtime 1x ./internal/plan/

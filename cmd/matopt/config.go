@@ -16,6 +16,9 @@ type execConfig struct {
 	Trace       bool   // print the span tree after the run
 	TraceOut    string // write a Chrome trace_event file here ("" = off)
 	Metrics     bool   // print the metrics registry after the run
+	Explain     bool   // print the lowered physical plan with per-operator costs
+	PlanOut     string // write the serialized physical plan here ("" = off)
+	PlanIn      string // load a serialized physical plan instead of optimizing ("" = off)
 }
 
 // tracing reports whether a tracer must be attached to the run: either
@@ -48,6 +51,9 @@ func (c execConfig) validate() error {
 	}
 	if c.Faults > 0 && c.Engine != "dist" {
 		return fmt.Errorf("-faults requires -engine dist, got -engine %s", c.Engine)
+	}
+	if c.PlanIn != "" && c.PlanOut != "" {
+		return fmt.Errorf("-plan-in and -plan-out are mutually exclusive")
 	}
 	return nil
 }

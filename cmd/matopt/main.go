@@ -30,6 +30,17 @@
 //	matopt -workload chain -engine dist -shards 8 -faults 5 -fault-seed 7
 //	matopt -workload ffnn -engine dist -trace -metrics
 //	matopt -workload ffnn -engine dist -trace-out trace.json
+//
+// -explain prints the lowered physical plan — the exact operator DAG
+// (scans, re-layouts, compute strategies, frees) every engine executes
+// — with per-operator predicted costs. -plan-out FILE serializes that
+// plan to JSON; -plan-in FILE loads one back (skipping optimization
+// entirely) after checking its fingerprint against the workload and
+// cluster, and executes or simulates it like a freshly optimized plan.
+//
+//	matopt -workload chain -explain
+//	matopt -workload chain -plan-out chain.plan.json
+//	matopt -workload chain -plan-in chain.plan.json -engine dist
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/obs"
+	"matopt/internal/plan"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 	"matopt/internal/workload"
@@ -78,12 +90,16 @@ func main() {
 	trace := flag.Bool("trace", false, "print a span tree of the run (optimizer phases, dist vertices, exchanges)")
 	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace_event file to this path")
 	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
+	explain := flag.Bool("explain", false, "print the lowered physical plan with per-operator costs")
+	planOut := flag.String("plan-out", "", "write the serialized physical plan to this path")
+	planIn := flag.String("plan-in", "", "load a serialized physical plan from this path instead of optimizing")
 	flag.Parse()
 
 	cfg := execConfig{
 		Engine: *engSel, Shards: *shards, Scale: *scale, Parallelism: *par,
 		Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
 		Fallback: *fallback, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
+		Explain: *explain, PlanOut: *planOut, PlanIn: *planIn,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatal(err)
@@ -134,22 +150,37 @@ func main() {
 		sessOpts = append(sessOpts, core.WithTracer(tr, root))
 	}
 	var ann *core.Annotation
-	switch *alg {
-	case "auto":
-		sess := core.NewSession(ctx, env, sessOpts...)
-		ann, err = sess.Optimize(g)
-		reportStats(*stats, sess)
-	case "brute":
-		bctx, cancel := context.WithTimeout(ctx, *budget)
-		defer cancel()
-		sess := core.NewSession(bctx, env, sessOpts...)
-		ann, err = sess.Brute(g)
-		reportStats(*stats, sess)
-	default:
-		log.Fatalf("unknown algorithm %q", *alg)
-	}
-	if err != nil {
-		log.Fatalf("optimize: %v", err)
+	var phys *plan.Plan
+	if cfg.PlanIn != "" {
+		// Replay a previously serialized physical plan: no optimization,
+		// just fingerprint-checked decoding against this graph and env.
+		data, rerr := os.ReadFile(cfg.PlanIn)
+		if rerr != nil {
+			log.Fatalf("-plan-in: %v", rerr)
+		}
+		if phys, err = plan.Decode(g, env, data); err != nil {
+			log.Fatalf("-plan-in: %v", err)
+		}
+		ann = phys.Ann
+		fmt.Printf("loaded physical plan (%d nodes) from %s\n", len(phys.Nodes), cfg.PlanIn)
+	} else {
+		switch *alg {
+		case "auto":
+			sess := core.NewSession(ctx, env, sessOpts...)
+			ann, err = sess.Optimize(g)
+			reportStats(*stats, sess)
+		case "brute":
+			bctx, cancel := context.WithTimeout(ctx, *budget)
+			defer cancel()
+			sess := core.NewSession(bctx, env, sessOpts...)
+			ann, err = sess.Brute(g)
+			reportStats(*stats, sess)
+		default:
+			log.Fatalf("unknown algorithm %q", *alg)
+		}
+		if err != nil {
+			log.Fatalf("optimize: %v", err)
+		}
 	}
 	if *dot {
 		fmt.Print(ann.DOT())
@@ -157,12 +188,33 @@ func main() {
 	}
 	fmt.Print(ann.Describe())
 
+	// Every downstream consumer — -explain, -plan-out, both execution
+	// engines and the simulator — works off one lowering of the plan.
+	if phys == nil {
+		if phys, err = plan.Lower(g, env, ann); err != nil {
+			log.Fatalf("lower: %v", err)
+		}
+	}
+	if cfg.Explain {
+		fmt.Printf("\n%s", phys.Explain())
+	}
+	if cfg.PlanOut != "" {
+		data, eerr := plan.Encode(phys, env)
+		if eerr != nil {
+			log.Fatalf("-plan-out: %v", eerr)
+		}
+		if werr := os.WriteFile(cfg.PlanOut, data, 0o644); werr != nil {
+			log.Fatalf("-plan-out: %v", werr)
+		}
+		fmt.Printf("\nwrote physical plan (%d nodes) to %s\n", len(phys.Nodes), cfg.PlanOut)
+	}
+
 	if execute {
-		run(ctx, cfg, env.Cluster, ann, inputs, tr, root)
+		run(ctx, cfg, env.Cluster, phys, inputs, tr, root)
 		emitObs(cfg, tr, root)
 		return
 	}
-	rep, err := engine.Simulate(ann, env)
+	rep, err := engine.SimulatePlan(phys, env)
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
@@ -308,14 +360,14 @@ func buildExecutable(wl string, hidden int64, sizeSet int, scale int64, rng *ran
 	}
 }
 
-// run executes the annotated plan for real. The dist path always runs
-// the sequential engine too and cross-checks every output bit by bit.
-// When cfg.Faults > 0, a seeded fault schedule is injected and the run
-// must recover (or, with -fallback, degrade) to the same bits.
-func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense, tr *obs.Tracer, root *obs.Span) {
+// run executes the lowered physical plan for real. The dist path always
+// runs the sequential engine too and cross-checks every output bit by
+// bit. When cfg.Faults > 0, a seeded fault schedule is injected and the
+// run must recover (or, with -fallback, degrade) to the same bits.
+func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, phys *plan.Plan, inputs map[string]*tensor.Dense, tr *obs.Tracer, root *obs.Span) {
 	seq := engine.New(cl)
 	t0 := time.Now()
-	want, err := seq.RunCollectCtx(ctx, ann, inputs)
+	want, err := seq.RunPlanCollectCtx(ctx, phys, inputs)
 	if err != nil {
 		log.Fatalf("sequential run: %v", err)
 	}
@@ -330,22 +382,22 @@ func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, ann *core.An
 		opts = append(opts, dist.WithTracer(tr, root))
 	}
 	if cfg.Faults > 0 {
-		ids := make([]int, 0, len(ann.Graph.Vertices))
-		for _, v := range ann.Graph.Vertices {
+		ids := make([]int, 0, len(phys.Graph.Vertices))
+		for _, v := range phys.Graph.Vertices {
 			ids = append(ids, v.ID)
 		}
-		plan := dist.RandomFaults(cfg.FaultSeed, cfg.Faults, ids, cfg.Shards)
+		fp := dist.RandomFaults(cfg.FaultSeed, cfg.Faults, ids, cfg.Shards)
 		fmt.Printf("injecting %d seeded faults (seed %d):\n", cfg.Faults, cfg.FaultSeed)
-		for _, f := range plan.Faults() {
+		for _, f := range fp.Faults() {
 			fmt.Printf("  %v\n", f)
 		}
-		opts = append(opts, dist.WithFaults(plan))
+		opts = append(opts, dist.WithFaults(fp))
 	}
 	rt, err := dist.New(cl, cfg.Shards, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, rep, err := rt.Run(ctx, ann, inputs)
+	got, rep, err := rt.RunPlan(ctx, phys, inputs)
 	if err != nil {
 		if !cfg.Fallback || ctx.Err() != nil {
 			log.Fatalf("dist run: %v", err)

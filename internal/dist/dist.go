@@ -37,7 +37,9 @@ import (
 	"matopt/internal/core"
 	"matopt/internal/costmodel"
 	"matopt/internal/engine"
+	"matopt/internal/format"
 	"matopt/internal/obs"
+	"matopt/internal/plan"
 	"matopt/internal/tensor"
 )
 
@@ -169,24 +171,46 @@ func (rt *Runtime) Shards() int { return rt.shards }
 // before failing) so callers deciding whether to degrade to another
 // engine can see the faults and retries that led here.
 func (rt *Runtime) Run(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, *Report, error) {
+	env := core.NewEnv(rt.cluster, format.All())
+	p, err := plan.Lower(ann.Graph, env, ann)
+	if err != nil {
+		return nil, &Report{Shards: rt.shards}, err
+	}
+	return rt.RunPlan(ctx, p, inputs)
+}
+
+// RunPlan executes an already-lowered physical plan; see Run. The plan
+// is validated before any shard does work, so a corrupt or stale plan
+// fails with plan.ErrInvalidPlan instead of executing garbage. This is
+// the runtime's single execution entry point: Run lowers and delegates
+// here, and callers that cache lowered plans (the public Executor, the
+// CLI's -plan-in path) call it directly.
+func (rt *Runtime) RunPlan(ctx context.Context, p *plan.Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, *Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, &Report{Shards: rt.shards}, err
+	}
+	groups, err := buildGroups(p)
+	if err != nil {
+		return nil, &Report{Shards: rt.shards}, err
+	}
 	start := time.Now()
-	r := newRun(rt, ctx, ann)
+	r := newRun(rt, ctx, p, groups)
 	defer r.stop()
 	rels, peak, err := r.execute(inputs)
 	if err != nil {
 		return nil, r.report(peak, time.Since(start)), err
 	}
 	outs := make(map[int]*tensor.Dense)
-	for _, v := range ann.Graph.Sinks() {
-		rel := rels[v.ID]
+	for _, id := range p.Retained {
+		rel := rels[id]
 		if rel == nil {
-			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: sink %d has no relation after the run: %w", v.ID, core.ErrInternal)
+			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: sink %d has no relation after the run: %w", id, core.ErrInternal)
 		}
 		m, err := engine.Assemble(rel.asEngine())
 		if err != nil {
-			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: collecting sink %d: %w", v.ID, err)
+			return nil, r.report(peak, time.Since(start)), fmt.Errorf("dist: collecting sink %d: %w", id, err)
 		}
-		outs[v.ID] = m
+		outs[id] = m
 	}
 	return outs, r.report(peak, time.Since(start)), nil
 }

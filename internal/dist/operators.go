@@ -3,10 +3,10 @@ package dist
 import (
 	"fmt"
 
-	"matopt/internal/core"
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/op"
+	"matopt/internal/plan"
 	"matopt/internal/shape"
 	"matopt/internal/sparse"
 	"matopt/internal/tensor"
@@ -18,7 +18,7 @@ import (
 // internal/engine/executors.go operation for operation: same kernels,
 // same pairing, and — via (key, seq)-sorted exchanges — the same
 // floating-point reduction order, so results are byte-identical.
-type distExec func(r *run, v *core.Vertex, ins []*relation) (*relation, error)
+type distExec func(r *run, n *plan.Node, ins []*relation) (*relation, error)
 
 var distExecutors = map[string]distExec{}
 
@@ -71,7 +71,7 @@ func (r *run) singleRelAt(f format.Format, s shape.Shape, density float64, t eng
 // colocate moves the smaller of two one-tuple relations to the shard
 // holding the larger (the movement the cost model prices as min-bytes)
 // and returns both tuples plus the compute site.
-func (r *run) colocate(v *core.Vertex, a, b *relation) (engine.Tuple, engine.Tuple, int, error) {
+func (r *run) colocate(n *plan.Node, a, b *relation) (engine.Tuple, engine.Tuple, int, error) {
 	ta, sa, err := a.soleTuple()
 	if err != nil {
 		return engine.Tuple{}, engine.Tuple{}, -1, err
@@ -85,7 +85,7 @@ func (r *run) colocate(v *core.Vertex, a, b *relation) (engine.Tuple, engine.Tup
 		site = sb
 	}
 	if sa != site || sb != site {
-		m := r.fab.meterFor(v.ID, "move", "co-locate singles")
+		m := r.fab.meterFor(n.Vertex, "move", "co-locate singles")
 		if sa != site {
 			ts, err := r.gatherAt(m, a, site)
 			if err != nil {
@@ -106,11 +106,11 @@ func (r *run) colocate(v *core.Vertex, a, b *relation) (engine.Tuple, engine.Tup
 
 // broadcastSingleDense broadcasts a one-tuple dense relation and
 // returns each shard's copy.
-func (r *run) broadcastSingleDense(v *core.Vertex, rel *relation, label string) ([]*tensor.Dense, error) {
+func (r *run) broadcastSingleDense(n *plan.Node, rel *relation, label string) ([]*tensor.Dense, error) {
 	if _, _, err := rel.singleDense(); err != nil {
 		return nil, err
 	}
-	m := r.fab.meterFor(v.ID, "broadcast", label)
+	m := r.fab.meterFor(n.Vertex, "broadcast", label)
 	copies, err := r.broadcastTuples(m, rel)
 	if err != nil {
 		return nil, err
@@ -125,29 +125,29 @@ func (r *run) broadcastSingleDense(v *core.Vertex, rel *relation, label string) 
 	return out, nil
 }
 
-func dMMSingleSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleDense(); err != nil {
 		return nil, err
 	}
 	if _, _, err := ins[1].singleDense(); err != nil {
 		return nil, err
 	}
-	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	ta, tb, site, err := r.colocate(n, ins[0], ins[1])
 	if err != nil {
 		return nil, err
 	}
 	var rel *relation
 	err = r.on(site, func() error {
 		out := tensor.MatMul(ta.Dense, tb.Dense)
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, out.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
 		return nil
 	})
 	return rel, err
 }
 
-func dMMBcastSingleColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	as, err := r.broadcastSingleDense(v, ins[0], "broadcast(a)")
+func dMMBcastSingleColStrip(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +161,11 @@ func dMMBcastSingleColStrip(r *run, v *core.Vertex, ins []*relation) (*relation,
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: ins[1].format, shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: ins[1].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+func dMMRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
 	}
@@ -179,10 +179,10 @@ func dMMRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation,
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMRowStripColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMRowStripColStrip(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	// Broadcast the smaller side; every (rowstrip, colstrip) pair is
 	// multiplied where the larger side's tuple lives, and each output
 	// tile is shuffled to its home shard.
@@ -190,12 +190,12 @@ func dMMRowStripColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, er
 	if ins[1].bytes() < ins[0].bytes() {
 		bcast = 1
 	}
-	m := r.fab.meterFor(v.ID, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
+	m := r.fab.meterFor(n.Vertex, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
 	copies, err := r.broadcastTuples(m, ins[bcast])
 	if err != nil {
 		return nil, err
 	}
-	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(out)")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(out)")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		var out []routed
 		for _, tl := range sortedShard(ins[1-bcast], s) {
@@ -216,16 +216,16 @@ func dMMRowStripColStrip(r *run, v *core.Vertex, ins []*relation) (*relation, er
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: format.NewTile(ins[0].format.Block), shape: v.Shape, density: 1,
+	return &relation{format: format.NewTile(ins[0].format.Block), shape: n.OutShape, density: 1,
 		parts: messageTuples(recv)}, nil
 }
 
-func dMMColStripRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMColStripRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	// Co-partition by contraction index: A's colstrip (0, k) joins B's
 	// rowstrip (k, 0) on shardOf((k, 0)) — B is already home there, so
 	// only A moves. Partial products then aggregate on the owner shard
 	// in contraction order.
-	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(a)")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(a)")
 	recvA, err := r.exchange(sh, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range ins[0].parts[s] {
@@ -237,8 +237,8 @@ func dMMColStripRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation,
 	if err != nil {
 		return nil, err
 	}
-	owner := r.ownerShard(v.ID)
-	ag := r.fab.meterFor(v.ID, "aggregate", "partials→owner")
+	owner := r.ownerShard(n.Vertex)
+	ag := r.fab.meterFor(n.Vertex, "aggregate", "partials→owner")
 	recvP, err := r.exchange(ag, func(s int) ([]routed, error) {
 		bByKey := make(map[int64]*tensor.Dense)
 		for _, t := range ins[1].parts[s] {
@@ -264,9 +264,9 @@ func dMMColStripRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation,
 	}
 	var rel *relation
 	err = r.on(owner, func() error {
-		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		acc := tensor.NewDense(int(n.OutShape.Rows), int(n.OutShape.Cols))
 		foldInto(acc, recvP[owner])
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, acc.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
 		return nil
 	})
@@ -277,9 +277,9 @@ func dMMColStripRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation,
 // where pair() says the pair is resident, and group-by-SUM reduces the
 // partial products onto each output tile's home shard in contraction
 // order — shared by the shuffle and broadcast tile strategies.
-func tileTileProducts(r *run, v *core.Vertex, blk int64,
+func tileTileProducts(r *run, n *plan.Node, blk int64,
 	produce func(shard int, emit func(ta, tb engine.Tuple)) error) (*relation, error) {
-	sh := r.fab.meterFor(v.ID, "shuffle", "shuffle(out)")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(out)")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		var out []routed
 		err := produce(s, func(ta, tb engine.Tuple) {
@@ -303,14 +303,14 @@ func tileTileProducts(r *run, v *core.Vertex, blk int64,
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: format.NewTile(blk), shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: format.NewTile(blk), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMTileTileShuffle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMTileTileShuffle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	// Shuffle both sides by contraction index k so tile pairs meet on
 	// shardOf((k, k)).
 	cOf := func(k int64) int { return r.shardOf(engine.Key{I: k, J: k}) }
-	shA := r.fab.meterFor(v.ID, "shuffle", "shuffle(a)")
+	shA := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(a)")
 	recvA, err := r.exchange(shA, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range ins[0].parts[s] {
@@ -321,7 +321,7 @@ func dMMTileTileShuffle(r *run, v *core.Vertex, ins []*relation) (*relation, err
 	if err != nil {
 		return nil, err
 	}
-	shB := r.fab.meterFor(v.ID, "shuffle", "shuffle(b)")
+	shB := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(b)")
 	recvB, err := r.exchange(shB, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range ins[1].parts[s] {
@@ -332,7 +332,7 @@ func dMMTileTileShuffle(r *run, v *core.Vertex, ins []*relation) (*relation, err
 	if err != nil {
 		return nil, err
 	}
-	return tileTileProducts(r, v, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
+	return tileTileProducts(r, n, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
 		bByRow := make(map[int64][]engine.Tuple)
 		for _, m := range recvB[s] { // sorted, so buckets stay key-ordered
 			bByRow[m.key.I] = append(bByRow[m.key.I], m.tuple)
@@ -346,7 +346,7 @@ func dMMTileTileShuffle(r *run, v *core.Vertex, ins []*relation) (*relation, err
 	})
 }
 
-func dMMTileTileBcast(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMTileTileBcast(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	// Broadcast the smaller side; each pair is multiplied where the
 	// larger side's tile lives (exactly once, since that tile is unique
 	// to one shard).
@@ -354,12 +354,12 @@ func dMMTileTileBcast(r *run, v *core.Vertex, ins []*relation) (*relation, error
 	if ins[1].bytes() < ins[0].bytes() {
 		bcast = 1
 	}
-	m := r.fab.meterFor(v.ID, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
+	m := r.fab.meterFor(n.Vertex, "broadcast", fmt.Sprintf("broadcast(arg%d)", bcast))
 	copies, err := r.broadcastTuples(m, ins[bcast])
 	if err != nil {
 		return nil, err
 	}
-	return tileTileProducts(r, v, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
+	return tileTileProducts(r, n, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
 		if bcast == 1 {
 			bByRow := make(map[int64][]engine.Tuple)
 			for _, t := range copies[s] {
@@ -385,13 +385,13 @@ func dMMTileTileBcast(r *run, v *core.Vertex, ins []*relation) (*relation, error
 	})
 }
 
-func dMMBcastSingleTile(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	as, err := r.broadcastSingleDense(v, ins[0], "broadcast(a)")
+func dMMBcastSingleTile(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
 	}
 	b := int(ins[1].format.Block)
-	sh := r.fab.meterFor(v.ID, "shuffle", "partials")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "partials")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		a := as[s]
 		var out []routed
@@ -418,16 +418,16 @@ func dMMBcastSingleTile(r *run, v *core.Vertex, ins []*relation) (*relation, err
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: format.NewColStrip(ins[1].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: format.NewColStrip(ins[1].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMTileBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+func dMMTileBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
 	}
 	bk := int(ins[0].format.Block)
-	sh := r.fab.meterFor(v.ID, "shuffle", "partials")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "partials")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		b := bs[s]
 		var out []routed
@@ -454,42 +454,42 @@ func dMMTileBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, err
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMCSRSingleSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMCSRSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleCSR(); err != nil {
 		return nil, err
 	}
 	if _, _, err := ins[1].singleDense(); err != nil {
 		return nil, err
 	}
-	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	ta, tb, site, err := r.colocate(n, ins[0], ins[1])
 	if err != nil {
 		return nil, err
 	}
 	var rel *relation
 	err = r.on(site, func() error {
 		out := ta.CSR.MulDense(tb.Dense)
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, out.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
 		return nil
 	})
 	return rel, err
 }
 
-func dMMBcastCSRRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dMMBcastCSRRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleCSR(); err != nil {
 		return nil, err
 	}
-	m := r.fab.meterFor(v.ID, "broadcast", "broadcast(a)")
+	m := r.fab.meterFor(n.Vertex, "broadcast", "broadcast(a)")
 	copies, err := r.broadcastTuples(m, ins[0])
 	if err != nil {
 		return nil, err
 	}
 	h := int(ins[1].format.Block)
-	owner := r.ownerShard(v.ID)
-	ag := r.fab.meterFor(v.ID, "aggregate", "partials→owner")
+	owner := r.ownerShard(n.Vertex)
+	ag := r.fab.meterFor(n.Vertex, "aggregate", "partials→owner")
 	recv, err := r.exchange(ag, func(s int) ([]routed, error) {
 		if len(copies[s]) != 1 || copies[s][0].CSR == nil {
 			return nil, fmt.Errorf("dist: broadcast csr missing on shard %d", s)
@@ -512,17 +512,17 @@ func dMMBcastCSRRowStripAgg(r *run, v *core.Vertex, ins []*relation) (*relation,
 	}
 	var rel *relation
 	err = r.on(owner, func() error {
-		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		acc := tensor.NewDense(int(n.OutShape.Rows), int(n.OutShape.Cols))
 		foldInto(acc, recv[owner])
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, acc.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
 		return nil
 	})
 	return rel, err
 }
 
-func dMMCSRRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+func dMMCSRRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
 	}
@@ -536,16 +536,16 @@ func dMMCSRRowStripBcastSingle(r *run, v *core.Vertex, ins []*relation) (*relati
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMBcastCOOSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(b)")
+func dMMBcastCOOSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
 	}
-	owner := r.ownerShard(v.ID)
-	ag := r.fab.meterFor(v.ID, "aggregate", "scaled rows→owner")
+	owner := r.ownerShard(n.Vertex)
+	ag := r.fab.meterFor(n.Vertex, "aggregate", "scaled rows→owner")
 	recv, err := r.exchange(ag, func(s int) ([]routed, error) {
 		b := bs[s]
 		var out []routed
@@ -576,14 +576,14 @@ func dMMBcastCOOSingle(r *run, v *core.Vertex, ins []*relation) (*relation, erro
 	}
 	var rel *relation
 	err = r.on(owner, func() error {
-		acc := tensor.NewDense(int(v.Shape.Rows), int(v.Shape.Cols))
+		acc := tensor.NewDense(int(n.OutShape.Rows), int(n.OutShape.Cols))
 		for _, g := range recv[owner] { // sorted by element coordinate
 			row := acc.Data[int(g.key.I)*acc.Cols : (int(g.key.I)+1)*acc.Cols]
 			for j, cv := range g.tuple.Dense.Data {
 				row[j] += cv
 			}
 		}
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, acc.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, acc.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: acc}, owner)
 		return nil
 	})
@@ -602,32 +602,32 @@ func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
 	panic(fmt.Sprintf("dist: %v is not an elementwise op", k))
 }
 
-func dEWSingle(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dEWSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleDense(); err != nil {
 		return nil, err
 	}
 	if _, _, err := ins[1].singleDense(); err != nil {
 		return nil, err
 	}
-	ta, tb, site, err := r.colocate(v, ins[0], ins[1])
+	ta, tb, site, err := r.colocate(n, ins[0], ins[1])
 	if err != nil {
 		return nil, err
 	}
-	kern := ewKernel(v.Op.Kind)
+	kern := ewKernel(n.Op.Kind)
 	var rel *relation
 	err = r.on(site, func() error {
 		out := kern(ta.Dense, tb.Dense)
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, out.Density(),
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, out.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
 		return nil
 	})
 	return rel, err
 }
 
-func dEWCoPart(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dEWCoPart(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	// Re-home both sides onto shardOf(key) — free for relations already
 	// hash partitioned — then join locally per shard.
-	cp := r.fab.meterFor(v.ID, "copart", "co-partition join")
+	cp := r.fab.meterFor(n.Vertex, "copart", "co-partition join")
 	ra, err := r.routeByKey(cp, ins[0])
 	if err != nil {
 		return nil, err
@@ -636,7 +636,7 @@ func dEWCoPart(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	kern := ewKernel(v.Op.Kind)
+	kern := ewKernel(n.Op.Kind)
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		bByKey := make(map[engine.Key]*tensor.Dense, len(rb[s]))
@@ -655,7 +655,7 @@ func dEWCoPart(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
 func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
@@ -679,8 +679,8 @@ func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
 	panic(fmt.Sprintf("dist: %v is not a map op", o.Kind))
 }
 
-func dMap(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	kern := mapKernel(v.Op)
+func dMap(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	kern := mapKernel(n.Op)
 	parts := make([][]engine.Tuple, r.shards())
 	err := r.parallel(func(s int) error {
 		for _, t := range sortedShard(ins[0], s) {
@@ -699,11 +699,11 @@ func dMap(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: ins[0].format, shape: v.Shape, density: ins[0].density, parts: parts}, nil
+	return &relation{format: ins[0].format, shape: n.OutShape, density: ins[0].density, parts: parts}, nil
 }
 
-func dAddBias(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	bs, err := r.broadcastSingleDense(v, ins[1], "broadcast(bias)")
+func dAddBias(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(bias)")
 	if err != nil {
 		return nil, err
 	}
@@ -717,20 +717,20 @@ func dAddBias(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: ins[0].format, shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dRowSums(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	return dLocalMap(r, v, ins[0], tensor.RowSums)
+func dRowSums(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	return dLocalMap(r, n, ins[0], tensor.RowSums)
 }
 
-func dColSums(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
-	return dLocalMap(r, v, ins[0], tensor.ColSums)
+func dColSums(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+	return dLocalMap(r, n, ins[0], tensor.ColSums)
 }
 
 // dLocalMap applies a per-tuple dense kernel shard-locally, keeping
 // keys and placement.
-func dLocalMap(r *run, v *core.Vertex, in *relation, kern func(*tensor.Dense) *tensor.Dense) (*relation, error) {
+func dLocalMap(r *run, n *plan.Node, in *relation, kern func(*tensor.Dense) *tensor.Dense) (*relation, error) {
 	parts := make([][]engine.Tuple, r.shards())
 	err := r.parallel(func(s int) error {
 		for _, t := range sortedShard(in, s) {
@@ -741,10 +741,10 @@ func dLocalMap(r *run, v *core.Vertex, in *relation, kern func(*tensor.Dense) *t
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: in.format, shape: v.Shape, density: 1, parts: parts}, nil
+	return &relation{format: in.format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dTransposeDense(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dTransposeDense(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	in := ins[0]
 	var outFmt format.Format
 	switch in.format.Kind {
@@ -755,7 +755,7 @@ func dTransposeDense(r *run, v *core.Vertex, ins []*relation) (*relation, error)
 		}
 		var rel *relation
 		err = r.on(holder, func() error {
-			rel = r.singleRelAt(format.NewSingle(), v.Shape, in.density,
+			rel = r.singleRelAt(format.NewSingle(), n.OutShape, in.density,
 				engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: tensor.Transpose(t.Dense)}, holder)
 			return nil
 		})
@@ -770,7 +770,7 @@ func dTransposeDense(r *run, v *core.Vertex, ins []*relation) (*relation, error)
 		return nil, fmt.Errorf("dist: transpose executor got %v", in.format)
 	}
 	// Transposing flips keys, so every chunk re-homes: a shuffle.
-	sh := r.fab.meterFor(v.ID, "shuffle", "transposed chunks")
+	sh := r.fab.meterFor(n.Vertex, "shuffle", "transposed chunks")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range sortedShard(in, s) {
@@ -785,10 +785,10 @@ func dTransposeDense(r *run, v *core.Vertex, ins []*relation) (*relation, error)
 	if err != nil {
 		return nil, err
 	}
-	return &relation{format: outFmt, shape: v.Shape, density: in.density, parts: messageTuples(recv)}, nil
+	return &relation{format: outFmt, shape: n.OutShape, density: in.density, parts: messageTuples(recv)}, nil
 }
 
-func dTransposeCSR(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dTransposeCSR(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	a, holder, err := ins[0].singleCSR()
 	if err != nil {
 		return nil, err
@@ -796,14 +796,14 @@ func dTransposeCSR(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 	var rel *relation
 	err = r.on(holder, func() error {
 		out := sparse.FromDense(tensor.Transpose(a.ToDense()))
-		rel = r.singleRelAt(format.NewCSRSingle(), v.Shape, ins[0].density,
+		rel = r.singleRelAt(format.NewCSRSingle(), n.OutShape, ins[0].density,
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, CSR: out}, holder)
 		return nil
 	})
 	return rel, err
 }
 
-func dInverse(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
+func dInverse(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	a, holder, err := ins[0].singleDense()
 	if err != nil {
 		return nil, err
@@ -814,7 +814,7 @@ func dInverse(r *run, v *core.Vertex, ins []*relation) (*relation, error) {
 		if err != nil {
 			return err
 		}
-		rel = r.singleRelAt(format.NewSingle(), v.Shape, 1,
+		rel = r.singleRelAt(format.NewSingle(), n.OutShape, 1,
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: inv}, holder)
 		return nil
 	})

@@ -6,7 +6,6 @@ import (
 	"strconv"
 	"time"
 
-	"matopt/internal/core"
 	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
@@ -38,72 +37,71 @@ func retryable(err error) bool {
 }
 
 // lineage is the recovery record of one relation: which vertex produced
-// it under which annotation, and how many attempts that took. Because
+// it under which physical operator, and how many attempts that took. Because
 // the scheduler ref-counts every relation until its last consumer has
 // *completed* (not merely started), a failed consumer's inputs are
 // always still resident — recomputing a vertex never requires rerunning
 // its ancestors, exactly the property RDD lineage buys Spark.
 type lineage struct {
 	vertex   int    // producing vertex ID
-	impl     string // implementation name from the annotation ("load" for sources)
+	impl     string // physical operator name from the plan ("load" for sources)
 	attempts int    // executions needed (1 = no faults)
 }
 
-// runVertex executes one vertex with recovery: transient failures
-// (ErrShardFailed, ErrExchangeTimeout) are retried with capped
-// exponential backoff up to the runtime's retry budget and per-vertex
-// deadline; deterministic inputs make every re-execution produce the
-// same bits as a fault-free run. The input snapshot is re-copied per
-// attempt so a retry re-derives edge transforms from the original
-// relations rather than a half-transformed attempt state.
-func (r *run) runVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+// runGroup executes one recovery group (a vertex's fused plan nodes)
+// with recovery: transient failures (ErrShardFailed,
+// ErrExchangeTimeout) are retried with capped exponential backoff up to
+// the runtime's retry budget and per-vertex deadline; deterministic
+// inputs make every re-execution produce the same bits as a fault-free
+// run. The input snapshot is re-copied per attempt so a retry re-derives
+// the fused re-layouts from the original relations rather than a
+// half-transformed attempt state.
+func (r *run) runGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
 	start := time.Now()
-	impl := "load"
-	if im := r.ann.VertexImpl[v.ID]; im != nil {
-		impl = im.Name
-	}
-	vspan := r.tr.Start(r.span, "vertex").SetInt("id", int64(v.ID)).SetStr("impl", impl)
+	vspan := r.tr.Start(r.span, "vertex").
+		SetInt("id", int64(gr.vertex)).SetStr("impl", gr.node.Name).
+		SetInt("node", int64(gr.node.ID)).SetStr("strategy", gr.node.Strategy)
 	defer func() {
-		r.vspan[v.ID].Store(nil)
+		r.vspan[gr.vertex].Store(nil)
 		r.vsec.Observe(time.Since(start).Seconds())
 		vspan.End()
 	}()
 	for attempt := 0; ; attempt++ {
-		r.setAttempt(v.ID, attempt)
+		r.setAttempt(gr.vertex, attempt)
 		aspan := r.tr.Start(vspan, "attempt").SetInt("n", int64(attempt))
 		if aspan != nil {
-			r.vspan[v.ID].Store(aspan) // exchanges of this attempt nest here
+			r.vspan[gr.vertex].Store(aspan) // exchanges of this attempt nest here
 		}
 		attemptIns := append([]*relation(nil), ins...)
-		rel, err := r.execVertex(v, attemptIns, inputs)
+		rel, err := r.execGroup(gr, attemptIns, inputs)
 		aspan.End()
 		if err == nil {
-			r.recordLineage(v, attempt+1)
+			r.recordLineage(gr, attempt+1)
 			vspan.SetInt("attempts", int64(attempt+1))
 			return rel, nil
 		}
 		if cerr := r.ctx.Err(); cerr != nil {
 			// The run was cancelled; report the context's cause rather
 			// than whatever the teardown surfaced as.
-			return nil, fmt.Errorf("dist: vertex %d aborted: %w", v.ID, cerr)
+			return nil, fmt.Errorf("dist: vertex %d aborted: %w", gr.vertex, cerr)
 		}
 		if !retryable(err) {
 			return nil, err
 		}
 		if attempt >= r.rt.maxRetries {
 			return nil, fmt.Errorf("%w: vertex %d failed %d times: %w",
-				ErrRetriesExhausted, v.ID, attempt+1, err)
+				ErrRetriesExhausted, gr.vertex, attempt+1, err)
 		}
 		if dl := r.rt.vertexDeadline; dl > 0 && time.Since(start) >= dl {
 			return nil, fmt.Errorf("%w: vertex %d exceeded its %v recovery deadline: %w",
-				ErrRetriesExhausted, v.ID, dl, err)
+				ErrRetriesExhausted, gr.vertex, dl, err)
 		}
-		r.recordRetry(v.ID)
+		r.recordRetry(gr.vertex)
 		bspan := r.tr.Start(vspan, "retry.backoff").SetInt("attempt", int64(attempt))
 		berr := r.sleepBackoff(attempt)
 		bspan.End()
 		if berr != nil {
-			return nil, fmt.Errorf("dist: vertex %d aborted during retry backoff: %w", v.ID, berr)
+			return nil, fmt.Errorf("dist: vertex %d aborted during retry backoff: %w", gr.vertex, berr)
 		}
 	}
 }
@@ -150,16 +148,12 @@ func (r *run) recordRetry(vertex int) {
 	r.reg.Counter("dist.retries", obs.L("vertex", strconv.Itoa(vertex))).Inc()
 }
 
-// recordLineage notes the recovery record of a completed vertex.
-func (r *run) recordLineage(v *core.Vertex, attempts int) {
-	impl := "load"
-	if im := r.ann.VertexImpl[v.ID]; im != nil {
-		impl = im.Name
-	}
+// recordLineage notes the recovery record of a completed group.
+func (r *run) recordLineage(gr *planGroup, attempts int) {
 	r.recMu.Lock()
 	if r.lineages == nil {
 		r.lineages = make(map[int]lineage)
 	}
-	r.lineages[v.ID] = lineage{vertex: v.ID, impl: impl, attempts: attempts}
+	r.lineages[gr.vertex] = lineage{vertex: gr.vertex, impl: gr.node.Name, attempts: attempts}
 	r.recMu.Unlock()
 }

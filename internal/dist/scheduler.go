@@ -12,19 +12,75 @@ import (
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/obs"
+	"matopt/internal/plan"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 )
 
+// planGroup is the dist runtime's unit of scheduling and recovery: one
+// vertex's producing plan node (a scan or compute) fused with the
+// re-layout nodes feeding it. Fusing keeps the fault surface per vertex
+// — one attempt counter, one lineage record, one retry unit — exactly as
+// the recovery semantics and chaos tests expect, while the work itself
+// is described entirely by shared physical-plan IR nodes.
+type planGroup struct {
+	vertex    int
+	node      *plan.Node   // the vertex's producing node (KindScan or KindCompute)
+	relayouts []*plan.Node // per compute arg: the fused re-layout node, nil for identity edges
+	deps      []int        // producer vertex IDs in argument order
+}
+
+// buildGroups fuses a lowered plan into per-vertex recovery groups.
+// Free nodes are not scheduled — the scheduler ref-counts relations by
+// consumer group instead, which releases values at the same points the
+// plan's free nodes mark, but safely under concurrent completion order.
+func buildGroups(p *plan.Plan) ([]*planGroup, error) {
+	groups := make([]*planGroup, len(p.Graph.Vertices))
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case plan.KindScan:
+			groups[n.Vertex] = &planGroup{vertex: n.Vertex, node: n}
+		case plan.KindCompute:
+			gr := &planGroup{
+				vertex:    n.Vertex,
+				node:      n,
+				relayouts: make([]*plan.Node, len(n.Inputs)),
+				deps:      make([]int, len(n.Inputs)),
+			}
+			for j, id := range n.Inputs {
+				in := p.Nodes[id]
+				if in.Kind == plan.KindRelayout {
+					gr.relayouts[j] = in
+					in = p.Nodes[in.Inputs[0]]
+				}
+				if in.Kind != plan.KindScan && in.Kind != plan.KindCompute {
+					return nil, fmt.Errorf("dist: node %d input %d is not a vertex value: %w",
+						n.ID, id, core.ErrInternal)
+				}
+				gr.deps[j] = in.Vertex
+			}
+			groups[n.Vertex] = gr
+		}
+	}
+	for id, gr := range groups {
+		if gr == nil {
+			return nil, fmt.Errorf("dist: vertex %d has no plan node: %w", id, core.ErrInternal)
+		}
+	}
+	return groups, nil
+}
+
 // run is the per-execution state: one worker goroutine per shard fed by
-// a task queue, the comms fabric, the annotation being executed, the
-// run's metrics registry (every meter and timer lands there; the final
-// Report is a view over it), the optional tracer, and the recovery
-// bookkeeping (per-vertex attempt counters and lineage records).
+// a task queue, the comms fabric, the lowered physical plan being
+// executed, the run's metrics registry (every meter and timer lands
+// there; the final Report is a view over it), the optional tracer, and
+// the recovery bookkeeping (per-vertex attempt counters and lineage
+// records).
 type run struct {
 	rt      *Runtime
 	ctx     context.Context
-	ann     *core.Annotation
+	pl      *plan.Plan
+	groups  []*planGroup
 	fab     *fabric
 	tasks   []chan func()
 	workers sync.WaitGroup
@@ -41,20 +97,22 @@ type run struct {
 	lineages map[int]lineage // vertex ID → recovery record
 }
 
-func newRun(rt *Runtime, ctx context.Context, ann *core.Annotation) *run {
+func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup) *run {
 	reg := obs.NewRegistry()
+	nv := len(p.Graph.Vertices)
 	r := &run{
-		rt:    rt,
-		ctx:   ctx,
-		ann:   ann,
-		reg:   reg,
-		tr:    rt.tr,
-		fab:   &fabric{shards: rt.shards, reg: reg},
-		tasks: make([]chan func(), rt.shards),
-		vspan: make([]atomic.Pointer[obs.Span], len(ann.Graph.Vertices)),
-		qwait: reg.Histogram("dist.queue.wait.seconds", obs.DefaultDurationBuckets()),
-		vsec:  reg.Histogram("dist.vertex.seconds", obs.DefaultDurationBuckets()),
-		att:   make([]atomic.Int32, len(ann.Graph.Vertices)),
+		rt:     rt,
+		ctx:    ctx,
+		pl:     p,
+		groups: groups,
+		reg:    reg,
+		tr:     rt.tr,
+		fab:    &fabric{shards: rt.shards, reg: reg},
+		tasks:  make([]chan func(), rt.shards),
+		vspan:  make([]atomic.Pointer[obs.Span], nv),
+		qwait:  reg.Histogram("dist.queue.wait.seconds", obs.DefaultDurationBuckets()),
+		vsec:   reg.Histogram("dist.vertex.seconds", obs.DefaultDurationBuckets()),
+		att:    make([]atomic.Int32, nv),
 	}
 	r.span = rt.tr.Start(rt.span, "dist.run").SetInt("shards", int64(rt.shards))
 	for s := 0; s < rt.shards; s++ {
@@ -166,10 +224,10 @@ func (r *run) on(shard int, fn func() error) error {
 // place distributes freshly produced tuples: chunked-kind formats are
 // hash partitioned by key; single-kind formats live on the producing
 // vertex's owner shard.
-func (r *run) place(v *core.Vertex, f format.Format, s shape.Shape, density float64, tuples []engine.Tuple) *relation {
+func (r *run) place(vertex int, f format.Format, s shape.Shape, density float64, tuples []engine.Tuple) *relation {
 	parts := make([][]engine.Tuple, r.shards())
 	if f.Kind == format.Single || f.Kind == format.CSRSingle {
-		parts[r.ownerShard(v.ID)] = tuples
+		parts[r.ownerShard(vertex)] = tuples
 	} else {
 		for _, t := range tuples {
 			d := r.shardOf(t.Key)
@@ -179,23 +237,20 @@ func (r *run) place(v *core.Vertex, f format.Format, s shape.Shape, density floa
 	return &relation{format: f, shape: s, density: density, parts: parts}
 }
 
-// execute schedules the dataflow DAG: every vertex whose inputs are
-// ready is launched concurrently; a completed vertex releases inputs
-// whose last consumer has now run (sinks are retained). Returns the
-// retained relations and the peak resident bytes.
+// execute schedules the dataflow DAG: every recovery group whose inputs
+// are ready is launched concurrently; a completed group releases inputs
+// whose last consumer has now run (retained vertices are kept). Returns
+// the retained relations and the peak resident bytes.
 func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64, error) {
-	g := r.ann.Graph
-	byID := make(map[int]*core.Vertex, len(g.Vertices))
-	refs := make(map[int]int, len(g.Vertices))
+	refs := make(map[int]int, len(r.groups))
 	retain := make(map[int]bool)
-	for _, v := range g.Vertices {
-		byID[v.ID] = v
-		for _, in := range v.Ins {
-			refs[in.ID]++
+	for _, gr := range r.groups {
+		for _, dep := range gr.deps {
+			refs[dep]++
 		}
 	}
-	for _, v := range g.Sinks() {
-		retain[v.ID] = true
+	for _, id := range r.pl.Retained {
+		retain[id] = true
 	}
 
 	type result struct {
@@ -204,37 +259,37 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		err error
 	}
 	results := make(chan result)
-	rels := make(map[int]*relation, len(g.Vertices))
-	done := make(map[int]bool, len(g.Vertices))
-	launched := make(map[int]bool, len(g.Vertices))
+	rels := make(map[int]*relation, len(r.groups))
+	done := make(map[int]bool, len(r.groups))
+	launched := make(map[int]bool, len(r.groups))
 	var failed error
 	var resident, peak int64
 	inFlight, completed := 0, 0
 
-	ready := func(v *core.Vertex) bool {
-		if launched[v.ID] {
+	ready := func(gr *planGroup) bool {
+		if launched[gr.vertex] {
 			return false
 		}
-		for _, in := range v.Ins {
-			if !done[in.ID] {
+		for _, dep := range gr.deps {
+			if !done[dep] {
 				return false
 			}
 		}
 		return true
 	}
-	launch := func(v *core.Vertex) {
-		launched[v.ID] = true
+	launch := func(gr *planGroup) {
+		launched[gr.vertex] = true
 		// Snapshot input relations now: ref counts guarantee they stay
 		// alive until this consumer completes.
-		ins := make([]*relation, len(v.Ins))
-		for j, in := range v.Ins {
-			ins[j] = rels[in.ID]
+		ins := make([]*relation, len(gr.deps))
+		for j, dep := range gr.deps {
+			ins[j] = rels[dep]
 		}
 		inFlight++
-		go func(v *core.Vertex) {
-			rel, err := r.runVertex(v, ins, inputs)
-			results <- result{id: v.ID, rel: rel, err: err}
-		}(v)
+		go func(gr *planGroup) {
+			rel, err := r.runGroup(gr, ins, inputs)
+			results <- result{id: gr.vertex, rel: rel, err: err}
+		}(gr)
 	}
 
 	for {
@@ -242,9 +297,9 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 			if err := r.ctx.Err(); err != nil {
 				failed = fmt.Errorf("dist: execution aborted: %w", err)
 			} else {
-				for _, v := range g.Vertices {
-					if ready(v) {
-						launch(v)
+				for _, gr := range r.groups {
+					if ready(gr) {
+						launch(gr)
 					}
 				}
 			}
@@ -267,85 +322,78 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		if resident > peak {
 			peak = resident
 		}
-		for _, in := range byID[res.id].Ins {
-			refs[in.ID]--
-			if refs[in.ID] == 0 && !retain[in.ID] {
-				resident -= rels[in.ID].bytes()
-				delete(rels, in.ID)
+		for _, dep := range r.groups[res.id].deps {
+			refs[dep]--
+			if refs[dep] == 0 && !retain[dep] {
+				resident -= rels[dep].bytes()
+				delete(rels, dep)
 			}
 		}
 	}
 	if failed != nil {
 		return nil, peak, failed
 	}
-	if completed != len(g.Vertices) {
+	if completed != len(r.groups) {
 		return nil, peak, fmt.Errorf("dist: scheduler stalled with %d of %d vertices executed: %w",
-			completed, len(g.Vertices), core.ErrInternal)
+			completed, len(r.groups), core.ErrInternal)
 	}
 	return rels, peak, nil
 }
 
-// execVertex runs one vertex: load for sources, otherwise edge
-// transforms followed by the vertex's dist operator, verified against
-// the annotated output format.
-func (r *run) execVertex(v *core.Vertex, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+// execGroup runs one recovery group's plan nodes: the scan for sources,
+// otherwise the fused re-layout nodes followed by the compute node's
+// dist operator, verified against the plan's output format.
+func (r *run) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
 	if err := r.ctx.Err(); err != nil {
-		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", v.ID, err)
+		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", gr.vertex, err)
 	}
-	if f := r.rt.faults.crash(v.ID, r.attemptOf(v.ID)); f != nil {
-		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, r.ownerShard(v.ID), ErrShardFailed)
+	if f := r.rt.faults.crash(gr.vertex, r.attemptOf(gr.vertex)); f != nil {
+		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, r.ownerShard(gr.vertex), ErrShardFailed)
 	}
-	if v.IsSource {
-		m, ok := inputs[v.Name]
+	n := gr.node
+	if n.Kind == plan.KindScan {
+		m, ok := inputs[n.Source]
 		if !ok {
-			return nil, fmt.Errorf("dist: no input matrix for source %q", v.Name)
+			return nil, fmt.Errorf("dist: no input matrix for source %q", n.Source)
 		}
-		if int64(m.Rows) != v.Shape.Rows || int64(m.Cols) != v.Shape.Cols {
+		if int64(m.Rows) != n.OutShape.Rows || int64(m.Cols) != n.OutShape.Cols {
 			return nil, fmt.Errorf("dist: input %q is %dx%d, graph declares %v",
-				v.Name, m.Rows, m.Cols, v.Shape)
+				n.Source, m.Rows, m.Cols, n.OutShape)
 		}
 		var rel *relation
-		err := r.on(r.ownerShard(v.ID), func() error {
-			tuples, s, density, err := engine.Chunk(m, v.SrcFormat, r.rt.cluster.MaxTupleBytes)
+		err := r.on(r.ownerShard(gr.vertex), func() error {
+			tuples, s, density, err := engine.Chunk(m, n.OutFormat, r.rt.cluster.MaxTupleBytes)
 			if err != nil {
-				return fmt.Errorf("dist: loading %q: %w", v.Name, err)
+				return fmt.Errorf("dist: loading %q: %w", n.Source, err)
 			}
-			rel = r.place(v, v.SrcFormat, s, density, tuples)
+			rel = r.place(gr.vertex, n.OutFormat, s, density, tuples)
 			return nil
 		})
 		return rel, err
 	}
-	im := r.ann.VertexImpl[v.ID]
-	if im == nil {
-		return nil, fmt.Errorf("dist: vertex %d has no implementation", v.ID)
-	}
-	exec, ok := distExecutors[im.Name]
+	exec, ok := distExecutors[n.Name]
 	if !ok {
-		return nil, fmt.Errorf("dist: no executor for implementation %q", im.Name)
+		return nil, fmt.Errorf("dist: no executor for implementation %q", n.Name)
 	}
 	for j := range ins {
-		tr := r.ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
-		if tr == nil {
-			return nil, fmt.Errorf("dist: edge into vertex %d arg %d has no transformation", v.ID, j)
-		}
 		if ins[j] == nil {
-			return nil, fmt.Errorf("dist: vertex %d input %d was freed early", v.ID, j)
+			return nil, fmt.Errorf("dist: vertex %d input %d was freed early", gr.vertex, j)
 		}
-		if !tr.Identity() {
+		if rn := gr.relayouts[j]; rn != nil {
 			var err error
-			ins[j], err = r.transform(v, j, ins[j], tr.Target())
+			ins[j], err = r.transform(gr.vertex, j, ins[j], rn.OutFormat)
 			if err != nil {
-				return nil, fmt.Errorf("dist: transforming input %d of vertex %d: %w", j, v.ID, err)
+				return nil, fmt.Errorf("dist: transforming input %d of vertex %d: %w", j, gr.vertex, err)
 			}
 		}
 	}
-	out, err := exec(r, v, ins)
+	out, err := exec(r, n, ins)
 	if err != nil {
-		return nil, fmt.Errorf("dist: executing vertex %d (%s): %w", v.ID, im.Name, err)
+		return nil, fmt.Errorf("dist: executing vertex %d (%s): %w", gr.vertex, n.Name, err)
 	}
-	if out.format != r.ann.VertexFormat[v.ID] {
-		return nil, fmt.Errorf("dist: vertex %d produced %v, annotation says %v",
-			v.ID, out.format, r.ann.VertexFormat[v.ID])
+	if out.format != n.OutFormat {
+		return nil, fmt.Errorf("dist: vertex %d produced %v, plan says %v",
+			gr.vertex, out.format, n.OutFormat)
 	}
 	return out, nil
 }

@@ -3,24 +3,23 @@ package dist
 import (
 	"fmt"
 
-	"matopt/internal/core"
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/shape"
 )
 
-// transform re-lays-out a relation into the target format for one input
-// edge: tuples are gathered onto a deterministic stitch shard, the
+// transform executes one fused re-layout node: the consuming vertex's
+// input relation is gathered onto a deterministic stitch shard, the
 // matrix is assembled and re-chunked there with the exact code the
 // sequential engine's Transform uses (so values stay bit-identical),
 // and the new chunks are scattered to their home shards. Gather and
 // scatter traffic is metered on one "transform" exchange.
-func (r *run) transform(v *core.Vertex, arg int, rel *relation, target format.Format) (*relation, error) {
+func (r *run) transform(vertex, arg int, rel *relation, target format.Format) (*relation, error) {
 	if target == rel.format {
 		return rel, nil
 	}
-	m := r.fab.meterFor(v.ID, "transform", fmt.Sprintf("arg%d %v→%v", arg, rel.format, target))
-	stitch := r.ownerShard(v.ID + 31*arg)
+	m := r.fab.meterFor(vertex, "transform", fmt.Sprintf("arg%d %v→%v", arg, rel.format, target))
+	stitch := r.ownerShard(vertex + 31*arg)
 	gathered, err := r.gatherAt(m, rel, stitch)
 	if err != nil {
 		return nil, err

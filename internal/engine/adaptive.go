@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"matopt/internal/core"
+	"matopt/internal/plan"
 	"matopt/internal/sparse"
 	"matopt/internal/tensor"
 )
@@ -74,7 +76,7 @@ func (e *Engine) RunAdaptive(g *core.Graph, env *core.Env, inputs map[string]*te
 		if err != nil {
 			return nil, fmt.Errorf("engine: adaptive re-optimization: %w", err)
 		}
-		drifted, err := e.runUntilDrift(g, sub, idmap, ann, inputs, threshold, res)
+		drifted, err := e.runUntilDrift(sub, idmap, env, ann, inputs, threshold, res)
 		if err != nil {
 			return nil, err
 		}
@@ -133,85 +135,80 @@ func remainderGraph(g *core.Graph, done map[int]*Relation, measured map[int]floa
 	return sub, idmap, nil
 }
 
-// runUntilDrift executes the sub-plan vertex by vertex, publishing each
-// result into res under the ORIGINAL vertex IDs, until either the plan
-// finishes (false) or a density estimate drifts beyond threshold (true).
-func (e *Engine) runUntilDrift(g, sub *core.Graph, idmap map[int]*core.Vertex, ann *core.Annotation,
+// runUntilDrift lowers the sub-plan to the physical IR and steps its
+// nodes in plan order, publishing each computed relation into res under
+// the ORIGINAL vertex IDs, until either the plan finishes (false) or a
+// density estimate drifts beyond threshold (true). Free nodes are
+// skipped: the adaptive executor keeps every intermediate resident so a
+// re-optimization can resume from any of them.
+func (e *Engine) runUntilDrift(sub *core.Graph, idmap map[int]*core.Vertex, env *core.Env, ann *core.Annotation,
 	inputs map[string]*tensor.Dense, threshold float64, res *AdaptiveResult) (bool, error) {
 	// Reverse map: sub vertex ID → original vertex ID.
 	back := make(map[int]int, len(idmap))
 	for orig, nv := range idmap {
 		back[nv.ID] = orig
 	}
-	rels := make(map[int]*Relation, len(sub.Vertices))
+	p, err := plan.Lower(sub, env, ann)
+	if err != nil {
+		return false, err
+	}
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	// Already-computed intermediates re-enter the sub-plan as sources:
+	// preload their scans with the materialized relations.
+	preload := make(map[int]*Relation)
 	for _, v := range sub.Vertices {
-		orig := back[v.ID]
-		if v.IsSource {
-			if r, ok := res.Relations[orig]; ok {
-				rels[v.ID] = r
-				continue
-			}
-			m, ok := inputs[v.Name]
-			if !ok {
-				return false, fmt.Errorf("engine: no input matrix for source %q", v.Name)
-			}
-			r, err := e.Load(m, v.SrcFormat)
-			if err != nil {
-				return false, fmt.Errorf("engine: loading %q: %w", v.Name, err)
-			}
-			rels[v.ID] = r
+		if !v.IsSource {
 			continue
 		}
-		out, err := e.execVertex(ann, v, rels)
-		if err != nil {
-			return false, err
+		if r, ok := res.Relations[back[v.ID]]; ok {
+			preload[v.ID] = r
 		}
-		rels[v.ID] = out
-		res.Relations[orig] = out
+	}
+	pi := &planInterp{e: e, ctx: context.Background(), inputs: inputs, preload: preload}
+	vals := make([]*Relation, len(p.Nodes))
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case plan.KindScan:
+			r, err := pi.Scan(n)
+			if err != nil {
+				return false, err
+			}
+			vals[n.ID] = r
+		case plan.KindRelayout:
+			r, err := pi.Relayout(n, vals[n.Inputs[0]])
+			if err != nil {
+				return false, err
+			}
+			vals[n.ID] = r
+		case plan.KindCompute:
+			ins := make([]*Relation, len(n.Inputs))
+			for j, in := range n.Inputs {
+				ins[j] = vals[in]
+			}
+			out, err := pi.Compute(n, ins)
+			if err != nil {
+				return false, err
+			}
+			vals[n.ID] = out
+			orig := back[n.Vertex]
+			res.Relations[orig] = out
 
-		got := out.MeasuredDensity()
-		if re := sparse.RelativeError(v.Density, got); re > threshold {
-			res.Corrections = append(res.Corrections, DensityCorrection{
-				Vertex: orig, Estimated: v.Density, Measured: got, RelErr: re,
-			})
-			// Record the truth for the re-optimization and halt.
+			est := sub.Vertices[n.Vertex].Density
+			got := out.MeasuredDensity()
+			if re := sparse.RelativeError(est, got); re > threshold {
+				res.Corrections = append(res.Corrections, DensityCorrection{
+					Vertex: orig, Estimated: est, Measured: got, RelErr: re,
+				})
+				// Record the truth for the re-optimization and halt.
+				out.Density = got
+				return true, nil
+			}
 			out.Density = got
-			return true, nil
+		case plan.KindFree:
+			// Keep everything resident; see the doc comment.
 		}
-		out.Density = got
 	}
 	return false, nil
-}
-
-// execVertex runs one annotated vertex given its inputs' relations.
-func (e *Engine) execVertex(ann *core.Annotation, v *core.Vertex, rels map[int]*Relation) (*Relation, error) {
-	im := ann.VertexImpl[v.ID]
-	if im == nil {
-		return nil, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
-	}
-	exec, ok := executors[im.Name]
-	if !ok {
-		return nil, fmt.Errorf("engine: no executor for implementation %q", im.Name)
-	}
-	ins := make([]*Relation, len(v.Ins))
-	for j, in := range v.Ins {
-		tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
-		if tr == nil {
-			return nil, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
-		}
-		r := rels[in.ID]
-		if !tr.Identity() {
-			var err error
-			r, err = e.Transform(r, tr.Target())
-			if err != nil {
-				return nil, fmt.Errorf("engine: transforming input %d of vertex %d: %w", j, v.ID, err)
-			}
-		}
-		ins[j] = r
-	}
-	out, err := exec(e, v.Op, v.Shape, ins)
-	if err != nil {
-		return nil, fmt.Errorf("engine: executing vertex %d (%s): %w", v.ID, im.Name, err)
-	}
-	return out, nil
 }

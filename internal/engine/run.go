@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"matopt/internal/core"
+	"matopt/internal/format"
+	"matopt/internal/plan"
 	"matopt/internal/tensor"
 )
 
@@ -14,16 +16,17 @@ func (e *Engine) Run(ann *core.Annotation, inputs map[string]*tensor.Dense) (map
 	return e.RunCtx(context.Background(), ann, inputs)
 }
 
-// RunCtx executes an annotated compute graph end to end on real data:
-// inputs maps source-vertex names to dense matrices, which are loaded in
-// each source's declared format; every edge transformation and every
-// vertex implementation then runs through the relational executors.
+// RunCtx lowers an annotated compute graph to the shared physical-plan
+// IR and executes it end to end on real data: inputs maps source-vertex
+// names to dense matrices, which are loaded in each source's declared
+// format; every re-layout and compute node then runs through the
+// relational executors.
 //
-// Relations are ref-counted by consumer edge: once a vertex's last
-// consumer has executed, its relation is dropped, bounding peak memory
-// on deep graphs. The returned map therefore holds only the sinks'
-// relations; callers that need a specific intermediate should use
-// RunKeep / RunKeepCtx. The context is checked between vertices, so a
+// The plan's free nodes ref-count relations by consumer: once a vertex's
+// last consumer has executed, its relation is dropped, bounding peak
+// memory on deep graphs. The returned map therefore holds only the
+// sinks' relations; callers that need a specific intermediate should use
+// RunKeep / RunKeepCtx. The context is checked between nodes, so a
 // cancelled context aborts the run at the next vertex boundary with the
 // context's error.
 func (e *Engine) RunCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
@@ -39,91 +42,92 @@ func (e *Engine) RunKeep(ann *core.Annotation, inputs map[string]*tensor.Dense, 
 // vertex IDs listed in keep (on top of the sinks, which are always
 // retained), so callers can Collect chosen intermediates after the run.
 func (e *Engine) RunKeepCtx(ctx context.Context, ann *core.Annotation, inputs map[string]*tensor.Dense, keep []int) (map[int]*Relation, error) {
-	g := ann.Graph
-	// refs[id] counts the consumer edges of vertex id that have not yet
-	// executed; a relation is dropped when its count reaches zero unless
-	// the vertex is retained (a sink or explicitly kept).
-	refs := make(map[int]int, len(g.Vertices))
-	retain := make(map[int]bool, len(keep))
-	for _, v := range g.Vertices {
-		for _, in := range v.Ins {
-			refs[in.ID]++
-		}
+	env := core.NewEnv(e.Cluster, format.All())
+	p, err := plan.LowerKeep(ann.Graph, env, ann, keep)
+	if err != nil {
+		return nil, err
 	}
-	for _, v := range g.Sinks() {
-		retain[v.ID] = true
-	}
-	for _, id := range keep {
-		retain[id] = true
-	}
-	rels := make(map[int]*Relation, len(g.Vertices))
-	for _, v := range g.Vertices {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("engine: execution aborted before vertex %d: %w", v.ID, err)
-		}
-		if v.IsSource {
-			m, ok := inputs[v.Name]
-			if !ok {
-				return nil, fmt.Errorf("engine: no input matrix for source %q", v.Name)
-			}
-			if int64(m.Rows) != v.Shape.Rows || int64(m.Cols) != v.Shape.Cols {
-				return nil, fmt.Errorf("engine: input %q is %dx%d, graph declares %v",
-					v.Name, m.Rows, m.Cols, v.Shape)
-			}
-			r, err := e.Load(m, v.SrcFormat)
-			if err != nil {
-				return nil, fmt.Errorf("engine: loading %q: %w", v.Name, err)
-			}
-			rels[v.ID] = r
-			continue
-		}
-		im := ann.VertexImpl[v.ID]
-		if im == nil {
-			return nil, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
-		}
-		exec, ok := executors[im.Name]
-		if !ok {
-			return nil, fmt.Errorf("engine: no executor for implementation %q", im.Name)
-		}
-		ins := make([]*Relation, len(v.Ins))
-		for j, in := range v.Ins {
-			tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
-			if tr == nil {
-				return nil, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
-			}
-			r := rels[in.ID]
-			if r == nil {
-				return nil, fmt.Errorf("engine: vertex %d input %d (vertex %d) was freed early", v.ID, j, in.ID)
-			}
-			if !tr.Identity() {
-				var err error
-				r, err = e.Transform(r, tr.Target())
-				if err != nil {
-					return nil, fmt.Errorf("engine: transforming input %d of vertex %d: %w", j, v.ID, err)
-				}
-			}
-			ins[j] = r
-		}
-		out, err := exec(e, v.Op, v.Shape, ins)
-		if err != nil {
-			return nil, fmt.Errorf("engine: executing vertex %d (%s): %w", v.ID, im.Name, err)
-		}
-		if out.Format != ann.VertexFormat[v.ID] {
-			return nil, fmt.Errorf("engine: vertex %d produced %v, annotation says %v",
-				v.ID, out.Format, ann.VertexFormat[v.ID])
-		}
-		rels[v.ID] = out
-		// This vertex has consumed its inputs: release producers whose
-		// last consumer just ran.
-		for _, in := range v.Ins {
-			refs[in.ID]--
-			if refs[in.ID] == 0 && !retain[in.ID] {
-				delete(rels, in.ID)
-			}
-		}
-	}
-	return rels, nil
+	return e.RunPlanCtx(ctx, p, inputs)
 }
+
+// RunPlan is RunPlanCtx without cancellation.
+func (e *Engine) RunPlan(p *plan.Plan, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
+	return e.RunPlanCtx(context.Background(), p, inputs)
+}
+
+// RunPlanCtx validates and executes an already-lowered physical plan,
+// returning the retained vertices' relations keyed by vertex ID. This is
+// the engine's single execution entry point: Run/RunCtx/RunKeep lower
+// and delegate here.
+func (e *Engine) RunPlanCtx(ctx context.Context, p *plan.Plan, inputs map[string]*tensor.Dense) (map[int]*Relation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return plan.Execute[*Relation](p, &planInterp{e: e, ctx: ctx, inputs: inputs})
+}
+
+// planInterp is the sequential engine's implementation of the shared
+// plan.Interpreter operator interface over materialized relations.
+type planInterp struct {
+	e      *Engine
+	ctx    context.Context
+	inputs map[string]*tensor.Dense
+	// preload overrides scan nodes by vertex ID with already-materialized
+	// relations; the adaptive executor uses it to resume from
+	// intermediate results without re-loading them.
+	preload map[int]*Relation
+}
+
+func (pi *planInterp) Scan(n *plan.Node) (*Relation, error) {
+	if err := pi.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: execution aborted before vertex %d: %w", n.Vertex, err)
+	}
+	if r, ok := pi.preload[n.Vertex]; ok {
+		return r, nil
+	}
+	m, ok := pi.inputs[n.Source]
+	if !ok {
+		return nil, fmt.Errorf("engine: no input matrix for source %q", n.Source)
+	}
+	if int64(m.Rows) != n.OutShape.Rows || int64(m.Cols) != n.OutShape.Cols {
+		return nil, fmt.Errorf("engine: input %q is %dx%d, graph declares %v",
+			n.Source, m.Rows, m.Cols, n.OutShape)
+	}
+	r, err := pi.e.Load(m, n.OutFormat)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading %q: %w", n.Source, err)
+	}
+	return r, nil
+}
+
+func (pi *planInterp) Relayout(n *plan.Node, in *Relation) (*Relation, error) {
+	out, err := pi.e.Transform(in, n.OutFormat)
+	if err != nil {
+		return nil, fmt.Errorf("engine: transforming input %d of vertex %d: %w", n.Arg, n.Vertex, err)
+	}
+	return out, nil
+}
+
+func (pi *planInterp) Compute(n *plan.Node, ins []*Relation) (*Relation, error) {
+	if err := pi.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: execution aborted before vertex %d: %w", n.Vertex, err)
+	}
+	exec, ok := executors[n.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no executor for implementation %q", n.Name)
+	}
+	out, err := exec(pi.e, n.Op, n.OutShape, ins)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executing vertex %d (%s): %w", n.Vertex, n.Name, err)
+	}
+	if out.Format != n.OutFormat {
+		return nil, fmt.Errorf("engine: vertex %d produced %v, plan says %v",
+			n.Vertex, out.Format, n.OutFormat)
+	}
+	return out, nil
+}
+
+func (pi *planInterp) Free(*plan.Node, *Relation) error { return nil }
 
 // RunCollect is Run followed by Collect on every sink, keyed by vertex ID.
 func (e *Engine) RunCollect(ann *core.Annotation, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
@@ -136,13 +140,29 @@ func (e *Engine) RunCollectCtx(ctx context.Context, ann *core.Annotation, inputs
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int]*tensor.Dense)
-	for _, v := range ann.Graph.Sinks() {
-		m, err := e.Collect(rels[v.ID])
+	return e.collectAll(rels)
+}
+
+// RunPlanCollectCtx is RunPlanCtx followed by Collect on every retained
+// vertex — the plan-native equivalent of RunCollectCtx, used by callers
+// that already hold a lowered plan (the public Executor, the CLI).
+func (e *Engine) RunPlanCollectCtx(ctx context.Context, p *plan.Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
+	rels, err := e.RunPlanCtx(ctx, p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return e.collectAll(rels)
+}
+
+// collectAll assembles every retained relation back into a dense matrix.
+func (e *Engine) collectAll(rels map[int]*Relation) (map[int]*tensor.Dense, error) {
+	out := make(map[int]*tensor.Dense, len(rels))
+	for id, r := range rels {
+		m, err := e.Collect(r)
 		if err != nil {
-			return nil, fmt.Errorf("engine: collecting sink %d: %w", v.ID, err)
+			return nil, fmt.Errorf("engine: collecting sink %d: %w", id, err)
 		}
-		out[v.ID] = m
+		out[id] = m
 	}
 	return out, nil
 }

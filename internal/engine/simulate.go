@@ -5,7 +5,7 @@ import (
 
 	"matopt/internal/core"
 	"matopt/internal/costmodel"
-	"matopt/internal/impl"
+	"matopt/internal/plan"
 )
 
 // Report is the outcome of a simulated (metadata-only) execution of an
@@ -27,61 +27,45 @@ type Report struct {
 	ScratchBytes float64
 }
 
-// Simulate walks the annotated plan exactly as Run does — same edges,
-// same transformations, same implementations — but materializes no data:
-// it re-derives each operator's features and advances the virtual clock
-// by the model-predicted seconds. An annotation that is infeasible on
-// the environment's cluster (an implementation or transformation
-// returning ⊥, typically from the RAM bound) yields an error — the
-// paper's "Fail" outcome.
+// Simulate lowers the annotated plan to the shared physical IR and folds
+// the lowered nodes' model-predicted costs — same edges, same
+// transformations, same implementations as a real run, but no data
+// moves. An annotation that is infeasible on the environment's cluster
+// (an implementation or transformation returning ⊥, typically from the
+// RAM bound) yields an error — the paper's "Fail" outcome.
 func Simulate(ann *core.Annotation, env *core.Env) (Report, error) {
-	var rep Report
-	rep.OptSeconds = ann.OptSeconds
-	for _, v := range ann.Graph.Vertices {
-		if v.IsSource {
+	p, err := plan.Lower(ann.Graph, env, ann)
+	if err != nil {
+		return Report{OptSeconds: ann.OptSeconds}, err
+	}
+	return SimulatePlan(p, env)
+}
+
+// SimulatePlan advances the virtual clock over an already-lowered plan:
+// re-layout and compute nodes contribute their predicted seconds and
+// features in plan order (the same fold order Simulate has always used,
+// so predictions stay bit-identical), and the paper's "too much
+// intermediate data" crash fires when one compute node spills more than
+// the cluster's per-worker scratch bound.
+func SimulatePlan(p *plan.Plan, env *core.Env) (Report, error) {
+	rep := Report{OptSeconds: p.OptSeconds}
+	for _, n := range p.Nodes {
+		if n.Kind != plan.KindRelayout && n.Kind != plan.KindCompute {
 			continue
 		}
-		im := ann.VertexImpl[v.ID]
-		if im == nil {
-			return rep, fmt.Errorf("engine: vertex %d has no implementation", v.ID)
+		rep.Seconds += n.Cost
+		rep.Features = rep.Features.Add(n.Features)
+		if n.PeakWorkerBytes > rep.PeakWorkerBytes {
+			rep.PeakWorkerBytes = n.PeakWorkerBytes
 		}
-		ins := make([]impl.Input, len(v.Ins))
-		for j, in := range v.Ins {
-			tr := ann.EdgeTrans[core.EdgeKey{To: v.ID, Arg: j}]
-			if tr == nil {
-				return rep, fmt.Errorf("engine: edge into vertex %d arg %d has no transformation", v.ID, j)
+		if n.Kind == plan.KindCompute {
+			if n.Features.InterBytes > rep.ScratchBytes {
+				rep.ScratchBytes = n.Features.InterBytes
 			}
-			tout, ok := tr.Apply(in.Shape, in.Density, ann.VertexFormat[in.ID], env.Cluster)
-			if !ok {
-				return rep, fmt.Errorf("engine: transformation %s fails on vertex %d arg %d (Fail)",
-					tr.Name, v.ID, j)
+			if n.Features.InterBytes > float64(env.Cluster.ScratchPerWorker) {
+				return rep, fmt.Errorf("engine: %s on vertex %d spills %.0f GB per worker, scratch is %d GB (Fail)",
+					n.Name, n.Vertex, n.Features.InterBytes/(1<<30), env.Cluster.ScratchPerWorker>>30)
 			}
-			if !tr.Identity() {
-				rep.Seconds += tr.Cost(env.Model, tout)
-				rep.Features = rep.Features.Add(tout.Features)
-				if tout.PeakWorkerBytes > rep.PeakWorkerBytes {
-					rep.PeakWorkerBytes = tout.PeakWorkerBytes
-				}
-			}
-			ins[j] = impl.Input{Shape: in.Shape, Density: in.Density, Format: tout.Format}
-		}
-		out, ok := im.Apply(v.Op, ins, v.Shape, v.Density, env.Cluster)
-		if !ok {
-			return rep, fmt.Errorf("engine: implementation %s fails on vertex %d (Fail)", im.Name, v.ID)
-		}
-		rep.Seconds += im.Cost(env.Model, out)
-		rep.Features = rep.Features.Add(out.Features)
-		if out.PeakWorkerBytes > rep.PeakWorkerBytes {
-			rep.PeakWorkerBytes = out.PeakWorkerBytes
-		}
-		// The paper's "too much intermediate data" crash: one operator
-		// spilling more than the per-worker scratch bound.
-		if out.Features.InterBytes > rep.ScratchBytes {
-			rep.ScratchBytes = out.Features.InterBytes
-		}
-		if out.Features.InterBytes > float64(env.Cluster.ScratchPerWorker) {
-			return rep, fmt.Errorf("engine: %s on vertex %d spills %.0f GB per worker, scratch is %d GB (Fail)",
-				im.Name, v.ID, out.Features.InterBytes/(1<<30), env.Cluster.ScratchPerWorker>>30)
 		}
 	}
 	return rep, nil

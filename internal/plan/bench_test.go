@@ -1,0 +1,142 @@
+package plan_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/format"
+	"matopt/internal/plan"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// planBenchResult is the record `make bench` writes to BENCH_plan.json:
+// what the plan layer itself costs. lower_ns and explain_ns are the
+// front-of-engine overhead every -explain run pays; dist_plan_ns is one
+// dist execution of the pre-lowered plan, directly comparable with
+// dist_ns in BENCH_dist.json (same workload, same shard count) — the
+// lowering pass must stay within noise of the annotation-interpreting
+// runtime it replaced.
+type planBenchResult struct {
+	Workload   string `json:"workload"`
+	Shards     int    `json:"shards"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Nodes      int    `json:"nodes"`
+	LowerNs    int64  `json:"lower_ns"`
+	ExplainNs  int64  `json:"explain_ns"`
+	EncodeNs   int64  `json:"encode_ns"`
+	DecodeNs   int64  `json:"decode_ns"`
+	DistPlanNs int64  `json:"dist_plan_ns"` // comparable with dist_ns in BENCH_dist.json
+}
+
+// BenchmarkPlanLowering times the plan layer on the same chain workload
+// BenchmarkDistVsSequential executes: the Lower pass (paid once per
+// optimized plan, then cached), the -explain rendering, the Encode /
+// Decode serialization cycle, and one dist run of the pre-lowered plan.
+// When BENCH_PLAN_JSON names a file, the measurements are written there
+// as JSON.
+func BenchmarkPlanLowering(b *testing.B) {
+	const shards = 8
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var lowerTotal, explainTotal, encodeTotal, decodeTotal time.Duration
+	var p *plan.Plan
+	var data []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if p, err = plan.Lower(g, env, ann); err != nil {
+			b.Fatal(err)
+		}
+		lowerTotal += time.Since(t0)
+
+		t1 := time.Now()
+		if s := p.Explain(); len(s) == 0 {
+			b.Fatal("empty explain")
+		}
+		explainTotal += time.Since(t1)
+
+		t2 := time.Now()
+		if data, err = plan.Encode(p, env); err != nil {
+			b.Fatal(err)
+		}
+		encodeTotal += time.Since(t2)
+
+		t3 := time.Now()
+		if _, err = plan.Decode(g, env, data); err != nil {
+			b.Fatal(err)
+		}
+		decodeTotal += time.Since(t3)
+	}
+	b.StopTimer()
+
+	lowerNs := lowerTotal.Nanoseconds() / int64(b.N)
+	explainNs := explainTotal.Nanoseconds() / int64(b.N)
+	encodeNs := encodeTotal.Nanoseconds() / int64(b.N)
+	decodeNs := decodeTotal.Nanoseconds() / int64(b.N)
+	b.ReportMetric(float64(lowerNs), "lower-ns/op")
+	b.ReportMetric(float64(explainNs), "explain-ns/op")
+	b.ReportMetric(float64(len(p.Nodes)), "nodes")
+
+	if path := os.Getenv("BENCH_PLAN_JSON"); path != "" {
+		// One dist execution of the pre-lowered plan, outside the timed
+		// loop: the BENCH_dist.json-comparable number.
+		rng := rand.New(rand.NewSource(1))
+		mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+		inputs := map[string]*tensor.Dense{
+			"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+			"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+		}
+		rt, err := dist.New(cl, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, _, err := rt.RunPlan(context.Background(), p, inputs); err != nil {
+			b.Fatal(err)
+		}
+		distPlanNs := time.Since(t0).Nanoseconds()
+
+		out, err := json.MarshalIndent(planBenchResult{
+			Workload:   "matmul-chain (scaled)",
+			Shards:     shards,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Nodes:      len(p.Nodes),
+			LowerNs:    lowerNs,
+			ExplainNs:  explainNs,
+			EncodeNs:   encodeNs,
+			DecodeNs:   decodeNs,
+			DistPlanNs: distPlanNs,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"matopt/internal/core"
+)
+
+// encodeVersion is the physical-plan wire format version.
+const encodeVersion = 1
+
+// planDTO is the serialized physical plan: the annotation in
+// core.EncodePlan's format (the authoritative decisions, from which the
+// plan is re-lowered on load), a fingerprint binding it to one
+// (graph, environment) pair, and the node listing for cross-checking
+// and for human inspection of the dump.
+type planDTO struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Annotation  json.RawMessage `json:"annotation"`
+	Nodes       []nodeDTO       `json:"nodes"`
+}
+
+// nodeDTO is one serialized physical operator.
+type nodeDTO struct {
+	ID       int     `json:"id"`
+	Kind     string  `json:"kind"`
+	Vertex   int     `json:"vertex"`
+	Arg      int     `json:"arg,omitempty"`
+	Name     string  `json:"name"`
+	Source   string  `json:"source,omitempty"`
+	Inputs   []int   `json:"inputs,omitempty"`
+	Format   string  `json:"format,omitempty"`
+	Strategy string  `json:"strategy"`
+	Cost     float64 `json:"cost"`
+}
+
+// Encode serializes a lowered plan. The payload embeds core.EncodePlan's
+// annotation encoding plus the fingerprint of (graph, env), so Decode
+// can refuse to replay the plan against a different computation or
+// cluster. The node listing is included for inspection and integrity
+// checking; Decode re-lowers from the annotation and cross-checks it.
+func Encode(p *Plan, env *core.Env) ([]byte, error) {
+	if p == nil || p.Ann == nil {
+		return nil, fmt.Errorf("plan: cannot encode a plan without its annotation")
+	}
+	ann, err := core.EncodePlan(p.Ann)
+	if err != nil {
+		return nil, err
+	}
+	dto := planDTO{
+		Version:     encodeVersion,
+		Fingerprint: core.Fingerprint(p.Graph, env),
+		Annotation:  ann,
+		Nodes:       make([]nodeDTO, len(p.Nodes)),
+	}
+	for i, n := range p.Nodes {
+		d := nodeDTO{
+			ID: n.ID, Kind: n.Kind.String(), Vertex: n.Vertex, Arg: n.Arg,
+			Name: n.Name, Source: n.Source, Inputs: n.Inputs,
+			Strategy: n.Strategy, Cost: n.Cost,
+		}
+		if n.Kind != KindFree {
+			d.Format = n.OutFormat.String()
+		}
+		dto.Nodes[i] = d
+	}
+	return json.MarshalIndent(dto, "", "  ")
+}
+
+// Decode reconstructs a physical plan for graph g under env from Encode
+// output: it verifies the fingerprint, decodes the embedded annotation
+// via core.DecodePlan (which re-derives and re-verifies every format
+// decision), re-lowers it, and cross-checks the result against the
+// serialized node listing. A payload lowered for a different graph or
+// environment, or with a tampered node listing, is rejected with
+// ErrInvalidPlan.
+func Decode(g *core.Graph, env *core.Env, data []byte) (*Plan, error) {
+	var dto planDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("plan: decoding: %w", err)
+	}
+	if dto.Version != encodeVersion {
+		return nil, fmt.Errorf("%w: unsupported plan version %d", ErrInvalidPlan, dto.Version)
+	}
+	if fp := core.Fingerprint(g, env); dto.Fingerprint != fp {
+		return nil, fmt.Errorf("%w: plan was lowered for a different computation or environment", ErrInvalidPlan)
+	}
+	ann, err := core.DecodePlan(g, env, dto.Annotation)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Lower(g, env, ann)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Nodes) != len(dto.Nodes) {
+		return nil, fmt.Errorf("%w: payload lists %d nodes, lowering produced %d",
+			ErrInvalidPlan, len(dto.Nodes), len(p.Nodes))
+	}
+	for i, n := range p.Nodes {
+		d := dto.Nodes[i]
+		if d.ID != n.ID || d.Kind != n.Kind.String() || d.Vertex != n.Vertex ||
+			d.Arg != n.Arg || d.Name != n.Name {
+			return nil, fmt.Errorf("%w: node %d in the payload (%s %q on vertex %d) does not match the lowered plan",
+				ErrInvalidPlan, i, d.Kind, d.Name, d.Vertex)
+		}
+		if n.Kind != KindFree && d.Format != n.OutFormat.String() {
+			return nil, fmt.Errorf("%w: node %d format %q does not match lowered %v",
+				ErrInvalidPlan, i, d.Format, n.OutFormat)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,78 @@
+package plan
+
+import "fmt"
+
+// Interpreter is the shared operator interface an engine implements to
+// execute a physical plan over its own value representation R (the
+// sequential engine uses *engine.Relation; the simulator uses cost
+// accumulators). The linear driver Execute calls exactly one method per
+// node in plan order.
+type Interpreter[R any] interface {
+	// Scan materializes a source matrix in the node's output format.
+	Scan(n *Node) (R, error)
+	// Relayout re-lays-out one value into the node's output format.
+	Relayout(n *Node, in R) (R, error)
+	// Compute runs one physical implementation over its inputs.
+	Compute(n *Node, ins []R) (R, error)
+	// Free observes the release of a value; the driver clears its slot.
+	Free(n *Node, val R) error
+}
+
+// Execute interprets the plan in linear node order, tracking value
+// liveness, and returns the retained vertices' values keyed by vertex
+// ID. Callers should Validate the plan first; Execute still guards
+// against freed or missing inputs so a corrupt plan fails loudly rather
+// than executing garbage.
+func Execute[R any](p *Plan, ix Interpreter[R]) (map[int]R, error) {
+	vals := make([]R, len(p.Nodes))
+	live := make([]bool, len(p.Nodes))
+	var zero R
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			if in < 0 || in >= n.ID || !live[in] {
+				return nil, fmt.Errorf("%w: node %d input %d is not live", ErrInvalidPlan, n.ID, in)
+			}
+		}
+		switch n.Kind {
+		case KindScan:
+			v, err := ix.Scan(n)
+			if err != nil {
+				return nil, err
+			}
+			vals[n.ID], live[n.ID] = v, true
+		case KindRelayout:
+			v, err := ix.Relayout(n, vals[n.Inputs[0]])
+			if err != nil {
+				return nil, err
+			}
+			vals[n.ID], live[n.ID] = v, true
+		case KindCompute:
+			ins := make([]R, len(n.Inputs))
+			for j, in := range n.Inputs {
+				ins[j] = vals[in]
+			}
+			v, err := ix.Compute(n, ins)
+			if err != nil {
+				return nil, err
+			}
+			vals[n.ID], live[n.ID] = v, true
+		case KindFree:
+			t := n.Inputs[0]
+			if err := ix.Free(n, vals[t]); err != nil {
+				return nil, err
+			}
+			vals[t], live[t] = zero, false
+		default:
+			return nil, fmt.Errorf("%w: node %d has unknown kind %d", ErrInvalidPlan, n.ID, uint8(n.Kind))
+		}
+	}
+	out := make(map[int]R, len(p.Retained))
+	for _, vid := range p.Retained {
+		nid := p.NodeOfVertex[vid]
+		if !live[nid] {
+			return nil, fmt.Errorf("%w: retained vertex %d was freed", ErrInvalidPlan, vid)
+		}
+		out[vid] = vals[nid]
+	}
+	return out, nil
+}

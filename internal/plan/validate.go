@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"matopt/internal/impl"
+	"matopt/internal/trans"
+)
+
+// ErrInvalidPlan reports a physical plan that fails pre-execution
+// validation: a dangling node reference, a producer/consumer format
+// mismatch, a use after free, or an unknown physical operator. Every
+// engine runs Validate before executing a plan, so a corrupted or
+// hand-edited serialized plan is rejected before any data moves.
+var ErrInvalidPlan = errors.New("plan: invalid physical plan")
+
+// Validate checks the structural and format soundness of the plan
+// without touching data or the cost model: nodes are topologically
+// ordered, every input reference points at an earlier live value, every
+// producer's output format matches the consumer's required input format,
+// frees target live values, retained vertices are never freed, and every
+// compute and re-layout names a known physical operator. It returns nil
+// or an error wrapping ErrInvalidPlan.
+func (p *Plan) Validate() error {
+	if p == nil || p.Graph == nil {
+		return fmt.Errorf("%w: nil plan or graph", ErrInvalidPlan)
+	}
+	bad := func(f string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidPlan, fmt.Sprintf(f, args...))
+	}
+	transByName := make(map[string]bool)
+	for _, t := range trans.All() {
+		transByName[t.Name] = true
+	}
+	retained := make(map[int]bool, len(p.Retained))
+	for _, id := range p.Retained {
+		retained[id] = true
+	}
+	live := make([]bool, len(p.Nodes))
+	produced := make(map[int]int, len(p.Graph.Vertices)) // vertex → producing node
+	for i, n := range p.Nodes {
+		if n == nil {
+			return bad("node %d is nil", i)
+		}
+		if n.ID != i {
+			return bad("node %d carries ID %d", i, n.ID)
+		}
+		if n.Vertex < 0 || n.Vertex >= len(p.Graph.Vertices) {
+			return bad("node %d references vertex %d outside the graph", i, n.Vertex)
+		}
+		for _, in := range n.Inputs {
+			if in < 0 || in >= i {
+				return bad("node %d references node %d out of topological order", i, in)
+			}
+			if !live[in] {
+				return bad("node %d uses node %d after it was freed", i, in)
+			}
+		}
+		if n.Kind != KindFree && len(n.InFormats) != len(n.Inputs) {
+			return bad("node %d has %d input formats for %d inputs", i, len(n.InFormats), len(n.Inputs))
+		}
+		switch n.Kind {
+		case KindScan:
+			v := p.Graph.Vertices[n.Vertex]
+			if !v.IsSource {
+				return bad("scan node %d targets non-source vertex %d", i, n.Vertex)
+			}
+			if n.OutFormat != v.SrcFormat {
+				return bad("scan node %d loads %v, source %d declares %v", i, n.OutFormat, v.ID, v.SrcFormat)
+			}
+			produced[n.Vertex] = i
+			live[i] = true
+		case KindRelayout:
+			if len(n.Inputs) != 1 {
+				return bad("re-layout node %d has %d inputs, want 1", i, len(n.Inputs))
+			}
+			if !transByName[n.Name] {
+				return bad("re-layout node %d names unknown transformation %q", i, n.Name)
+			}
+			if got := p.Nodes[n.Inputs[0]].OutFormat; got != n.InFormats[0] {
+				return bad("re-layout node %d expects %v, producer node %d emits %v",
+					i, n.InFormats[0], n.Inputs[0], got)
+			}
+			live[i] = true
+		case KindCompute:
+			if impl.ByName(n.Name) == nil {
+				return bad("compute node %d names unknown implementation %q", i, n.Name)
+			}
+			for j, in := range n.Inputs {
+				if got := p.Nodes[in].OutFormat; got != n.InFormats[j] {
+					return bad("compute node %d (vertex %d) arg %d expects %v, producer node %d emits %v",
+						i, n.Vertex, j, n.InFormats[j], in, got)
+				}
+			}
+			if prev, dup := produced[n.Vertex]; dup {
+				return bad("vertex %d produced by both node %d and node %d", n.Vertex, prev, i)
+			}
+			produced[n.Vertex] = i
+			live[i] = true
+		case KindFree:
+			if len(n.Inputs) != 1 {
+				return bad("free node %d has %d targets, want 1", i, len(n.Inputs))
+			}
+			t := p.Nodes[n.Inputs[0]]
+			if t.Kind == KindFree {
+				return bad("free node %d targets free node %d", i, t.ID)
+			}
+			if (t.Kind == KindScan || t.Kind == KindCompute) && retained[t.Vertex] {
+				return bad("free node %d releases retained vertex %d", i, t.Vertex)
+			}
+			live[n.Inputs[0]] = false
+		default:
+			return bad("node %d has unknown kind %d", i, uint8(n.Kind))
+		}
+	}
+	if len(p.NodeOfVertex) != len(p.Graph.Vertices) {
+		return bad("NodeOfVertex maps %d vertices, graph has %d", len(p.NodeOfVertex), len(p.Graph.Vertices))
+	}
+	for _, v := range p.Graph.Vertices {
+		nid, ok := produced[v.ID]
+		if !ok {
+			return bad("vertex %d is never produced", v.ID)
+		}
+		if p.NodeOfVertex[v.ID] != nid {
+			return bad("NodeOfVertex[%d] = %d, producing node is %d", v.ID, p.NodeOfVertex[v.ID], nid)
+		}
+	}
+	for _, id := range p.Retained {
+		if id < 0 || id >= len(p.Graph.Vertices) {
+			return bad("retained vertex %d outside the graph", id)
+		}
+		if !live[produced[id]] {
+			return bad("retained vertex %d was freed", id)
+		}
+	}
+	return nil
+}

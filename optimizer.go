@@ -13,6 +13,7 @@ import (
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/obs"
+	"matopt/internal/plan"
 	"matopt/internal/tensor"
 )
 
@@ -145,12 +146,16 @@ func (o *Optimizer) CachedPlans() int {
 	return o.cache.len()
 }
 
-// Plan is an optimized, type-correct annotated compute graph.
+// Plan is an optimized, type-correct annotated compute graph paired
+// with its lazily-lowered physical plan (the internal/plan IR every
+// engine executes). Lowering happens at most once per plan — cache hits
+// share the lowered IR with the entry they came from.
 type Plan struct {
 	ann    *core.Annotation
 	env    *core.Env
 	stats  core.Stats
 	cached bool
+	low    *loweredPlan
 }
 
 // ErrTimeout reports that the search exceeded its budget or deadline.
@@ -202,12 +207,12 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	if o.cache != nil {
 		lspan := o.tracer.Start(span, "plancache.lookup")
 		key = fmt.Sprintf("%d|%s", o.algorithm, core.Fingerprint(g, o.env))
-		ann, ok := o.cache.get(key)
+		ann, low, ok := o.cache.get(key)
 		lspan.SetBool("hit", ok).End()
 		if ok {
 			obs.Default().Counter("matopt.plancache.hits").Inc()
 			span.SetBool("cached", true)
-			return &Plan{ann: ann, env: o.env, cached: true}, nil
+			return &Plan{ann: ann, env: o.env, cached: true, low: low}, nil
 		}
 		obs.Default().Counter("matopt.plancache.misses").Inc()
 	}
@@ -226,10 +231,11 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	if err != nil {
 		return nil, err
 	}
+	low := &loweredPlan{}
 	if o.cache != nil {
-		o.cache.put(key, ann)
+		o.cache.put(key, ann, low)
 	}
-	return &Plan{ann: ann, env: o.env, stats: sess.Stats()}, nil
+	return &Plan{ann: ann, env: o.env, stats: sess.Stats(), low: low}, nil
 }
 
 func (o *Optimizer) newSession(ctx context.Context, span *Span) *core.Session {
@@ -263,6 +269,30 @@ func (p *Plan) Describe() string { return p.ann.Describe() }
 
 // Annotation exposes the underlying annotated graph.
 func (p *Plan) Annotation() *core.Annotation { return p.ann }
+
+// Physical returns the plan lowered to the shared physical-plan IR
+// (internal/plan) that every engine executes. Lowering runs at most
+// once per plan; repeated calls — and every Executor run of this plan —
+// share the same lowered IR. The IR is engine-invariant, so the same
+// physical plan drives the sequential engine and the dist runtime at
+// any shard count.
+func (p *Plan) Physical() (*plan.Plan, error) {
+	if p.low == nil {
+		p.low = &loweredPlan{}
+	}
+	return p.low.lower(p.env, p.ann)
+}
+
+// Explain pretty-prints the lowered physical plan: one line per
+// physical operator with its strategy class and model-predicted cost
+// (the CLI's -explain output).
+func (p *Plan) Explain() (string, error) {
+	pp, err := p.Physical()
+	if err != nil {
+		return "", err
+	}
+	return pp.Explain(), nil
+}
 
 // Verify re-checks the plan's type-correctness (§4.2).
 func (p *Plan) Verify() error { return p.ann.Verify(p.env) }
@@ -401,6 +431,12 @@ func (x *Executor) Run(p *Plan, inputs map[string]*tensor.Dense) (map[int]*tenso
 func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tensor.Dense) (map[int]*tensor.Dense, error) {
 	span := x.tracer.Start(nil, "execute")
 	defer span.End()
+	// One lowering serves every engine: the physical IR is shared with
+	// the plan cache, so repeated runs of a cached plan never re-lower.
+	pp, err := p.Physical()
+	if err != nil {
+		return nil, err
+	}
 	if x.kind == DistEngine {
 		span.SetStr("engine", "dist")
 		opts := []dist.Option{dist.WithFaults(x.faults), dist.WithTracer(x.tracer, span)}
@@ -411,7 +447,7 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 		if err != nil {
 			return nil, err
 		}
-		outs, rep, err := rt.Run(ctx, p.ann, inputs)
+		outs, rep, err := rt.RunPlan(ctx, pp, inputs)
 		if err != nil {
 			if !x.fallback || ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
@@ -431,7 +467,7 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 			x.mu.Unlock()
 			fspan := x.tracer.Start(span, "fallback.sequential").SetStr("cause", err.Error())
 			defer fspan.End()
-			return x.eng.RunCollectCtx(ctx, p.ann, inputs)
+			return x.eng.RunPlanCollectCtx(ctx, pp, inputs)
 		}
 		x.mu.Lock()
 		x.lastReport = rep
@@ -441,7 +477,7 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 	span.SetStr("engine", "seq")
 	sspan := x.tracer.Start(span, "seq.run")
 	defer sspan.End()
-	return x.eng.RunCollectCtx(ctx, p.ann, inputs)
+	return x.eng.RunPlanCollectCtx(ctx, pp, inputs)
 }
 
 // DistReport returns the measurement of the most recent DistEngine run,
@@ -494,8 +530,15 @@ func (x *Executor) RunAdaptive(o *Optimizer, b *Builder, inputs map[string]*tens
 
 // Simulate walks the plan at full scale without materializing data,
 // returning the virtual wall time and resource report; the error is the
-// paper's Fail outcome (e.g. a plan that exceeds worker RAM).
-func Simulate(p *Plan) (engine.Report, error) { return engine.Simulate(p.ann, p.env) }
+// paper's Fail outcome (e.g. a plan that exceeds worker RAM). The walk
+// folds the same lowered physical IR the engines execute.
+func Simulate(p *Plan) (engine.Report, error) {
+	pp, err := p.Physical()
+	if err != nil {
+		return engine.Report{OptSeconds: p.ann.OptSeconds}, err
+	}
+	return engine.SimulatePlan(pp, p.env)
+}
 
 // Dense re-exports the engine's dense matrix type for inputs/outputs.
 type Dense = tensor.Dense

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"matopt/internal/core"
+	"matopt/internal/plan"
 )
 
 // DefaultPlanCacheSize is the number of distinct computations an
@@ -15,7 +16,11 @@ const DefaultPlanCacheSize = 128
 // planCache is a thread-safe LRU of optimized annotations keyed by the
 // canonical fingerprint of (graph, environment). Repeated Optimize calls
 // on identical computations — the heavy-traffic serving case — hit the
-// cache and skip the search entirely.
+// cache and skip the search entirely. Each entry also carries the
+// lazily-lowered physical plan, shared across every cache hit: the
+// lowered IR is engine-invariant (plan.Lower takes no engine kind or
+// shard count), so one cached lowering serves SequentialEngine and
+// DistEngine runs at any shard count alike.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -26,6 +31,21 @@ type planCache struct {
 type planCacheEntry struct {
 	key string
 	ann *core.Annotation
+	low *loweredPlan
+}
+
+// loweredPlan lowers an annotation to the physical IR exactly once and
+// shares the result (or the lowering error) with every caller.
+type loweredPlan struct {
+	once sync.Once
+	p    *plan.Plan
+	err  error
+}
+
+// lower returns the shared lowered plan, lowering on first use.
+func (l *loweredPlan) lower(env *core.Env, ann *core.Annotation) (*plan.Plan, error) {
+	l.once.Do(func() { l.p, l.err = plan.Lower(ann.Graph, env, ann) })
+	return l.p, l.err
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -39,26 +59,28 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-func (c *planCache) get(key string) (*core.Annotation, bool) {
+func (c *planCache) get(key string) (*core.Annotation, *loweredPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*planCacheEntry).ann, true
+	e := el.Value.(*planCacheEntry)
+	return e.ann, e.low, true
 }
 
-func (c *planCache) put(key string, ann *core.Annotation) {
+func (c *planCache) put(key string, ann *core.Annotation, low *loweredPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*planCacheEntry).ann = ann
+		e := el.Value.(*planCacheEntry)
+		e.ann, e.low = ann, low
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&planCacheEntry{key: key, ann: ann})
+	c.items[key] = c.order.PushFront(&planCacheEntry{key: key, ann: ann, low: low})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
