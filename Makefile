@@ -25,18 +25,20 @@ test:
 
 # The optimizer's parallel Frontier expansion, the engine's
 # context-aware execution, the sharded dist runtime, the plan layer
-# (whose lowered IR is shared across concurrent engine runs) and the
-# metrics registry / tracer they hammer concurrently are the
-# concurrency-bearing packages.
+# (whose lowered IR is shared across concurrent engine runs), the
+# metrics registry / tracer they hammer concurrently, the public
+# package's singleflight coalescing, and the serving layer's admission
+# control and drain are the concurrency-bearing packages.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/
+	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/ ./internal/serve/
 
-# Every exported identifier in the public matopt package and the shared
-# physical-plan IR must carry a doc comment; docscheck prints one
-# file:line per miss.
+# Every exported identifier in the public matopt package, the shared
+# physical-plan IR and the serving layer must carry a doc comment;
+# docscheck prints one file:line per miss.
 docs-check:
 	$(GO) run ./cmd/docscheck -dir .
 	$(GO) run ./cmd/docscheck -dir ./internal/plan
+	$(GO) run ./cmd/docscheck -dir ./internal/serve
 
 # Runs every benchmark once and records the dist-vs-sequential
 # comparison in BENCH_dist.json (now with a span-derived phase_ns
@@ -46,7 +48,9 @@ docs-check:
 # within noise of dist_ns), and the plan layer's lowering / -explain /
 # serialization costs in BENCH_plan.json (dist_plan_ns there is the
 # same workload executed from a pre-lowered plan, so it too should stay
-# within noise of dist_ns).
+# within noise of dist_ns). BENCH_serve.json records the serving
+# layer's warm-cache throughput, p50/p99 request latency, the direct
+# in-process call it wraps, and the coalesce hit rate.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
@@ -57,3 +61,5 @@ bench:
 		-bench BenchmarkDistTracingOverhead -benchtime 1x ./internal/dist/
 	BENCH_PLAN_JSON=$(CURDIR)/BENCH_plan.json $(GO) test -run '^$$' \
 		-bench BenchmarkPlanLowering -benchtime 1x ./internal/plan/
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run '^$$' \
+		-bench BenchmarkServeWarmOptimize -benchtime 200x ./internal/serve/

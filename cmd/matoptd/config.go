@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"matopt"
+	"matopt/internal/serve"
+)
+
+// daemonConfig holds the flag values so their validation and the
+// serve.Config mapping are testable without invoking main.
+type daemonConfig struct {
+	Addr           string // listen address
+	Workers        int    // concurrent request executions (0 = GOMAXPROCS)
+	MaxQueue       int    // admission queue depth
+	QueueTimeout   time.Duration
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
+	Formats        string // all | dense
+	ClusterWorkers int    // cost-model cluster size
+	PlanCache      int    // plan-cache capacity (0 = default)
+	Trace          bool   // attach a tracer to every request
+}
+
+func (c daemonConfig) validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", c.Workers)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("-max-queue must be non-negative, got %d", c.MaxQueue)
+	}
+	if c.QueueTimeout < 0 {
+		return fmt.Errorf("-queue-timeout must be non-negative, got %v", c.QueueTimeout)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be non-negative, got %v", c.RequestTimeout)
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("-drain-timeout must be non-negative, got %v", c.DrainTimeout)
+	}
+	if c.ClusterWorkers <= 0 {
+		return fmt.Errorf("-cluster-workers must be positive, got %d", c.ClusterWorkers)
+	}
+	if c.PlanCache < 0 {
+		return fmt.Errorf("-plan-cache must be non-negative, got %d", c.PlanCache)
+	}
+	switch c.Formats {
+	case "all", "dense":
+	default:
+		return fmt.Errorf("unknown format universe %q (want all or dense)", c.Formats)
+	}
+	return nil
+}
+
+// serveConfig maps the validated flags onto the service layer's config.
+func (c daemonConfig) serveConfig() serve.Config {
+	formats := matopt.AllFormats
+	if c.Formats == "dense" {
+		formats = matopt.DenseFormats
+	}
+	return serve.Config{
+		Cluster:        matopt.ClusterR5D(c.ClusterWorkers),
+		Formats:        formats,
+		Workers:        c.Workers,
+		MaxQueue:       c.MaxQueue,
+		QueueTimeout:   c.QueueTimeout,
+		RequestTimeout: c.RequestTimeout,
+		DrainTimeout:   c.DrainTimeout,
+		PlanCacheSize:  c.PlanCache,
+		Tracing:        c.Trace,
+	}
+}

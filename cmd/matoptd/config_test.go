@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"matopt"
+)
+
+func goodConfig() daemonConfig {
+	return daemonConfig{
+		Addr:           ":8080",
+		MaxQueue:       64,
+		QueueTimeout:   5 * time.Second,
+		RequestTimeout: time.Minute,
+		DrainTimeout:   30 * time.Second,
+		Formats:        "all",
+		ClusterWorkers: 5,
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*daemonConfig)
+		want string
+	}{
+		{"empty addr", func(c *daemonConfig) { c.Addr = "" }, "-addr"},
+		{"negative workers", func(c *daemonConfig) { c.Workers = -1 }, "-workers"},
+		{"negative queue", func(c *daemonConfig) { c.MaxQueue = -1 }, "-max-queue"},
+		{"negative queue timeout", func(c *daemonConfig) { c.QueueTimeout = -time.Second }, "-queue-timeout"},
+		{"negative request timeout", func(c *daemonConfig) { c.RequestTimeout = -time.Second }, "-request-timeout"},
+		{"negative drain timeout", func(c *daemonConfig) { c.DrainTimeout = -time.Second }, "-drain-timeout"},
+		{"zero cluster", func(c *daemonConfig) { c.ClusterWorkers = 0 }, "-cluster-workers"},
+		{"negative plan cache", func(c *daemonConfig) { c.PlanCache = -1 }, "-plan-cache"},
+		{"bad formats", func(c *daemonConfig) { c.Formats = "sparse" }, "format universe"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := goodConfig()
+			c.mut(&cfg)
+			err := cfg.validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("validate() = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+	if err := goodConfig().validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestServeConfigMapping(t *testing.T) {
+	cfg := goodConfig()
+	cfg.Workers = 3
+	cfg.Formats = "dense"
+	cfg.PlanCache = 7
+	cfg.Trace = true
+	sc := cfg.serveConfig()
+	if sc.Workers != 3 || sc.MaxQueue != 64 || sc.PlanCacheSize != 7 || !sc.Tracing {
+		t.Fatalf("mapping lost fields: %+v", sc)
+	}
+	if sc.Formats != matopt.DenseFormats {
+		t.Fatalf("formats = %v, want DenseFormats", sc.Formats)
+	}
+	if sc.Cluster.Workers != 5 {
+		t.Fatalf("cluster workers = %d, want 5", sc.Cluster.Workers)
+	}
+	if sc.QueueTimeout != 5*time.Second || sc.RequestTimeout != time.Minute || sc.DrainTimeout != 30*time.Second {
+		t.Fatalf("timeouts lost: %+v", sc)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"matopt/internal/op"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
+	"matopt/internal/testutil"
 )
 
 // TestCancelMidRun cancels a run in flight and checks that it unwinds
@@ -22,7 +23,6 @@ import (
 // collector, and vertex goroutine exits.
 func TestCancelMidRun(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-
 	g := core.NewGraph()
 	const n = 400
 	a := g.Input("A", shape.New(n, n), 1, format.NewSingle())
@@ -65,16 +65,5 @@ func TestCancelMidRun(t *testing.T) {
 
 	// Every goroutine the run started must be gone; allow the runtime a
 	// moment to reap them.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= baseline+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked after cancel: %d > baseline %d\n%s",
-				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitForGoroutines(t, baseline, 5*time.Second)
 }

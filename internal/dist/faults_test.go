@@ -5,7 +5,6 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +15,7 @@ import (
 	"matopt/internal/format"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
+	"matopt/internal/testutil"
 	"matopt/internal/workload"
 )
 
@@ -23,26 +23,12 @@ import (
 // split and a prime count that misaligns with every tile grid.
 var chaosShards = []int{2, 7}
 
-// leakChecked runs fn and then requires the process goroutine count to
-// return to its starting level: a run that failed, recovered, timed out
-// or was cancelled must not leave workers, collectors, producers or
-// drainers behind.
+// leakChecked runs fn under the shared goroutine-leak checker: a run
+// that failed, recovered, timed out or was cancelled must not leave
+// workers, collectors, producers or drainers behind.
 func leakChecked(t *testing.T, fn func()) {
 	t.Helper()
-	baseline := runtime.NumGoroutine()
-	fn()
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
-				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckGoroutines(t, fn)
 }
 
 // chaosWorkload builds the scaled matmul chain the sweep uses — small

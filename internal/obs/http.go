@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves a registry's current readings over HTTP — the
+// serving layer's /metrics endpoint. The default rendering is the
+// registry's deterministic text form (Render); ?format=json (or an
+// Accept: application/json header) returns the Snapshot as a JSON
+// array, one object per metric with its name, labels, kind, and
+// counter/gauge value or histogram count, sum, and buckets. A nil
+// registry serves an empty document of either form.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" || req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			snap := r.Snapshot()
+			if snap == nil {
+				snap = []Metric{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(jsonMetrics(snap))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r == nil {
+			return
+		}
+		w.Write([]byte(r.Render()))
+	})
+}
+
+// metricJSON is the wire form of one Metric: identical content, with
+// the kind spelled out and histogram fields omitted from counters and
+// gauges (and vice versa) so the document reads cleanly.
+type metricJSON struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Kind    string            `json:"kind"`
+	Value   *int64            `json:"value,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []bucketJSON      `json:"buckets,omitempty"`
+}
+
+// bucketJSON is one cumulative-style histogram bucket; the overflow
+// bucket's upper bound serializes as the string "inf" (JSON has no
+// infinity).
+type bucketJSON struct {
+	LE    json.RawMessage `json:"le"`
+	Count int64           `json:"count"`
+}
+
+func jsonMetrics(snap []Metric) []metricJSON {
+	out := make([]metricJSON, len(snap))
+	for i, m := range snap {
+		j := metricJSON{Name: m.Name, Kind: m.Kind.String()}
+		if len(m.Labels) > 0 {
+			j.Labels = make(map[string]string, len(m.Labels))
+			for _, l := range m.Labels {
+				j.Labels[l.Key] = l.Value
+			}
+		}
+		if m.Kind == KindHistogram {
+			count, sum := m.Count, m.Sum
+			j.Count, j.Sum = &count, &sum
+			for _, b := range m.Buckets {
+				le := json.RawMessage(`"inf"`)
+				if !isInf(b.UpperBound) {
+					raw, err := json.Marshal(b.UpperBound)
+					if err == nil {
+						le = raw
+					}
+				}
+				j.Buckets = append(j.Buckets, bucketJSON{LE: le, Count: b.Count})
+			}
+		} else {
+			v := m.Value
+			j.Value = &v
+		}
+		out[i] = j
+	}
+	return out
+}
+
+func isInf(f float64) bool { return f > 1e308 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests", L("endpoint", "optimize")).Add(3)
+	r.Gauge("serve.inflight").Set(2)
+	r.Histogram("serve.queue.wait.seconds", DefaultDurationBuckets()).Observe(0.002)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"serve.requests{endpoint=optimize} 3",
+		"serve.inflight 2",
+		"serve.queue.wait.seconds count=1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests", L("endpoint", "execute")).Add(7)
+	r.Histogram("serve.request.seconds", []float64{0.1, 1}).Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got []struct {
+		Name    string            `json:"name"`
+		Labels  map[string]string `json:"labels"`
+		Kind    string            `json:"kind"`
+		Value   *int64            `json:"value"`
+		Count   *int64            `json:"count"`
+		Buckets []struct {
+			LE    json.RawMessage `json:"le"`
+			Count int64           `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(got))
+	}
+	byName := map[string]int{}
+	for i, m := range got {
+		byName[m.Name] = i
+	}
+	c := got[byName["serve.requests"]]
+	if c.Kind != "counter" || c.Value == nil || *c.Value != 7 || c.Labels["endpoint"] != "execute" {
+		t.Errorf("counter serialized wrong: %+v", c)
+	}
+	h := got[byName["serve.request.seconds"]]
+	if h.Kind != "histogram" || h.Count == nil || *h.Count != 1 || len(h.Buckets) != 3 {
+		t.Errorf("histogram serialized wrong: %+v", h)
+	}
+	if string(h.Buckets[2].LE) != `"inf"` {
+		t.Errorf("overflow bucket le = %s, want \"inf\"", h.Buckets[2].LE)
+	}
+}
+
+func TestMetricsHandlerNilRegistryAndMethod(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: status %d body %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"matopt"
+	"matopt/internal/obs"
+)
+
+// serveBenchResult is the record `make bench` writes to
+// BENCH_serve.json: sustained throughput and latency percentiles for
+// warm-cache /optimize requests, the direct in-process Optimizer call
+// on the same warm cache, and the coalesce outcome mix. p50_ns minus
+// direct_ns is the full service-layer overhead (HTTP, JSON, admission,
+// metrics) — the acceptance bar is that it stays within noise of the
+// direct call at these request sizes.
+type serveBenchResult struct {
+	Workload      string  `json:"workload"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	DirectNs      int64   `json:"direct_ns"`
+	OverheadNs    int64   `json:"overhead_ns"`
+	CoalesceHits  int64   `json:"coalesce_hits"`
+	CoalesceRate  float64 `json:"coalesce_hit_rate"`
+}
+
+// BenchmarkServeWarmOptimize drives concurrent warm-cache /optimize
+// requests over a real listener and compares their latency against the
+// direct Optimizer call the service wraps. When BENCH_SERVE_JSON names
+// a file, the measured comparison is written there as JSON.
+func BenchmarkServeWarmOptimize(b *testing.B) {
+	const clients = 16
+	body := []byte(`{"workload":"chain","scale":400}`)
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: clients, MaxQueue: 4 * clients, Registry: reg})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	defer client.CloseIdleConnections()
+
+	post := func() error {
+		res, err := client.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", res.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warm the plan cache
+		b.Fatal(err)
+	}
+
+	// Latency sample: b.N sequential warm requests.
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := post(); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p50.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+
+	// The direct call the service wraps, on the same warm optimizer.
+	spec := Spec{Workload: "chain", Scale: 400}.normalized()
+	g, err := spec.buildGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bld := matopt.NewBuilderFromGraph(g)
+	const directReps = 64
+	t0 := time.Now()
+	for i := 0; i < directReps; i++ {
+		if _, err := s.Optimizer().OptimizeCtx(context.Background(), bld); err != nil {
+			b.Fatal(err)
+		}
+	}
+	direct := time.Since(t0) / directReps
+	b.ReportMetric(float64(direct.Nanoseconds()), "direct-ns")
+
+	// Throughput: a fixed burst of concurrent clients.
+	const perClient = 16
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	burst0 := time.Now()
+	for c := 0; c < clients; c++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				if err := post(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(burst0)
+	rps := float64(clients*perClient) / elapsed.Seconds()
+	b.ReportMetric(rps, "rps")
+
+	if path := os.Getenv("BENCH_SERVE_JSON"); path != "" {
+		hits := reg.Counter("serve.coalesce", obs.L("result", "hit")).Value()
+		waiters := reg.Counter("serve.coalesce", obs.L("result", "waiter")).Value()
+		leaders := reg.Counter("serve.coalesce", obs.L("result", "leader")).Value()
+		total := hits + waiters + leaders
+		out, err := json.MarshalIndent(serveBenchResult{
+			Workload:      "chain (scaled)",
+			Clients:       clients,
+			Requests:      b.N + clients*perClient + 1,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			ThroughputRPS: rps,
+			P50Ns:         p50.Nanoseconds(),
+			P99Ns:         p99.Nanoseconds(),
+			DirectNs:      direct.Nanoseconds(),
+			OverheadNs:    (p50 - direct).Nanoseconds(),
+			CoalesceHits:  hits + waiters,
+			CoalesceRate:  float64(hits+waiters) / float64(total),
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

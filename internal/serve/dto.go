@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"matopt/internal/tensor"
+)
+
+// OptimizeRequest is the /optimize body: a workload Spec plus options.
+type OptimizeRequest struct {
+	Spec
+	// Explain asks for the lowered physical plan's per-operator listing.
+	Explain bool `json:"explain,omitempty"`
+	// DeadlineMS shortens the server's default request timeout.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace asks for the request's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// OptimizeResponse reports an optimized plan.
+type OptimizeResponse struct {
+	// Spec echoes the normalized computation served.
+	Spec Spec `json:"spec"`
+	// Fingerprint identifies (graph, environment) — the plan-cache and
+	// coalescing key.
+	Fingerprint string `json:"fingerprint"`
+	// PredictedSeconds is the cost model's total predicted running time.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	// OptimizerSeconds is the search's wall time (0 when served from
+	// the cache or coalesced onto another request's search).
+	OptimizerSeconds float64 `json:"optimizer_seconds"`
+	// Cached reports a plan-cache hit; Coalesced reports that the
+	// request waited on an identical concurrent optimization.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// Plan is the annotated plan rendering (Plan.Describe).
+	Plan string `json:"plan"`
+	// Explain carries the physical-operator listing when requested.
+	Explain string `json:"explain,omitempty"`
+	TraceOut
+}
+
+// ExecuteRequest is the /execute body: a Spec plus engine selection.
+type ExecuteRequest struct {
+	Spec
+	// Engine selects the runtime: seq | dist | sim (default seq).
+	Engine string `json:"engine,omitempty"`
+	// Shards is the dist engine's shard count (default GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// Faults injects a seeded schedule of that many failures into the
+	// dist run; FaultSeed picks the schedule (default 1).
+	Faults    int   `json:"faults,omitempty"`
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// MaxRetries overrides the dist engine's per-vertex retry budget
+	// (0 = runtime default).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Fallback degrades a dist run to the sequential engine when its
+	// retries are exhausted.
+	Fallback bool `json:"fallback,omitempty"`
+	// DeadlineMS shortens the server's default request timeout.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace asks for the request's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// validate rejects engine configurations the executor cannot run.
+func (r ExecuteRequest) validate() error {
+	switch r.Engine {
+	case "", "seq", "dist", "sim":
+	default:
+		return fmt.Errorf("unknown engine %q (want seq, dist or sim)", r.Engine)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("shards must be non-negative, got %d", r.Shards)
+	}
+	if r.Faults < 0 {
+		return fmt.Errorf("faults must be non-negative, got %d", r.Faults)
+	}
+	if r.Faults > 0 && r.Engine != "dist" {
+		return fmt.Errorf("faults require engine dist, got %q", r.Engine)
+	}
+	if r.FaultSeed < 0 {
+		return fmt.Errorf("fault_seed must be non-negative, got %d", r.FaultSeed)
+	}
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("max_retries must be non-negative, got %d", r.MaxRetries)
+	}
+	return nil
+}
+
+// OutputMatrix is one result matrix: dimensions, the raw float64 bits
+// base64-encoded little-endian (bit-exact across the wire — JSON float
+// formatting never touches the data), and a SHA-256 of those bytes for
+// cheap comparison.
+type OutputMatrix struct {
+	// Vertex is the producing sink vertex's ID.
+	Vertex int `json:"vertex"`
+	// Rows and Cols are the matrix dimensions.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// DataB64 is base64(little-endian float64 bits), row-major.
+	DataB64 string `json:"data_b64"`
+	// SHA256 is the hex digest of the encoded bytes.
+	SHA256 string `json:"sha256"`
+}
+
+// encodeDense converts an output matrix to its wire form.
+func encodeDense(vertex int, d *tensor.Dense) OutputMatrix {
+	buf := make([]byte, 8*len(d.Data))
+	for i, v := range d.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	sum := sha256.Sum256(buf)
+	return OutputMatrix{
+		Vertex: vertex, Rows: d.Rows, Cols: d.Cols,
+		DataB64: base64.StdEncoding.EncodeToString(buf),
+		SHA256:  hex.EncodeToString(sum[:]),
+	}
+}
+
+// Dense decodes the wire form back to a matrix — what example clients
+// and the bit-identical load tests use.
+func (o OutputMatrix) Dense() (*tensor.Dense, error) {
+	raw, err := base64.StdEncoding.DecodeString(o.DataB64)
+	if err != nil {
+		return nil, fmt.Errorf("serve: output %d: %w", o.Vertex, err)
+	}
+	if len(raw) != 8*o.Rows*o.Cols {
+		return nil, fmt.Errorf("serve: output %d: %d data bytes for a %dx%d matrix",
+			o.Vertex, len(raw), o.Rows, o.Cols)
+	}
+	d := tensor.NewDense(o.Rows, o.Cols)
+	for i := range d.Data {
+		d.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return d, nil
+}
+
+// DistSummary is the dist engine's per-run report in wire form.
+type DistSummary struct {
+	// Shards is the shard count the run used.
+	Shards int `json:"shards"`
+	// NetBytes and Messages meter the shuffle fabric.
+	NetBytes int64 `json:"net_bytes"`
+	Messages int64 `json:"messages"`
+	// PeakBytes is the peak resident relation bytes.
+	PeakBytes int64 `json:"peak_bytes"`
+	// WallNS is the run's wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// FaultsInjected and Retries record the recovery path.
+	FaultsInjected int64 `json:"faults_injected"`
+	Retries        int64 `json:"retries"`
+	// Degraded reports a fallback to the sequential engine, with its
+	// cause.
+	Degraded      bool   `json:"degraded"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
+}
+
+// SimSummary is the simulator's paper-scale resource report in wire
+// form.
+type SimSummary struct {
+	// Seconds is the virtual wall time on the configured cluster.
+	Seconds float64 `json:"seconds"`
+	// FLOPs, NetBytes, InterBytes and Tuples are the plan's analytic
+	// features.
+	FLOPs      float64 `json:"flops"`
+	NetBytes   float64 `json:"net_bytes"`
+	InterBytes float64 `json:"inter_bytes"`
+	Tuples     float64 `json:"tuples"`
+	// PeakWorkerBytes is the largest per-worker working set.
+	PeakWorkerBytes float64 `json:"peak_worker_bytes"`
+}
+
+// ExecuteResponse reports an executed (or simulated) plan.
+type ExecuteResponse struct {
+	// Spec echoes the normalized computation served; Engine the runtime
+	// that produced the outputs.
+	Spec   Spec   `json:"spec"`
+	Engine string `json:"engine"`
+	// Fingerprint, Cached and Coalesced describe how the plan was
+	// obtained (see OptimizeResponse).
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Coalesced   bool   `json:"coalesced"`
+	// Outputs holds every sink's matrix, ordered by vertex ID (absent
+	// for engine sim).
+	Outputs []OutputMatrix `json:"outputs,omitempty"`
+	// Dist summarizes the dist run's report (engine dist only).
+	Dist *DistSummary `json:"dist,omitempty"`
+	// Sim carries the simulator's report (engine sim only).
+	Sim *SimSummary `json:"sim,omitempty"`
+	// ElapsedMS is service time (queue wait excluded) in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	TraceOut
+}
+
+// PlanRequest is the /plan body. Without Plan it optimizes the spec and
+// returns the serialized physical plan; with Plan it decodes the
+// payload against the spec's graph and environment — fingerprint
+// checked, node listing cross-checked — and returns its summary.
+type PlanRequest struct {
+	Spec
+	// Plan is an Encode payload to validate and summarize; omit it to
+	// ask for a fresh one.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// DeadlineMS shortens the server's default request timeout.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace asks for the request's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// PlanResponse reports a serialized or validated physical plan.
+type PlanResponse struct {
+	// Spec echoes the normalized computation served.
+	Spec Spec `json:"spec"`
+	// Fingerprint identifies (graph, environment).
+	Fingerprint string `json:"fingerprint"`
+	// Nodes counts the plan's physical operators.
+	Nodes int `json:"nodes"`
+	// PredictedSeconds is the plan's model-predicted running time.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	// Explain is the per-operator listing.
+	Explain string `json:"explain"`
+	// Plan carries the serialized physical plan (encode mode only);
+	// POST it back to round-trip.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// Valid is true in decode mode when the payload passed the
+	// fingerprint and node cross-checks.
+	Valid bool `json:"valid,omitempty"`
+	TraceOut
+}
+
+// TraceOut is the optional span-tree tail of a response; the endpoint
+// wrapper fills it when the request asked for tracing.
+type TraceOut struct {
+	// Trace is the rendered span tree of this request.
+	Trace string `json:"trace,omitempty"`
+}
+
+func (t *TraceOut) setTrace(tree string) { t.Trace = tree }
+
+// traceSetter lets the endpoint wrapper attach the span tree to any
+// response embedding TraceOut.
+type traceSetter interface{ setTrace(string) }
+
+// errorResponse is the JSON error body every endpoint returns on
+// failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// reqOptions is the slice of every request body the endpoint wrapper
+// reads before dispatch: the deadline and the trace flag.
+type reqOptions struct {
+	DeadlineMS int64 `json:"deadline_ms"`
+	Trace      bool  `json:"trace"`
+}
+
+func (o reqOptions) deadline() time.Duration {
+	return time.Duration(o.DeadlineMS) * time.Millisecond
+}

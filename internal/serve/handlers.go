@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"matopt"
+	"matopt/internal/dist"
+	"matopt/internal/obs"
+	"matopt/internal/plan"
+)
+
+// maxBodyBytes bounds a request body; plan payloads are the largest
+// legitimate bodies and stay far under this.
+const maxBodyBytes = 32 << 20
+
+// badRequestError marks client errors (malformed JSON, invalid specs)
+// for the 400 mapping.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return badRequestError{fmt.Errorf(format, args...)}
+}
+
+// routes assembles the service's endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/optimize", s.endpoint("optimize", s.handleOptimize))
+	mux.Handle("/execute", s.endpoint("execute", s.handleExecute))
+	mux.Handle("/plan", s.endpoint("plan", s.handlePlan))
+	mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining
+// (load balancers stop routing here first, the drain finishes behind
+// it).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "{\"status\":\"draining\"}\n")
+		return
+	}
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// endpoint wraps one POST JSON handler with the service plumbing:
+// admission control, the per-request deadline, the root span, the
+// request/latency metrics, and error → status mapping.
+func (s *Server) endpoint(name string, fn func(ctx context.Context, body []byte, tr *obs.Tracer, root *obs.Span) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			s.writeError(w, name, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.writeError(w, name, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		var opts reqOptions
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &opts); err != nil {
+				s.writeError(w, name, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+				return
+			}
+		}
+		var tr *obs.Tracer
+		var root *obs.Span
+		if s.cfg.Tracing || opts.Trace {
+			tr = obs.NewTracer()
+			root = tr.Start(nil, "serve."+name)
+		}
+		qspan := tr.Start(root, "serve.queue")
+		t0 := time.Now()
+		var service time.Duration
+		result, err := s.submit(r.Context(), opts.deadline(), func(ctx context.Context) (any, error) {
+			qspan.End()
+			hspan := tr.Start(root, "serve.handle")
+			defer hspan.End()
+			h0 := time.Now()
+			res, herr := fn(ctx, body, tr, hspan)
+			service = time.Since(h0)
+			return res, herr
+		})
+		root.End()
+		code := http.StatusOK
+		if err != nil {
+			code = statusOf(err)
+			s.writeError(w, name, code, err)
+			return
+		}
+		s.reg.Counter("serve.requests", obs.L("endpoint", name), obs.L("code", strconv.Itoa(code))).Inc()
+		s.reg.Histogram("serve.request.seconds", obs.DefaultDurationBuckets(), obs.L("endpoint", name)).
+			Observe(time.Since(t0).Seconds())
+		s.reg.Histogram("serve.service.seconds", obs.DefaultDurationBuckets(), obs.L("endpoint", name)).
+			Observe(service.Seconds())
+		if ts, ok := result.(traceSetter); ok && tr != nil {
+			ts.setTrace(tr.Snapshot().Tree())
+		}
+		s.writeJSON(w, code, result)
+	})
+}
+
+// statusOf maps service errors to HTTP statuses: admission rejections
+// to 429/503, deadlines to 504, client mistakes to 400, everything else
+// to 500.
+func statusOf(err error) int {
+	var bad badRequestError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrQueueTimeout), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, matopt.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable // client went away or drain cancelled us
+	case errors.As(err, &bad), errors.Is(err, matopt.ErrInfeasible):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, code int, err error) {
+	s.reg.Counter("serve.requests", obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))).Inc()
+	s.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// optimizeSpec runs the shared optimizer on a spec's graph and records
+// the coalesce outcome — the core of /optimize, /execute, and /plan.
+func (s *Server) optimizeSpec(ctx context.Context, b *matopt.Builder) (*matopt.Plan, string, error) {
+	fp, err := s.opt.Fingerprint(b)
+	if err != nil {
+		return nil, "", badRequestError{err}
+	}
+	p, err := s.opt.OptimizeCtx(ctx, b)
+	if err != nil {
+		return nil, "", err
+	}
+	switch {
+	case p.Cached():
+		s.reg.Counter("serve.coalesce", obs.L("result", "hit")).Inc()
+	case p.Coalesced():
+		s.reg.Counter("serve.coalesce", obs.L("result", "waiter")).Inc()
+	default:
+		s.reg.Counter("serve.coalesce", obs.L("result", "leader")).Inc()
+	}
+	return p, fp, nil
+}
+
+func (s *Server) handleOptimize(ctx context.Context, body []byte, tr *obs.Tracer, span *obs.Span) (any, error) {
+	var req OptimizeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, badRequest("invalid JSON: %v", err)
+	}
+	spec := req.Spec.normalized()
+	g, err := spec.buildGraph()
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	p, fp, err := s.optimizeSpec(ctx, matopt.NewBuilderFromGraph(g))
+	if err != nil {
+		return nil, err
+	}
+	span.SetBool("cached", p.Cached()).SetBool("coalesced", p.Coalesced())
+	resp := &OptimizeResponse{
+		Spec:             spec,
+		Fingerprint:      fp,
+		PredictedSeconds: p.PredictedSeconds(),
+		OptimizerSeconds: p.OptimizerStats().WallSeconds,
+		Cached:           p.Cached(),
+		Coalesced:        p.Coalesced(),
+		Plan:             p.Describe(),
+	}
+	if req.Explain {
+		if resp.Explain, err = p.Explain(); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer, span *obs.Span) (any, error) {
+	var req ExecuteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, badRequest("invalid JSON: %v", err)
+	}
+	if err := req.validate(); err != nil {
+		return nil, badRequestError{err}
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "seq"
+	}
+	spec := req.Spec.normalized()
+	g, inputs, err := spec.build()
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	b := matopt.NewBuilderFromGraph(g)
+	p, fp, err := s.optimizeSpec(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	span.SetStr("engine", engine).SetBool("cached", p.Cached()).SetBool("coalesced", p.Coalesced())
+	resp := &ExecuteResponse{
+		Spec: spec, Engine: engine, Fingerprint: fp,
+		Cached: p.Cached(), Coalesced: p.Coalesced(),
+	}
+	t0 := time.Now()
+	switch engine {
+	case "sim":
+		rep, err := matopt.Simulate(p)
+		if err != nil {
+			return nil, err
+		}
+		resp.Sim = &SimSummary{
+			Seconds: rep.Seconds,
+			FLOPs:   rep.Features.FLOPs, NetBytes: rep.Features.NetBytes,
+			InterBytes: rep.Features.InterBytes, Tuples: rep.Features.Tuples,
+			PeakWorkerBytes: rep.PeakWorkerBytes,
+		}
+	case "seq", "dist":
+		xopts := []matopt.ExecutorOption{matopt.WithTracing(tr)}
+		if engine == "dist" {
+			xopts = append(xopts, matopt.WithEngineKind(matopt.DistEngine), matopt.WithShards(req.Shards))
+			if req.MaxRetries > 0 {
+				xopts = append(xopts, matopt.WithMaxRetries(req.MaxRetries))
+			}
+			if req.Fallback {
+				xopts = append(xopts, matopt.WithFallback())
+			}
+			if req.Faults > 0 {
+				seed := req.FaultSeed
+				if seed == 0 {
+					seed = 1
+				}
+				var ids []int
+				for _, v := range g.Vertices {
+					ids = append(ids, v.ID)
+				}
+				shards := req.Shards
+				if shards <= 0 {
+					shards = dist.DefaultShards()
+				}
+				xopts = append(xopts, matopt.WithFaults(matopt.RandomFaults(seed, req.Faults, ids, shards)))
+			}
+		}
+		x := matopt.NewExecutor(s.cfg.Cluster, xopts...)
+		outs, err := x.RunCtx(ctx, p, inputs)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int, 0, len(outs))
+		for id := range outs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			resp.Outputs = append(resp.Outputs, encodeDense(id, outs[id]))
+		}
+		if rep := x.DistReport(); engine == "dist" && rep != nil {
+			resp.Dist = &DistSummary{
+				Shards: rep.Shards, NetBytes: rep.NetBytes, Messages: rep.Messages,
+				PeakBytes: rep.PeakBytes, WallNS: rep.Wall.Nanoseconds(),
+				FaultsInjected: rep.FaultsInjected, Retries: rep.Retries,
+				Degraded: rep.Degraded, DegradedCause: rep.DegradedCause,
+			}
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	return resp, nil
+}
+
+func (s *Server) handlePlan(ctx context.Context, body []byte, tr *obs.Tracer, span *obs.Span) (any, error) {
+	var req PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, badRequest("invalid JSON: %v", err)
+	}
+	spec := req.Spec.normalized()
+	g, err := spec.buildGraph()
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	resp := &PlanResponse{Spec: spec}
+	if len(req.Plan) > 0 {
+		// Decode mode: replay a serialized plan against this spec's
+		// graph and environment. A payload lowered for a different
+		// computation or cluster is rejected by its fingerprint.
+		span.SetStr("mode", "decode")
+		pp, err := plan.Decode(g, s.opt.Env(), req.Plan)
+		if err != nil {
+			if errors.Is(err, plan.ErrInvalidPlan) {
+				return nil, badRequestError{err}
+			}
+			return nil, err
+		}
+		if resp.Fingerprint, err = s.opt.Fingerprint(matopt.NewBuilderFromGraph(g)); err != nil {
+			return nil, err
+		}
+		resp.Nodes = len(pp.Nodes)
+		resp.PredictedSeconds = pp.PredictedSeconds()
+		resp.Explain = pp.Explain()
+		resp.Valid = true
+		return resp, nil
+	}
+	// Encode mode: optimize (through the cache and the coalescing
+	// boundary) and serialize the lowered plan.
+	span.SetStr("mode", "encode")
+	p, fp, err := s.optimizeSpec(ctx, matopt.NewBuilderFromGraph(g))
+	if err != nil {
+		return nil, err
+	}
+	pp, err := p.Physical()
+	if err != nil {
+		return nil, err
+	}
+	data, err := plan.Encode(pp, s.opt.Env())
+	if err != nil {
+		return nil, err
+	}
+	resp.Fingerprint = fp
+	resp.Nodes = len(pp.Nodes)
+	resp.PredictedSeconds = pp.PredictedSeconds()
+	resp.Explain = pp.Explain()
+	resp.Plan = data
+	return resp, nil
+}

@@ -1,0 +1,345 @@
+// Package serve is the long-running service layer over the optimizer
+// and the execution engines: a JSON-over-HTTP front end (/optimize,
+// /execute, /plan, /metrics, /healthz) backed by a bounded worker pool
+// with admission control, singleflight coalescing of identical
+// concurrent computations (through the optimizer's plan cache), and
+// graceful drain. It is the substrate a deployment of this system
+// serves heavy traffic through: the optimize-once/execute-many split
+// the paper assumes of its host system (SimSQL/PlinyCompute) becomes
+// optimize-once-per-fingerprint across every connected client.
+//
+// Admission control is two bounds and two clocks: at most Workers
+// requests execute concurrently, at most MaxQueue wait; a request that
+// finds the queue full is rejected immediately with ErrOverloaded
+// (HTTP 429), one that waits longer than QueueTimeout is rejected with
+// ErrQueueTimeout (HTTP 503), and each admitted request runs under a
+// deadline (per-request deadline_ms, default RequestTimeout). Drain
+// stops admission (healthz flips to draining, new requests get
+// ErrDraining), lets in-flight work finish, cancels whatever is still
+// running when the drain context expires, and stops the pool — no
+// goroutine outlives it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matopt"
+	"matopt/internal/costmodel"
+	"matopt/internal/obs"
+)
+
+// Typed admission-control rejections; the HTTP layer maps them to
+// status codes (ErrOverloaded → 429, ErrQueueTimeout and ErrDraining →
+// 503) and every rejection increments serve.rejected{reason=...}.
+var (
+	// ErrOverloaded reports that the request queue was full at arrival:
+	// the server sheds load immediately instead of queuing unboundedly.
+	ErrOverloaded = errors.New("serve: overloaded — request queue full")
+	// ErrQueueTimeout reports that the request waited in the admission
+	// queue longer than the queue timeout without reaching a worker.
+	ErrQueueTimeout = errors.New("serve: timed out waiting in the admission queue")
+	// ErrDraining reports that the server has begun graceful shutdown
+	// and no longer admits requests.
+	ErrDraining = errors.New("serve: draining — not admitting requests")
+)
+
+// Config parameterizes a Server. The zero value of every field takes
+// the documented default, so serve.New(serve.Config{Cluster: cl}) is a
+// working server.
+type Config struct {
+	// Cluster is the hardware profile plans are optimized for (default
+	// the local-test profile sized to Workers).
+	Cluster matopt.Cluster
+	// Formats restricts the optimizer's format universe (default
+	// AllFormats).
+	Formats matopt.FormatSet
+	// Workers bounds how many requests execute concurrently (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxQueue bounds how many admitted requests may wait for a worker;
+	// a request arriving at a full queue is rejected with ErrOverloaded
+	// (default 64).
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait in the queue
+	// before being rejected with ErrQueueTimeout (default 5s).
+	QueueTimeout time.Duration
+	// RequestTimeout is the default per-request deadline covering queue
+	// wait and service; requests may shorten it with deadline_ms
+	// (default 60s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Drain when the caller's context carries no
+	// deadline of its own (default 30s).
+	DrainTimeout time.Duration
+	// PlanCacheSize overrides the optimizer's plan-cache capacity
+	// (default matopt.DefaultPlanCacheSize).
+	PlanCacheSize int
+	// Tracing attaches a per-request tracer with a root span to every
+	// request; request bodies can also ask for one with "trace": true.
+	Tracing bool
+	// Registry receives the server's metrics (default obs.Default()).
+	Registry *obs.Registry
+}
+
+// withDefaults fills in the zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Cluster.Workers == 0 {
+		c.Cluster = costmodel.LocalTest(c.Workers)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c
+}
+
+// Server is the concurrent optimize-and-execute service. Create one
+// with New, expose Handler on an http.Server, and stop it with Drain.
+type Server struct {
+	cfg Config
+	opt *matopt.Optimizer
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	jobs    chan *job
+	quit    chan struct{}
+	workers sync.WaitGroup
+
+	// mu guards the admission gate: the in-flight count and the
+	// draining flag flip together, so a request is either counted
+	// (and drained properly) or rejected — never lost between the two.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	nInflight int64
+
+	draining  atomic.Bool // mirror of the gate's flag for lock-free reads
+	drainOnce sync.Once
+	drainErr  error
+	stopped   chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New returns a started server: the worker pool is running and the
+// handler is ready to serve. Stop it with Drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	opts := []matopt.Option{matopt.WithFormats(cfg.Formats)}
+	if cfg.PlanCacheSize > 0 {
+		opts = append(opts, matopt.WithPlanCacheSize(cfg.PlanCacheSize))
+	}
+	s := &Server{
+		cfg:     cfg,
+		opt:     matopt.NewOptimizer(cfg.Cluster, opts...),
+		reg:     cfg.Registry,
+		jobs:    make(chan *job, cfg.MaxQueue),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Optimizer exposes the server's shared optimizer (its plan cache and
+// coalescing boundary); the benchmark harness uses it to compare
+// service latency against direct calls.
+func (s *Server) Optimizer() *matopt.Optimizer { return s.opt }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// job is one admitted request travelling from the admission queue to a
+// worker. state moves queued → running (worker claims it) or queued →
+// aborted (the requester gave up first); exactly one side wins the CAS.
+type job struct {
+	ctx      context.Context
+	fn       func(ctx context.Context) (any, error)
+	state    atomic.Int32 // 0 queued, 1 running, 2 aborted
+	admitted chan struct{}
+	done     chan struct{}
+	result   any
+	err      error
+	enqueued time.Time
+}
+
+func (j *job) claim() bool { return j.state.CompareAndSwap(0, 1) }
+func (j *job) abort() bool { return j.state.CompareAndSwap(0, 2) }
+
+// worker executes queued jobs until the server stops. A job whose
+// requester aborted (queue timeout, dead context) is skipped — its
+// admitted channel stays closed-by-nobody and the requester has already
+// answered.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			if !j.claim() {
+				continue
+			}
+			close(j.admitted)
+			s.reg.Histogram("serve.queue.wait.seconds", obs.DefaultDurationBuckets()).
+				Observe(time.Since(j.enqueued).Seconds())
+			j.result, j.err = j.fn(j.ctx)
+			close(j.done)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// submit runs fn on the worker pool under admission control and the
+// request's deadline. It blocks until the job completes, is rejected,
+// or the request context dies.
+func (s *Server) submit(ctx context.Context, deadline time.Duration, fn func(ctx context.Context) (any, error)) (any, error) {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.reject("draining")
+		return nil, ErrDraining
+	}
+	s.nInflight++
+	s.reg.Gauge("serve.inflight").Set(s.nInflight)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.nInflight--
+		s.reg.Gauge("serve.inflight").Set(s.nInflight)
+		if s.nInflight == 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}()
+
+	if deadline <= 0 {
+		deadline = s.cfg.RequestTimeout
+	}
+	jctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	// A drain deadline cancels whatever is still running.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	j := &job{
+		ctx:      jctx,
+		fn:       fn,
+		admitted: make(chan struct{}),
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
+	}
+	select {
+	case s.jobs <- j:
+	default:
+		s.reject("overloaded")
+		return nil, ErrOverloaded
+	}
+
+	queueTimer := time.NewTimer(s.cfg.QueueTimeout)
+	defer queueTimer.Stop()
+	select {
+	case <-j.admitted:
+	case <-queueTimer.C:
+		if j.abort() {
+			s.reject("queue_timeout")
+			return nil, ErrQueueTimeout
+		}
+		<-j.admitted // a worker won the race; the job is running
+	case <-jctx.Done():
+		if j.abort() {
+			s.reject("deadline")
+			return nil, jctx.Err()
+		}
+		<-j.admitted
+	}
+	<-j.done
+	return j.result, j.err
+}
+
+func (s *Server) reject(reason string) {
+	s.reg.Counter("serve.rejected", obs.L("reason", reason)).Inc()
+}
+
+// Drain gracefully stops the server: admission closes immediately
+// (healthz flips to draining, new requests are rejected with
+// ErrDraining), in-flight requests — queued or executing — run to
+// completion, and when ctx expires first, whatever is still running is
+// cancelled and its error returned to its requester. The worker pool
+// exits before Drain returns, so a drained server leaves no goroutines
+// behind; a zero-deadline ctx gets the configured DrainTimeout. Drain
+// is idempotent — concurrent and repeated calls share one shutdown and
+// one result.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		start := time.Now()
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+			defer cancel()
+		}
+		s.mu.Lock()
+		s.draining.Store(true)
+		s.mu.Unlock()
+		idle := make(chan struct{})
+		go func() {
+			s.mu.Lock()
+			for s.nInflight > 0 {
+				s.cond.Wait()
+			}
+			s.mu.Unlock()
+			close(idle)
+		}()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			// Past the drain deadline: cancel every in-flight request's
+			// context. The optimizer and both engines are context-aware,
+			// so requesters get answers (errors) promptly.
+			s.baseCancel()
+			<-idle
+			s.drainErr = ctx.Err()
+		}
+		close(s.quit)
+		s.workers.Wait()
+		s.baseCancel()
+		// Flush: record the drain itself so a scraped /metrics endpoint
+		// (or the daemon's exit log) carries the shutdown's shape.
+		s.reg.Counter("serve.drains").Inc()
+		s.reg.Histogram("serve.drain.seconds", obs.DefaultDurationBuckets()).
+			Observe(time.Since(start).Seconds())
+		close(s.stopped)
+	})
+	<-s.stopped
+	return s.drainErr
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"matopt/internal/obs"
+)
+
+// post issues a JSON POST through the server's handler and decodes the
+// response into out (when non-nil), returning the status code.
+func post(t *testing.T, s *Server, path, body string, out any) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", path, strings.NewReader(body)))
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: invalid response JSON: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	s := New(testConfig(2, 8))
+	defer s.Drain(context.Background())
+
+	var first OptimizeResponse
+	if code := post(t, s, "/optimize", `{"workload":"chain","scale":400,"explain":true,"trace":true}`, &first); code != 200 {
+		t.Fatalf("optimize status %d", code)
+	}
+	if first.Fingerprint == "" || first.Plan == "" || first.PredictedSeconds <= 0 {
+		t.Fatalf("optimize response incomplete: %+v", first)
+	}
+	if first.Cached || first.Coalesced {
+		t.Fatalf("first request must be the leader: %+v", first)
+	}
+	if first.Explain == "" {
+		t.Fatal("explain requested but absent")
+	}
+	if !strings.Contains(first.Trace, "serve.optimize") || !strings.Contains(first.Trace, "serve.handle") {
+		t.Fatalf("trace missing request spans:\n%s", first.Trace)
+	}
+
+	// The same spec again is a plan-cache hit with an identical plan.
+	var again OptimizeResponse
+	post(t, s, "/optimize", `{"workload":"chain","scale":400}`, &again)
+	if !again.Cached || again.Fingerprint != first.Fingerprint || again.Plan != first.Plan {
+		t.Fatalf("repeat not served from cache: cached=%v", again.Cached)
+	}
+
+	// Spec defaults: sizeset 1 and scale 400 were normalized and echoed.
+	if first.Spec.SizeSet != 1 || first.Spec.Scale != 400 || first.Spec.Seed != 1 {
+		t.Fatalf("normalized spec not echoed: %+v", first.Spec)
+	}
+}
+
+func TestExecuteEndpointEnginesAgree(t *testing.T) {
+	s := New(testConfig(2, 8))
+	defer s.Drain(context.Background())
+
+	const spec = `"workload":"chain","scale":400`
+	var seq, dist ExecuteResponse
+	if code := post(t, s, "/execute", `{`+spec+`}`, &seq); code != 200 {
+		t.Fatalf("seq execute status %d", code)
+	}
+	if seq.Engine != "seq" || len(seq.Outputs) == 0 {
+		t.Fatalf("seq response incomplete: %+v", seq)
+	}
+	// Wire form round-trips bit-exactly.
+	d, err := seq.Outputs[0].Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := encodeDense(seq.Outputs[0].Vertex, d); re.SHA256 != seq.Outputs[0].SHA256 {
+		t.Fatal("output wire form does not round-trip")
+	}
+
+	// The dist engine under injected faults returns bit-identical
+	// outputs and a recovery report.
+	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","shards":3,"faults":2,"fallback":true}`, &dist); code != 200 {
+		t.Fatalf("dist execute status %d", code)
+	}
+	if dist.Dist == nil || dist.Dist.Shards != 3 {
+		t.Fatalf("dist summary missing: %+v", dist.Dist)
+	}
+	if len(dist.Outputs) != len(seq.Outputs) {
+		t.Fatalf("engines disagree on output count: %d vs %d", len(dist.Outputs), len(seq.Outputs))
+	}
+	for i := range seq.Outputs {
+		if dist.Outputs[i].SHA256 != seq.Outputs[i].SHA256 || dist.Outputs[i].DataB64 != seq.Outputs[i].DataB64 {
+			t.Fatalf("vertex %d: dist output differs from seq", seq.Outputs[i].Vertex)
+		}
+	}
+
+	// The simulator reports paper-scale resources instead of outputs.
+	var sim ExecuteResponse
+	if code := post(t, s, "/execute", `{"workload":"ffnn","engine":"sim"}`, &sim); code != 200 {
+		t.Fatalf("sim execute status %d", code)
+	}
+	if sim.Sim == nil || sim.Sim.Seconds <= 0 || sim.Sim.FLOPs <= 0 || len(sim.Outputs) != 0 {
+		t.Fatalf("sim response incomplete: %+v", sim.Sim)
+	}
+}
+
+func TestPlanEndpointRoundTrip(t *testing.T) {
+	s := New(testConfig(2, 8))
+	defer s.Drain(context.Background())
+
+	var enc PlanResponse
+	if code := post(t, s, "/plan", `{"workload":"ffnn","scale":4000}`, &enc); code != 200 {
+		t.Fatalf("plan encode status %d", code)
+	}
+	if len(enc.Plan) == 0 || enc.Nodes == 0 || enc.Explain == "" {
+		t.Fatalf("plan encode incomplete: nodes=%d", enc.Nodes)
+	}
+
+	// POSTing the payload back validates it against the same spec.
+	body, _ := json.Marshal(PlanRequest{Spec: Spec{Workload: "ffnn", Scale: 4000}, Plan: enc.Plan})
+	var dec PlanResponse
+	if code := post(t, s, "/plan", string(body), &dec); code != 200 {
+		t.Fatalf("plan decode status %d", code)
+	}
+	if !dec.Valid || dec.Nodes != enc.Nodes || dec.Fingerprint != enc.Fingerprint {
+		t.Fatalf("decode disagrees with encode: %+v vs %+v", dec, enc)
+	}
+
+	// The same payload against a different computation is rejected by
+	// its fingerprint — a client cannot execute a stale plan.
+	body, _ = json.Marshal(PlanRequest{Spec: Spec{Workload: "ffnn", Scale: 2000}, Plan: enc.Plan})
+	if code := post(t, s, "/plan", string(body), nil); code != 400 {
+		t.Fatalf("cross-spec decode status %d, want 400", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := New(testConfig(2, 8))
+	defer s.Drain(context.Background())
+
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/optimize", `{"workload":"fft"}`, 400},
+		{"/optimize", `{nope`, 400},
+		{"/execute", `{"workload":"chain","engine":"gpu"}`, 400},
+		{"/execute", `{"workload":"chain","faults":2}`, 400}, // faults need dist
+		{"/execute", `{"workload":"chain","shards":-1}`, 400},
+		{"/plan", `{"workload":"chain","sizeset":9}`, 400},
+	}
+	for _, c := range cases {
+		if code := post(t, s, c.path, c.body, nil); code != c.want {
+			t.Errorf("POST %s %s = %d, want %d", c.path, c.body, code, c.want)
+		}
+	}
+
+	// Wrong method and error bodies.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/optimize", nil))
+	if rec.Code != 405 || rec.Header().Get("Allow") != "POST" {
+		t.Fatalf("GET /optimize = %d, want 405 with Allow: POST", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/optimize", strings.NewReader(`{"workload":"fft"}`)))
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body not JSON: %q", rec.Body.String())
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	s := New(testConfig(2, 8))
+	post(t, s, "/optimize", `{"workload":"chain","scale":400}`, nil)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"serve.requests{code=200,endpoint=optimize} 1",
+		"serve.request.seconds",
+		"serve.queue.wait.seconds",
+		"serve.coalesce{result=leader} 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Draining flips healthz to 503 so load balancers stop routing.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	// And requests are shed with 503 + ErrDraining.
+	if code := post(t, s, "/optimize", `{"workload":"chain"}`, nil); code != 503 {
+		t.Fatalf("post-drain optimize = %d, want 503", code)
+	}
+}
+
+// TestHTTPCoalesce drives N identical concurrent requests through the
+// full HTTP stack and asserts the singleflight contract end to end:
+// exactly one request led the optimization; every other one either
+// waited on it or hit the cache it populated — never a second search.
+func TestHTTPCoalesce(t *testing.T) {
+	cfg := testConfig(16, 32)
+	s := New(cfg)
+	defer s.Drain(context.Background())
+
+	const n = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	responses := make([]OptimizeResponse, n)
+	codes := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("POST", "/optimize",
+				bytes.NewReader([]byte(`{"workload":"chain","sizeset":2,"scale":200}`))))
+			codes[i] = rec.Code
+			json.Unmarshal(rec.Body.Bytes(), &responses[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	leaders := 0
+	for i, r := range responses {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if !r.Cached && !r.Coalesced {
+			leaders++
+		}
+		if r.Fingerprint != responses[0].Fingerprint || r.Plan != responses[0].Plan {
+			t.Fatalf("request %d: plan differs from request 0", i)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders for %d identical concurrent requests, want exactly 1", leaders, n)
+	}
+	reg := cfg.Registry
+	lead := reg.Counter("serve.coalesce", obs.L("result", "leader")).Value()
+	wait := reg.Counter("serve.coalesce", obs.L("result", "waiter")).Value()
+	hit := reg.Counter("serve.coalesce", obs.L("result", "hit")).Value()
+	if lead != 1 || lead+wait+hit != n {
+		t.Fatalf("coalesce counters leader=%d waiter=%d hit=%d, want 1 leader summing to %d", lead, wait, hit, n)
+	}
+}

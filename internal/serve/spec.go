@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"matopt/internal/core"
+	"matopt/internal/format"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// Spec names a computation a request wants optimized or executed: one
+// of the built-in workload generators plus its parameters. Every field
+// with a zero value takes the documented default, so the minimal useful
+// request body is {"workload":"chain"}. The same (normalized) spec
+// always produces the same graph and — because input generation is
+// seeded and ordered — bit-identical input matrices, which is what lets
+// the load tests compare service responses against direct Executor runs
+// and lets the coalescing layer treat equal specs as one computation.
+type Spec struct {
+	// Workload selects the generator: chain | ffnn | ffnn3 | inverse.
+	Workload string `json:"workload"`
+	// SizeSet picks the matmul chain's size combination (1-3; chain
+	// only; default 1).
+	SizeSet int `json:"sizeset,omitempty"`
+	// Hidden is the FFNN hidden-layer width (ffnn/ffnn3 only; default
+	// 80000, the paper's largest).
+	Hidden int64 `json:"hidden,omitempty"`
+	// Scale divides every workload dimension before real execution so
+	// requests fit in one process (default 100).
+	Scale int64 `json:"scale,omitempty"`
+	// Seed drives the deterministic random input generator (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// normalized returns the spec with defaults filled in; responses echo
+// it so a caller sees the computation actually served.
+func (s Spec) normalized() Spec {
+	if s.Workload == "" {
+		s.Workload = "chain"
+	}
+	if s.SizeSet == 0 {
+		s.SizeSet = 1
+	}
+	if s.Hidden == 0 {
+		s.Hidden = 80000
+	}
+	if s.Scale == 0 {
+		s.Scale = 100
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// validate rejects specs the generators cannot build.
+func (s Spec) validate() error {
+	switch s.Workload {
+	case "chain", "ffnn", "ffnn3", "inverse":
+	default:
+		return fmt.Errorf("unknown workload %q (want chain, ffnn, ffnn3 or inverse)", s.Workload)
+	}
+	if sets := workload.ChainSizeSets(); s.Workload == "chain" && (s.SizeSet < 1 || s.SizeSet > len(sets)) {
+		return fmt.Errorf("sizeset must be in 1..%d, got %d", len(sets), s.SizeSet)
+	}
+	if s.Hidden < 1 {
+		return fmt.Errorf("hidden must be positive, got %d", s.Hidden)
+	}
+	if s.Scale < 1 {
+		return fmt.Errorf("scale must be positive, got %d", s.Scale)
+	}
+	if s.Seed < 0 {
+		return fmt.Errorf("seed must be non-negative, got %d", s.Seed)
+	}
+	return nil
+}
+
+// buildGraph materializes only the scaled compute graph — what
+// /optimize and /plan need; no input matrices are generated.
+func (s Spec) buildGraph() (*core.Graph, error) {
+	g, _, err := s.materialize(false)
+	return g, err
+}
+
+// build materializes the spec: the scaled compute graph plus seeded
+// input matrices.
+func (s Spec) build() (*core.Graph, map[string]*tensor.Dense, error) {
+	return s.materialize(true)
+}
+
+// materialize builds the graph and, when asked, its seeded inputs.
+// Inputs are generated in a fixed order (never map iteration order), so
+// one spec maps to exactly one byte sequence.
+func (s Spec) materialize(withInputs bool) (*core.Graph, map[string]*tensor.Dense, error) {
+	if err := s.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	div := func(x int64) int64 {
+		if v := x / s.Scale; v > 0 {
+			return v
+		}
+		return 1
+	}
+	switch s.Workload {
+	case "ffnn", "ffnn3":
+		cfg := workload.ScaledFFNN(workload.PaperFFNN(s.Hidden), s.Scale)
+		gen := workload.FFNNW2Update
+		if s.Workload == "ffnn3" {
+			gen = workload.FFNNThreePass
+		}
+		g, err := gen(cfg)
+		if err != nil || !withInputs {
+			return g, nil, err
+		}
+		return g, workload.FFNNInputs(rng, cfg), nil
+	case "chain":
+		sz := workload.ChainSizeSets()[s.SizeSet-1]
+		shrink := func(sh shape.Shape) shape.Shape { return shape.New(div(sh.Rows), div(sh.Cols)) }
+		sz.A, sz.B, sz.C = shrink(sz.A), shrink(sz.B), shrink(sz.C)
+		sz.D, sz.E, sz.F = shrink(sz.D), shrink(sz.E), shrink(sz.F)
+		g, err := workload.MatMulChain(sz)
+		if err != nil || !withInputs {
+			return g, nil, err
+		}
+		inputs := map[string]*tensor.Dense{}
+		for _, in := range []struct {
+			name string
+			s    shape.Shape
+		}{{"A", sz.A}, {"B", sz.B}, {"C", sz.C}, {"D", sz.D}, {"E", sz.E}, {"F", sz.F}} {
+			inputs[in.name] = tensor.RandNormal(rng, int(in.s.Rows), int(in.s.Cols))
+		}
+		return g, inputs, nil
+	case "inverse":
+		paper := workload.PaperBlockInverse()
+		outer := div(paper.Outer)
+		if outer < 2 {
+			outer = 2
+		}
+		inner1 := outer * paper.Inner1 / paper.Outer
+		if inner1 < 1 {
+			inner1 = 1
+		}
+		cfg := workload.BlockInverseConfig{
+			Outer: outer, Inner1: inner1, Inner2: outer - inner1,
+			BlockFormat: format.NewSingle(),
+		}
+		g, err := workload.BlockInverse2(cfg)
+		if err != nil || !withInputs {
+			return g, nil, err
+		}
+		// Diagonal dominance keeps every Schur complement the plan
+		// inverts well conditioned.
+		n, n1 := int(outer), int(inner1)
+		full := tensor.RandNormal(rng, 2*n, 2*n)
+		for i := 0; i < 2*n; i++ {
+			full.Set(i, i, full.At(i, i)+float64(2*n))
+		}
+		inputs := map[string]*tensor.Dense{
+			"A11": full.Slice(0, n1, 0, n1), "A12": full.Slice(0, n1, n1, n),
+			"A21": full.Slice(n1, n, 0, n1), "A22": full.Slice(n1, n, n1, n),
+			"B1": full.Slice(0, n1, n, 2*n), "B2": full.Slice(n1, n, n, 2*n),
+			"C1": full.Slice(n, 2*n, 0, n1), "C2": full.Slice(n, 2*n, n1, n),
+			"D": full.Slice(n, 2*n, n, 2*n),
+		}
+		return g, inputs, nil
+	}
+	return nil, nil, fmt.Errorf("unknown workload %q", s.Workload)
+}

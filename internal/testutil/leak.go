@@ -1,0 +1,52 @@
+// Package testutil holds helpers shared by the repository's test
+// suites: the goroutine-leak checker the dist runtime and the serving
+// layer both gate their concurrency tests with.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack is how many extra goroutines CheckGoroutines tolerates:
+// the runtime occasionally keeps a reaped-but-unparked goroutine or a
+// test-framework helper alive for a moment.
+const leakSlack = 2
+
+// Baseline snapshots the current goroutine count for a later
+// WaitForGoroutines — for tests whose setup/teardown does not fit the
+// CheckGoroutines closure shape.
+func Baseline() int { return runtime.NumGoroutine() }
+
+// CheckGoroutines runs fn and then requires the process goroutine count
+// to return to its starting level (within a small slack): a run that
+// failed, recovered, timed out, was cancelled, or was drained must not
+// leave workers, collectors, producers, or drainers behind. The wait is
+// bounded; on timeout the test fails with a full stack dump of every
+// live goroutine.
+func CheckGoroutines(t testing.TB, fn func()) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	fn()
+	WaitForGoroutines(t, baseline, 15*time.Second)
+}
+
+// WaitForGoroutines polls until the process goroutine count drops back
+// to baseline (within the checker's slack) or the deadline passes, in
+// which case it fails the test with a stack dump.
+func WaitForGoroutines(t testing.TB, baseline int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if runtime.NumGoroutine() <= baseline+leakSlack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -85,6 +85,15 @@ type Builder struct {
 // NewBuilder returns an empty computation.
 func NewBuilder() *Builder { return &Builder{g: core.NewGraph()} }
 
+// NewBuilderFromGraph wraps an already-built compute graph in a Builder
+// so pre-assembled computations (the internal workload generators, the
+// serving layer's decoded request specs) can flow through
+// Optimizer.Optimize. The graph must not be mutated afterwards; outputs
+// are the graph's sinks. Like Builder.Graph and Optimizer.Env, this is
+// an advanced hook — ordinary callers assemble computations with the
+// Builder methods.
+func NewBuilderFromGraph(g *core.Graph) *Builder { return &Builder{g: g} }
+
 // Err returns the first error recorded while building, if any.
 func (b *Builder) Err() error { return b.err }
 

@@ -71,8 +71,9 @@ type Optimizer struct {
 	noCache     bool
 	tracer      *Tracer
 
-	env   *core.Env
-	cache *planCache // nil when WithoutPlanCache was given
+	env    *core.Env
+	cache  *planCache   // nil when WithoutPlanCache was given
+	flight *flightGroup // nil when WithoutPlanCache was given
 }
 
 // Option configures an Optimizer.
@@ -129,6 +130,7 @@ func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
 	}
 	if !o.noCache {
 		o.cache = newPlanCache(o.cacheSize)
+		o.flight = newFlightGroup()
 	}
 	return o
 }
@@ -136,6 +138,19 @@ func NewOptimizer(cl Cluster, opts ...Option) *Optimizer {
 // Env exposes the optimization environment for advanced callers (the
 // experiment harness uses it to cross baselines and clusters).
 func (o *Optimizer) Env() *core.Env { return o.env }
+
+// Fingerprint returns the canonical identity of the builder's
+// computation under this optimizer's environment — the same key the
+// plan cache and the request-coalescing layers use. Two computations
+// with the same fingerprint (same graph structure, shapes, densities,
+// format universe and cluster profile) share one cached plan. The
+// serving layer uses it to coalesce identical in-flight requests.
+func (o *Optimizer) Fingerprint(b *Builder) (string, error) {
+	if b.err != nil {
+		return "", b.err
+	}
+	return core.Fingerprint(b.g, o.env), nil
+}
 
 // CachedPlans reports how many optimized computations the plan cache
 // currently holds (0 when the cache is disabled).
@@ -151,11 +166,12 @@ func (o *Optimizer) CachedPlans() int {
 // engine executes). Lowering happens at most once per plan — cache hits
 // share the lowered IR with the entry they came from.
 type Plan struct {
-	ann    *core.Annotation
-	env    *core.Env
-	stats  core.Stats
-	cached bool
-	low    *loweredPlan
+	ann       *core.Annotation
+	env       *core.Env
+	stats     core.Stats
+	cached    bool
+	coalesced bool
+	low       *loweredPlan
 }
 
 // ErrTimeout reports that the search exceeded its budget or deadline.
@@ -192,7 +208,9 @@ func (o *Optimizer) Optimize(b *Builder, outputs ...Matrix) (*Plan, error) {
 // (deadline) or the context's own error (cancellation). Results are
 // served from the plan cache when an identical computation — same graph
 // structure, shapes, densities, format universe and cluster profile —
-// was optimized before.
+// was optimized before. Concurrent calls that miss the cache on the
+// same fingerprint are coalesced: exactly one runs the search, the rest
+// wait and share its plan (Plan.Coalesced reports which happened).
 func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matrix) (*Plan, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -203,19 +221,48 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 	}
 	span := o.tracer.Start(nil, "optimize").SetInt("vertices", int64(len(g.Vertices)))
 	defer span.End()
-	var key string
-	if o.cache != nil {
-		lspan := o.tracer.Start(span, "plancache.lookup")
-		key = fmt.Sprintf("%d|%s", o.algorithm, core.Fingerprint(g, o.env))
-		ann, low, ok := o.cache.get(key)
-		lspan.SetBool("hit", ok).End()
-		if ok {
-			obs.Default().Counter("matopt.plancache.hits").Inc()
-			span.SetBool("cached", true)
-			return &Plan{ann: ann, env: o.env, cached: true, low: low}, nil
+	if o.cache == nil {
+		ann, stats, err := o.search(ctx, g, span)
+		if err != nil {
+			return nil, err
 		}
-		obs.Default().Counter("matopt.plancache.misses").Inc()
+		return &Plan{ann: ann, env: o.env, stats: stats, low: &loweredPlan{}}, nil
 	}
+	lspan := o.tracer.Start(span, "plancache.lookup")
+	key := fmt.Sprintf("%d|%s", o.algorithm, core.Fingerprint(g, o.env))
+	ann, low, ok := o.cache.get(key)
+	lspan.SetBool("hit", ok).End()
+	if ok {
+		obs.Default().Counter("matopt.plancache.hits").Inc()
+		span.SetBool("cached", true)
+		return &Plan{ann: ann, env: o.env, cached: true, low: low}, nil
+	}
+	// Cache miss: coalesce with any identical in-flight search. The
+	// leader populates the cache before waiters are released, so every
+	// later request — coalesced or not — shares one lowered plan.
+	ann, low, stats, leader, err := o.flight.do(ctx, key, func() (*core.Annotation, *loweredPlan, core.Stats, error) {
+		obs.Default().Counter("matopt.plancache.misses").Inc()
+		a, st, serr := o.search(ctx, g, span)
+		if serr != nil {
+			return nil, nil, st, serr
+		}
+		l := &loweredPlan{}
+		o.cache.put(key, a, l)
+		return a, l, st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if leader {
+		return &Plan{ann: ann, env: o.env, stats: stats, low: low}, nil
+	}
+	obs.Default().Counter("matopt.plancache.coalesced").Inc()
+	span.SetBool("coalesced", true)
+	return &Plan{ann: ann, env: o.env, coalesced: true, low: low}, nil
+}
+
+// search runs the configured optimization algorithm on g.
+func (o *Optimizer) search(ctx context.Context, g *core.Graph, span *Span) (*core.Annotation, core.Stats, error) {
 	var ann *core.Annotation
 	var err error
 	var sess *core.Session
@@ -229,13 +276,9 @@ func (o *Optimizer) OptimizeCtx(ctx context.Context, b *Builder, outputs ...Matr
 		ann, err = sess.Optimize(g)
 	}
 	if err != nil {
-		return nil, err
+		return nil, core.Stats{}, err
 	}
-	low := &loweredPlan{}
-	if o.cache != nil {
-		o.cache.put(key, ann, low)
-	}
-	return &Plan{ann: ann, env: o.env, stats: sess.Stats(), low: low}, nil
+	return ann, sess.Stats(), nil
 }
 
 func (o *Optimizer) newSession(ctx context.Context, span *Span) *core.Session {
@@ -263,6 +306,13 @@ func (p *Plan) OptimizerStats() core.Stats { return p.stats }
 // Cached reports whether the plan was served from the plan cache rather
 // than a fresh search.
 func (p *Plan) Cached() bool { return p.cached }
+
+// Coalesced reports whether the plan was obtained by waiting on an
+// identical concurrent optimization rather than searching: of N
+// concurrent cache-missing requests for the same computation, exactly
+// one runs the search (Cached and Coalesced both false) and the other
+// N−1 coalesce onto it.
+func (p *Plan) Coalesced() bool { return p.coalesced }
 
 // Describe renders the chosen implementations, formats and re-layouts.
 func (p *Plan) Describe() string { return p.ann.Describe() }
