@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench docs-check
+.PHONY: check fmt vet build test race chaos bench docs-check
 
-check: fmt vet build test race docs-check
+check: fmt vet build test race chaos docs-check
 
 # gofmt -l prints unformatted files; fail if it prints anything.
 fmt:
@@ -32,6 +32,15 @@ test:
 race:
 	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/ ./internal/serve/
 
+# The fault-injection sweep under the race detector: seeded crash /
+# drop / delay / straggler schedules, cascading node-loss recovery,
+# checkpoint-pinned reruns, speculative re-execution and the
+# cancellation / shutdown-gap checks must all recover bit-identically
+# and leak no goroutines.
+chaos:
+	$(GO) test -race -run 'Chaos|NodeLoss|Checkpoint|Speculat|Delayed|Retries|Deadline|Shutdown|Cancel|RandomFaults' \
+		./internal/dist/
+
 # Every exported identifier in the public matopt package, the shared
 # physical-plan IR and the serving layer must carry a doc comment;
 # docscheck prints one file:line per miss.
@@ -51,6 +60,9 @@ docs-check:
 # within noise of dist_ns). BENCH_serve.json records the serving
 # layer's warm-cache throughput, p50/p99 request latency, the direct
 # in-process call it wraps, and the coalesce hit rate.
+# BENCH_recovery.json records what a sink node loss costs with lineage
+# recompute alone next to the same loss under checkpoint pins, and the
+# memory the pins hold relative to the run's resident peak.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
@@ -63,3 +75,5 @@ bench:
 		-bench BenchmarkPlanLowering -benchtime 1x ./internal/plan/
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run '^$$' \
 		-bench BenchmarkServeWarmOptimize -benchtime 200x ./internal/serve/
+	BENCH_RECOVERY_JSON=$(CURDIR)/BENCH_recovery.json $(GO) test -run '^$$' \
+		-bench BenchmarkRecovery -benchtime 1x ./internal/dist/

@@ -13,6 +13,9 @@ type execConfig struct {
 	FaultSeed   int64  // schedule seed
 	MaxRetries  int    // per-vertex retry budget
 	Fallback    bool   // degrade to sequential when retries are exhausted
+	Checkpoint  bool   // cost-model-driven checkpoint placement (dist only)
+	CkptBudget  int64  // cap on checkpoint-pinned bytes (0 = unbounded)
+	Speculate   bool   // speculative straggler re-execution (dist only)
 	Trace       bool   // print the span tree after the run
 	TraceOut    string // write a Chrome trace_event file here ("" = off)
 	Metrics     bool   // print the metrics registry after the run
@@ -51,6 +54,18 @@ func (c execConfig) validate() error {
 	}
 	if c.Faults > 0 && c.Engine != "dist" {
 		return fmt.Errorf("-faults requires -engine dist, got -engine %s", c.Engine)
+	}
+	if c.Checkpoint && c.Engine != "dist" {
+		return fmt.Errorf("-checkpoint requires -engine dist, got -engine %s", c.Engine)
+	}
+	if c.CkptBudget < 0 {
+		return fmt.Errorf("-checkpoint-budget must be non-negative, got %d", c.CkptBudget)
+	}
+	if c.CkptBudget > 0 && !c.Checkpoint {
+		return fmt.Errorf("-checkpoint-budget requires -checkpoint")
+	}
+	if c.Speculate && c.Engine != "dist" {
+		return fmt.Errorf("-speculate requires -engine dist, got -engine %s", c.Engine)
 	}
 	if c.PlanIn != "" && c.PlanOut != "" {
 		return fmt.Errorf("-plan-in and -plan-out are mutually exclusive")

@@ -42,6 +42,14 @@ func TestExecConfigValidate(t *testing.T) {
 		{"negative max retries", func(c *execConfig) { c.MaxRetries = -2 }, "-max-retries"},
 		{"faults with sim engine", func(c *execConfig) { c.Engine = "sim"; c.Faults = 3 }, "-faults requires -engine dist"},
 		{"faults with seq engine", func(c *execConfig) { c.Engine = "seq"; c.Faults = 1 }, "-faults requires -engine dist"},
+
+		{"checkpoint on dist", func(c *execConfig) { c.Checkpoint = true }, ""},
+		{"checkpoint with budget", func(c *execConfig) { c.Checkpoint = true; c.CkptBudget = 1 << 20 }, ""},
+		{"speculate on dist", func(c *execConfig) { c.Speculate = true }, ""},
+		{"checkpoint on seq", func(c *execConfig) { c.Engine = "seq"; c.Checkpoint = true }, "-checkpoint requires -engine dist"},
+		{"negative checkpoint budget", func(c *execConfig) { c.Checkpoint = true; c.CkptBudget = -1 }, "-checkpoint-budget"},
+		{"budget without checkpoint", func(c *execConfig) { c.CkptBudget = 1024 }, "-checkpoint-budget requires -checkpoint"},
+		{"speculate on sim", func(c *execConfig) { c.Engine = "sim"; c.Speculate = true }, "-speculate requires -engine dist"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

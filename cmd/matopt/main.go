@@ -87,6 +87,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	maxRetries := flag.Int("max-retries", dist.DefaultMaxRetries, "dist engine per-vertex retry budget")
 	fallback := flag.Bool("fallback", true, "degrade to the sequential engine when dist retries are exhausted")
+	checkpoint := flag.Bool("checkpoint", false, "pin cost-model-chosen intermediates resident for recovery (dist)")
+	ckptBudget := flag.Int64("checkpoint-budget", 0, "cap on checkpoint-pinned bytes, deepest vertices first (0 = unbounded)")
+	speculate := flag.Bool("speculate", false, "launch speculative duplicates of straggling dist vertices")
 	trace := flag.Bool("trace", false, "print a span tree of the run (optimizer phases, dist vertices, exchanges)")
 	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace_event file to this path")
 	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
@@ -98,7 +101,8 @@ func main() {
 	cfg := execConfig{
 		Engine: *engSel, Shards: *shards, Scale: *scale, Parallelism: *par,
 		Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
-		Fallback: *fallback, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
+		Fallback: *fallback, Checkpoint: *checkpoint, CkptBudget: *ckptBudget,
+		Speculate: *speculate, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
 		Explain: *explain, PlanOut: *planOut, PlanIn: *planIn,
 	}
 	if err := cfg.validate(); err != nil {
@@ -380,6 +384,12 @@ func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, phys *plan.P
 	opts := []dist.Option{dist.WithMaxRetries(cfg.MaxRetries)}
 	if tr != nil {
 		opts = append(opts, dist.WithTracer(tr, root))
+	}
+	if cfg.Checkpoint {
+		opts = append(opts, dist.WithCheckpointing(0, cfg.CkptBudget))
+	}
+	if cfg.Speculate {
+		opts = append(opts, dist.WithSpeculation(dist.DefaultSpeculation()))
 	}
 	if cfg.Faults > 0 {
 		ids := make([]int, 0, len(phys.Graph.Vertices))

@@ -1,0 +1,32 @@
+package costmodel
+
+// Checkpoint placement weighs the two prices of fault tolerance, as in
+// SystemML-style checkpoint injection: losing an unmaterialized
+// intermediate costs its whole ancestor recompute chain on the next
+// failure, while materializing it costs a write of its bytes up front
+// on every run. A vertex is worth checkpointing when the recompute side
+// of that inequality dominates by a configurable multiple (the multiple
+// absorbs both the failure probability and the cost model's error bars
+// — recompute time is only *paid* on failure, so a break-even placement
+// would lose on every fault-free run).
+
+// DefaultCheckpointMultiple is the recompute-to-materialize ratio above
+// which a vertex is checkpointed when the caller does not choose one.
+const DefaultCheckpointMultiple = 3.0
+
+// MaterializeSeconds estimates the cost of persisting one intermediate
+// of the given size: one job overhead (the write is a barrier) plus the
+// sequential disk transfer.
+func MaterializeSeconds(cl Cluster, bytes float64) float64 {
+	return cl.JobOverheadSec + bytes/cl.DiskBytesPerSec
+}
+
+// ShouldCheckpoint reports whether an intermediate whose loss costs
+// recomputeSec to regenerate is worth materializeSec to persist, under
+// the given multiple (<= 0 selects DefaultCheckpointMultiple).
+func ShouldCheckpoint(recomputeSec, materializeSec, multiple float64) bool {
+	if multiple <= 0 {
+		multiple = DefaultCheckpointMultiple
+	}
+	return recomputeSec > multiple*materializeSec
+}

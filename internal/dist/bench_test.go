@@ -341,3 +341,122 @@ func BenchmarkDistFaultOverhead(b *testing.B) {
 		}
 	}
 }
+
+// recoveryBenchResult is the record `make bench` writes to
+// BENCH_recovery.json: what a node loss at the sink costs with lineage
+// recompute alone next to the same loss with cost-model checkpoint
+// placement, plus the memory the pins hold relative to the run's peak.
+type recoveryBenchResult struct {
+	Workload           string  `json:"workload"`
+	Shards             int     `json:"shards"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	CleanNs            int64   `json:"clean_ns"`              // no fault: the recovery-free baseline
+	CascadeNs          int64   `json:"cascade_ns"`            // sink node loss, lineage recompute only
+	CheckpointNs       int64   `json:"checkpoint_ns"`         // sink node loss with checkpoint pins
+	CascadeDepth       int     `json:"cascade_depth"`         // redo chain length without pins
+	CheckpointDepth    int     `json:"checkpoint_depth"`      // redo chain length with pins
+	CheckpointVertices int     `json:"checkpoint_vertices"`   // pins placed by the cost model
+	CheckpointBytes    int64   `json:"checkpoint_bytes"`      // bytes the pins held at completion
+	PeakBytes          int64   `json:"peak_bytes"`            // resident peak of the pinned run
+	CkptMemOverheadPct float64 `json:"ckpt_mem_overhead_pct"` // checkpoint_bytes / peak_bytes
+	RecoveryPenaltyPct float64 `json:"recovery_penalty_pct"`  // (cascade - clean) / clean
+	CkptSavingsPct     float64 `json:"ckpt_recovery_savings"` // (cascade - checkpoint) / cascade
+}
+
+// BenchmarkRecovery measures the cascading-recompute path end to end: a
+// node loss at the sink forces the runtime to rebuild the freed
+// upstream chain, and checkpoint pins trade resident memory for a
+// shorter redo chain. When BENCH_RECOVERY_JSON names a file, the
+// comparison is written there as JSON.
+func BenchmarkRecovery(b *testing.B) {
+	const shards = 8
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	sink := ann.Graph.Vertices[len(ann.Graph.Vertices)-1].ID
+	lossPlan := func() *dist.FaultPlan {
+		return dist.NewFaultPlan(dist.Fault{Kind: dist.FaultNodeLoss, Vertex: sink})
+	}
+
+	timeRun := func(opts ...dist.Option) (time.Duration, *dist.Report) {
+		rt, err := dist.New(cl, shards, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		_, rep, err := rt.Run(context.Background(), ann, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0), rep
+	}
+
+	var clean, cascade, checkpoint time.Duration
+	var cascRep, ckptRep *dist.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := timeRun()
+		clean += d
+		d, cascRep = timeRun(dist.WithFaults(lossPlan()))
+		cascade += d
+		d, ckptRep = timeRun(dist.WithFaults(lossPlan()), dist.WithCheckpointing(0, 0))
+		checkpoint += d
+	}
+	b.StopTimer()
+
+	cleanNs := clean.Nanoseconds() / int64(b.N)
+	cascadeNs := cascade.Nanoseconds() / int64(b.N)
+	ckptNs := checkpoint.Nanoseconds() / int64(b.N)
+	b.ReportMetric(float64(cleanNs), "clean-ns/op")
+	b.ReportMetric(float64(cascadeNs), "cascade-ns/op")
+	b.ReportMetric(float64(ckptNs), "checkpoint-ns/op")
+	b.ReportMetric(float64(cascRep.MaxCascadeDepth), "cascade-depth")
+
+	if path := os.Getenv("BENCH_RECOVERY_JSON"); path != "" {
+		var memPct float64
+		if ckptRep.PeakBytes > 0 {
+			memPct = 100 * float64(ckptRep.CheckpointBytes) / float64(ckptRep.PeakBytes)
+		}
+		out, err := json.MarshalIndent(recoveryBenchResult{
+			Workload:           "matmul-chain (scaled)",
+			Shards:             shards,
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			CleanNs:            cleanNs,
+			CascadeNs:          cascadeNs,
+			CheckpointNs:       ckptNs,
+			CascadeDepth:       cascRep.MaxCascadeDepth,
+			CheckpointDepth:    ckptRep.MaxCascadeDepth,
+			CheckpointVertices: ckptRep.CheckpointVertices,
+			CheckpointBytes:    ckptRep.CheckpointBytes,
+			PeakBytes:          ckptRep.PeakBytes,
+			CkptMemOverheadPct: memPct,
+			RecoveryPenaltyPct: 100 * float64(cascadeNs-cleanNs) / float64(cleanNs),
+			CkptSavingsPct:     100 * float64(cascadeNs-ckptNs) / float64(cascadeNs),
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,9 +54,43 @@ type Runtime struct {
 	backoffCap      time.Duration
 	vertexDeadline  time.Duration
 	exchangeTimeout time.Duration
+	retrySeed       int64
+	retrySeedSet    bool
+
+	ckptOn       bool
+	ckptMultiple float64
+	ckptBudget   int64
+	spec         *Speculation
 
 	tr   *obs.Tracer
 	span *obs.Span
+}
+
+// Speculation configures straggler re-execution: once a run has at
+// least MinObservations completed vertex durations, any attempt that
+// runs longer than Multiplier × the observed p99 (but never less than
+// Floor) gets a speculative duplicate launched on rotated owner shards;
+// the first attempt to finish wins and the loser is cancelled. Both
+// attempts replay the same deterministic kernels over the same
+// immutable inputs, so the winner's result is bit-identical either way.
+type Speculation struct {
+	// MinObservations is how many completed vertices the run must have
+	// timed before deadlines are derived; below it nothing speculates.
+	// Zero or negative means speculate from the first vertex that has
+	// any estimate at all.
+	MinObservations int
+	// Multiplier scales the observed p99 vertex duration into the
+	// straggler deadline.
+	Multiplier float64
+	// Floor is the minimum deadline, guarding against spuriously tight
+	// p99 estimates early in a run.
+	Floor time.Duration
+}
+
+// DefaultSpeculation is a conservative profile: wait for 8 observations,
+// call an attempt a straggler at 3× the p99, never under 10ms.
+func DefaultSpeculation() Speculation {
+	return Speculation{MinObservations: 8, Multiplier: 3, Floor: 10 * time.Millisecond}
 }
 
 // Recovery defaults: two retries with sub-millisecond-to-50ms capped
@@ -129,6 +163,42 @@ func WithExchangeTimeout(d time.Duration) Option {
 	return func(rt *Runtime) { rt.exchangeTimeout = d }
 }
 
+// WithRetrySeed seeds the deterministic retry-backoff jitter. Without
+// this option the seed defaults to the fault plan's seed (when one is
+// installed), so a chaos run's backoff schedule is reproducible from
+// the same seed that drives its faults.
+func WithRetrySeed(seed int64) Option {
+	return func(rt *Runtime) { rt.retrySeed, rt.retrySeedSet = seed, true }
+}
+
+// WithCheckpointing enables cost-model-driven checkpoint placement: a
+// compute vertex whose recompute-from-frontier cost exceeds multiple ×
+// its materialization cost is pinned resident for recovery (exempt from
+// ref-counted frees), truncating the cascades a later node loss can
+// trigger. multiple <= 0 uses costmodel.DefaultCheckpointMultiple.
+// budgetBytes caps the total bytes pinned — deepest vertices first,
+// since a deep vertex fronts the longest recompute chain; <= 0 means
+// unbounded.
+func WithCheckpointing(multiple float64, budgetBytes int64) Option {
+	return func(rt *Runtime) {
+		rt.ckptOn = true
+		rt.ckptMultiple = multiple
+		rt.ckptBudget = budgetBytes
+	}
+}
+
+// WithSpeculation enables speculative straggler re-execution with the
+// given profile; see Speculation. Use DefaultSpeculation() for a
+// conservative starting point.
+func WithSpeculation(s Speculation) Option {
+	return func(rt *Runtime) {
+		if s.Multiplier <= 0 {
+			s.Multiplier = 3
+		}
+		rt.spec = &s
+	}
+}
+
 // DefaultShards is the shard count used when the caller does not choose
 // one: the process's GOMAXPROCS.
 func DefaultShards() int { return runtime.GOMAXPROCS(0) }
@@ -151,6 +221,9 @@ func New(cl costmodel.Cluster, shards int, opts ...Option) (*Runtime, error) {
 	}
 	for _, opt := range opts {
 		opt(rt)
+	}
+	if !rt.retrySeedSet && rt.faults != nil {
+		rt.retrySeed = rt.faults.Seed()
 	}
 	return rt, nil
 }

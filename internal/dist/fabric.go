@@ -86,8 +86,8 @@ func (f *fabric) meterFor(vertex int, kind, label string) *meter {
 // the producers may still be running, so channel close and collector
 // shutdown are handed to a background drainer; the shard workers
 // themselves stay healthy for the retry.
-func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
-	xspan := r.tr.Start(r.vspanOf(m.vertex), "exchange").
+func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
+	xspan := r.tr.Start(r.span, "exchange").
 		SetStr("kind", m.kind).SetStr("label", m.label).SetInt("vertex", int64(m.vertex))
 	defer xspan.End()
 	n := r.shards()
@@ -104,7 +104,7 @@ func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][
 			}
 		}(s)
 	}
-	drop, delay := r.rt.faults.exchangeFaults(m.vertex, m.label, r.attemptOf(m.vertex))
+	drop, delay := r.rt.faults.exchangeFaults(m.vertex, m.label, r.attempt)
 	var lost atomic.Bool
 	prodDone := make(chan error, 1)
 	go func() {
@@ -183,8 +183,8 @@ func (r *run) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][
 }
 
 // sleepCtx waits d, returning early with the context's error when the
-// run is cancelled — injected delays must never outlive a cancel.
-func (r *run) sleepCtx(d time.Duration) error {
+// attempt is cancelled — injected delays must never outlive a cancel.
+func (r *exec) sleepCtx(d time.Duration) error {
 	if d <= 0 {
 		return r.ctx.Err()
 	}
@@ -214,7 +214,7 @@ func sortMessages(ms []message) {
 
 // broadcastTuples ships every tuple of rel to every shard and returns
 // each shard's copy in key order — the broadcast-join primitive.
-func (r *run) broadcastTuples(m *meter, rel *relation) ([][]engine.Tuple, error) {
+func (r *exec) broadcastTuples(m *meter, rel *relation) ([][]engine.Tuple, error) {
 	recv, err := r.exchange(m, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range rel.parts[s] {
@@ -232,7 +232,7 @@ func (r *run) broadcastTuples(m *meter, rel *relation) ([][]engine.Tuple, error)
 
 // gatherAt ships every tuple of rel to one shard and returns them in
 // key order; used for single-tuple moves and the transform stitch.
-func (r *run) gatherAt(m *meter, rel *relation, dst int) ([]engine.Tuple, error) {
+func (r *exec) gatherAt(m *meter, rel *relation, dst int) ([]engine.Tuple, error) {
 	recv, err := r.exchange(m, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range rel.parts[s] {
@@ -249,7 +249,7 @@ func (r *run) gatherAt(m *meter, rel *relation, dst int) ([]engine.Tuple, error)
 // routeByKey re-homes every tuple of rel onto shardOf(key) — the
 // co-partitioning primitive (a no-op, and free, for relations already
 // hash partitioned).
-func (r *run) routeByKey(m *meter, rel *relation) ([][]engine.Tuple, error) {
+func (r *exec) routeByKey(m *meter, rel *relation) ([][]engine.Tuple, error) {
 	recv, err := r.exchange(m, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range rel.parts[s] {

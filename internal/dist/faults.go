@@ -45,6 +45,13 @@ const (
 	FaultDelayExchange
 	// FaultSlowShard delays every task on Shard by Delay (a straggler).
 	FaultSlowShard
+	// FaultNodeLoss fails a vertex execution attempt like FaultCrash and
+	// additionally marks the vertex's input relations as lost — the
+	// stand-in for the worker node dying and taking its resident shard
+	// data with it. The retried vertex then finds its inputs gone and
+	// the scheduler recovers by cascading lineage recompute back to the
+	// nearest resident (or checkpointed) frontier.
+	FaultNodeLoss
 )
 
 func (k FaultKind) String() string {
@@ -57,6 +64,8 @@ func (k FaultKind) String() string {
 		return "delay"
 	case FaultSlowShard:
 		return "slow"
+	case FaultNodeLoss:
+		return "node-loss"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -81,6 +90,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("delay(v%d %q attempt %d, %v)", f.Vertex, f.Label, f.Attempt, f.Delay)
 	case FaultDropExchange:
 		return fmt.Sprintf("drop(v%d %q attempt %d)", f.Vertex, f.Label, f.Attempt)
+	case FaultNodeLoss:
+		return fmt.Sprintf("node-loss(v%d attempt %d)", f.Vertex, f.Attempt)
 	default:
 		return fmt.Sprintf("crash(v%d attempt %d)", f.Vertex, f.Attempt)
 	}
@@ -98,6 +109,7 @@ type faultState struct {
 // build a fresh plan per run.
 type FaultPlan struct {
 	faults []*faultState
+	seed   int64 // the RandomFaults seed (0 for explicit plans)
 }
 
 // NewFaultPlan builds an explicit fault schedule.
@@ -113,7 +125,8 @@ func NewFaultPlan(faults ...Fault) *FaultPlan {
 // drops and delays over the given vertex IDs and a possible straggler
 // shard. Every fault targets attempt 0, so a runtime with at least one
 // retry always recovers. The same (seed, n, vertices, shards) always
-// yields the same schedule.
+// yields the same schedule — TestRandomFaultsGolden locks the output
+// across releases, so the case distribution below must never change.
 func RandomFaults(seed int64, n int, vertices []int, shards int) *FaultPlan {
 	rng := rand.New(rand.NewSource(seed))
 	var fs []Fault
@@ -135,7 +148,19 @@ func RandomFaults(seed int64, n int, vertices []int, shards int) *FaultPlan {
 				Delay: 50 * time.Microsecond})
 		}
 	}
-	return NewFaultPlan(fs...)
+	p := NewFaultPlan(fs...)
+	p.seed = seed
+	return p
+}
+
+// Seed returns the seed a RandomFaults schedule was derived from (0 for
+// explicit plans); the runtime's jittered retry backoff defaults to it
+// so chaos runs stay reproducible end to end.
+func (p *FaultPlan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
 }
 
 // Faults returns the scheduled faults, fired or not.
@@ -173,6 +198,26 @@ func (p *FaultPlan) crash(vertex, attempt int) *Fault {
 	}
 	for _, f := range p.faults {
 		if f.Kind != FaultCrash || f.Attempt != attempt {
+			continue
+		}
+		if f.Vertex != -1 && f.Vertex != vertex {
+			continue
+		}
+		if f.fired.CompareAndSwap(false, true) {
+			return &f.Fault
+		}
+	}
+	return nil
+}
+
+// loses returns the matching node-loss fault for this vertex attempt,
+// claiming it so it fires exactly once.
+func (p *FaultPlan) loses(vertex, attempt int) *Fault {
+	if p == nil {
+		return nil
+	}
+	for _, f := range p.faults {
+		if f.Kind != FaultNodeLoss || f.Attempt != attempt {
 			continue
 		}
 		if f.Vertex != -1 && f.Vertex != vertex {

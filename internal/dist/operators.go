@@ -18,7 +18,10 @@ import (
 // internal/engine/executors.go operation for operation: same kernels,
 // same pairing, and — via (key, seq)-sorted exchanges — the same
 // floating-point reduction order, so results are byte-identical.
-type distExec func(r *run, n *plan.Node, ins []*relation) (*relation, error)
+// Executors take the per-attempt exec view so a speculative duplicate
+// of a straggling attempt can run concurrently with the primary without
+// sharing attempt state (context, span, owner-shard rotation).
+type distExec func(r *exec, n *plan.Node, ins []*relation) (*relation, error)
 
 var distExecutors = map[string]distExec{}
 
@@ -71,7 +74,7 @@ func (r *run) singleRelAt(f format.Format, s shape.Shape, density float64, t eng
 // colocate moves the smaller of two one-tuple relations to the shard
 // holding the larger (the movement the cost model prices as min-bytes)
 // and returns both tuples plus the compute site.
-func (r *run) colocate(n *plan.Node, a, b *relation) (engine.Tuple, engine.Tuple, int, error) {
+func (r *exec) colocate(n *plan.Node, a, b *relation) (engine.Tuple, engine.Tuple, int, error) {
 	ta, sa, err := a.soleTuple()
 	if err != nil {
 		return engine.Tuple{}, engine.Tuple{}, -1, err
@@ -106,7 +109,7 @@ func (r *run) colocate(n *plan.Node, a, b *relation) (engine.Tuple, engine.Tuple
 
 // broadcastSingleDense broadcasts a one-tuple dense relation and
 // returns each shard's copy.
-func (r *run) broadcastSingleDense(n *plan.Node, rel *relation, label string) ([]*tensor.Dense, error) {
+func (r *exec) broadcastSingleDense(n *plan.Node, rel *relation, label string) ([]*tensor.Dense, error) {
 	if _, _, err := rel.singleDense(); err != nil {
 		return nil, err
 	}
@@ -125,7 +128,7 @@ func (r *run) broadcastSingleDense(n *plan.Node, rel *relation, label string) ([
 	return out, nil
 }
 
-func dMMSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleDense(); err != nil {
 		return nil, err
 	}
@@ -146,7 +149,7 @@ func dMMSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return rel, err
 }
 
-func dMMBcastSingleColStrip(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMBcastSingleColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
@@ -164,7 +167,7 @@ func dMMBcastSingleColStrip(r *run, n *plan.Node, ins []*relation) (*relation, e
 	return &relation{format: ins[1].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -182,7 +185,7 @@ func dMMRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, e
 	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMRowStripColStrip(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMRowStripColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	// Broadcast the smaller side; every (rowstrip, colstrip) pair is
 	// multiplied where the larger side's tuple lives, and each output
 	// tile is shuffled to its home shard.
@@ -220,7 +223,7 @@ func dMMRowStripColStrip(r *run, n *plan.Node, ins []*relation) (*relation, erro
 		parts: messageTuples(recv)}, nil
 }
 
-func dMMColStripRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	// Co-partition by contraction index: A's colstrip (0, k) joins B's
 	// rowstrip (k, 0) on shardOf((k, 0)) — B is already home there, so
 	// only A moves. Partial products then aggregate on the owner shard
@@ -277,7 +280,7 @@ func dMMColStripRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, e
 // where pair() says the pair is resident, and group-by-SUM reduces the
 // partial products onto each output tile's home shard in contraction
 // order — shared by the shuffle and broadcast tile strategies.
-func tileTileProducts(r *run, n *plan.Node, blk int64,
+func tileTileProducts(r *exec, n *plan.Node, blk int64,
 	produce func(shard int, emit func(ta, tb engine.Tuple)) error) (*relation, error) {
 	sh := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(out)")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
@@ -306,7 +309,7 @@ func tileTileProducts(r *run, n *plan.Node, blk int64,
 	return &relation{format: format.NewTile(blk), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMTileTileShuffle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMTileTileShuffle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	// Shuffle both sides by contraction index k so tile pairs meet on
 	// shardOf((k, k)).
 	cOf := func(k int64) int { return r.shardOf(engine.Key{I: k, J: k}) }
@@ -346,7 +349,7 @@ func dMMTileTileShuffle(r *run, n *plan.Node, ins []*relation) (*relation, error
 	})
 }
 
-func dMMTileTileBcast(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMTileTileBcast(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	// Broadcast the smaller side; each pair is multiplied where the
 	// larger side's tile lives (exactly once, since that tile is unique
 	// to one shard).
@@ -385,7 +388,7 @@ func dMMTileTileBcast(r *run, n *plan.Node, ins []*relation) (*relation, error) 
 	})
 }
 
-func dMMBcastSingleTile(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMBcastSingleTile(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
@@ -421,7 +424,7 @@ func dMMBcastSingleTile(r *run, n *plan.Node, ins []*relation) (*relation, error
 	return &relation{format: format.NewColStrip(ins[1].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMTileBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMTileBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -457,7 +460,7 @@ func dMMTileBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error
 	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMCSRSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMCSRSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleCSR(); err != nil {
 		return nil, err
 	}
@@ -478,7 +481,7 @@ func dMMCSRSingleSingle(r *run, n *plan.Node, ins []*relation) (*relation, error
 	return rel, err
 }
 
-func dMMBcastCSRRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMBcastCSRRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleCSR(); err != nil {
 		return nil, err
 	}
@@ -521,7 +524,7 @@ func dMMBcastCSRRowStripAgg(r *run, n *plan.Node, ins []*relation) (*relation, e
 	return rel, err
 }
 
-func dMMCSRRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMCSRRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -539,7 +542,7 @@ func dMMCSRRowStripBcastSingle(r *run, n *plan.Node, ins []*relation) (*relation
 	return &relation{format: format.NewRowStrip(ins[0].format.Block), shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dMMBcastCOOSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMMBcastCOOSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -602,7 +605,7 @@ func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
 	panic(fmt.Sprintf("dist: %v is not an elementwise op", k))
 }
 
-func dEWSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dEWSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if _, _, err := ins[0].singleDense(); err != nil {
 		return nil, err
 	}
@@ -624,7 +627,7 @@ func dEWSingle(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return rel, err
 }
 
-func dEWCoPart(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dEWCoPart(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	// Re-home both sides onto shardOf(key) — free for relations already
 	// hash partitioned — then join locally per shard.
 	cp := r.fab.meterFor(n.Vertex, "copart", "co-partition join")
@@ -679,7 +682,7 @@ func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
 	panic(fmt.Sprintf("dist: %v is not a map op", o.Kind))
 }
 
-func dMap(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dMap(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	kern := mapKernel(n.Op)
 	parts := make([][]engine.Tuple, r.shards())
 	err := r.parallel(func(s int) error {
@@ -702,7 +705,7 @@ func dMap(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return &relation{format: ins[0].format, shape: n.OutShape, density: ins[0].density, parts: parts}, nil
 }
 
-func dAddBias(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dAddBias(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(bias)")
 	if err != nil {
 		return nil, err
@@ -720,17 +723,17 @@ func dAddBias(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dRowSums(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dRowSums(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	return dLocalMap(r, n, ins[0], tensor.RowSums)
 }
 
-func dColSums(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dColSums(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	return dLocalMap(r, n, ins[0], tensor.ColSums)
 }
 
 // dLocalMap applies a per-tuple dense kernel shard-locally, keeping
 // keys and placement.
-func dLocalMap(r *run, n *plan.Node, in *relation, kern func(*tensor.Dense) *tensor.Dense) (*relation, error) {
+func dLocalMap(r *exec, n *plan.Node, in *relation, kern func(*tensor.Dense) *tensor.Dense) (*relation, error) {
 	parts := make([][]engine.Tuple, r.shards())
 	err := r.parallel(func(s int) error {
 		for _, t := range sortedShard(in, s) {
@@ -744,7 +747,7 @@ func dLocalMap(r *run, n *plan.Node, in *relation, kern func(*tensor.Dense) *ten
 	return &relation{format: in.format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func dTransposeDense(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dTransposeDense(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	in := ins[0]
 	var outFmt format.Format
 	switch in.format.Kind {
@@ -788,7 +791,7 @@ func dTransposeDense(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return &relation{format: outFmt, shape: n.OutShape, density: in.density, parts: messageTuples(recv)}, nil
 }
 
-func dTransposeCSR(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dTransposeCSR(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	a, holder, err := ins[0].singleCSR()
 	if err != nil {
 		return nil, err
@@ -803,7 +806,7 @@ func dTransposeCSR(r *run, n *plan.Node, ins []*relation) (*relation, error) {
 	return rel, err
 }
 
-func dInverse(r *run, n *plan.Node, ins []*relation) (*relation, error) {
+func dInverse(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	a, holder, err := ins[0].singleDense()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"matopt/internal/engine"
 	"matopt/internal/format"
@@ -19,7 +20,21 @@ type relation struct {
 	shape   shape.Shape
 	density float64
 	parts   [][]engine.Tuple // parts[s] = tuples resident on shard s
+
+	// lost marks the relation's shard data as gone (an injected
+	// node-loss fault): the scheduler must recompute it from lineage
+	// before any further consumer runs. The payload is deliberately not
+	// zeroed — a consumer that already snapshotted the relation before
+	// the loss keeps reading intact data, exactly as a consumer that
+	// had already fetched the shard's pages would on a real cluster.
+	lost atomic.Bool
 }
+
+// markLost flags the relation's resident data as lost.
+func (rel *relation) markLost() { rel.lost.Store(true) }
+
+// isLost reports whether the relation's resident data was lost.
+func (rel *relation) isLost() bool { return rel.lost.Load() }
 
 // asEngine views the relation through the engine's type so the shared
 // Assemble/Chunk helpers apply.

@@ -39,6 +39,14 @@ type Report struct {
 	RetriesByVertex map[int]int // vertex ID → recomputations (nil when none)
 	Degraded        bool        // run fell back to the sequential engine
 	DegradedCause   string      // the dist failure that forced the fallback
+
+	Cascades            int64       // cascading lineage recomputes triggered
+	CascadesByVertex    map[int]int // failing vertex ID → cascades (nil when none)
+	MaxCascadeDepth     int         // deepest ancestor chain re-executed by one cascade
+	SpeculativeLaunches int64       // speculative duplicate attempts launched
+	SpeculativeWins     int64       // speculative attempts that beat their primary
+	CheckpointVertices  int         // vertices pinned resident for recovery
+	CheckpointBytes     int64       // bytes held by checkpoint pins at run end
 }
 
 // BusiestShard returns the largest per-shard busy time.
@@ -84,6 +92,18 @@ func (r *Report) String() string {
 			b.WriteString(")")
 		}
 		b.WriteString("\n")
+	}
+	if r.Cascades > 0 {
+		fmt.Fprintf(&b, "  cascades: %d lineage recomputes, deepest chain %d vertices\n",
+			r.Cascades, r.MaxCascadeDepth)
+	}
+	if r.SpeculativeLaunches > 0 {
+		fmt.Fprintf(&b, "  speculation: %d duplicates launched, %d won\n",
+			r.SpeculativeLaunches, r.SpeculativeWins)
+	}
+	if r.CheckpointVertices > 0 {
+		fmt.Fprintf(&b, "  checkpoints: %d vertices pinned, %d B held\n",
+			r.CheckpointVertices, r.CheckpointBytes)
 	}
 	if r.Degraded {
 		fmt.Fprintf(&b, "  DEGRADED to sequential engine: %s\n", r.DegradedCause)
@@ -164,6 +184,25 @@ func reportFromRegistry(snap []obs.Metric) *Report {
 				rep.RetriesByVertex[v] += int(m.Value)
 				rep.Retries += m.Value
 			}
+		case "dist.cascades":
+			v, err := strconv.Atoi(label(m, "vertex"))
+			if err == nil && m.Value > 0 {
+				if rep.CascadesByVertex == nil {
+					rep.CascadesByVertex = make(map[int]int)
+				}
+				rep.CascadesByVertex[v] += int(m.Value)
+				rep.Cascades += m.Value
+			}
+		case "dist.cascade.depth":
+			rep.MaxCascadeDepth = int(m.Value)
+		case "dist.speculative.launches":
+			rep.SpeculativeLaunches = m.Value
+		case "dist.speculative.wins":
+			rep.SpeculativeWins = m.Value
+		case "dist.checkpoint.vertices":
+			rep.CheckpointVertices = int(m.Value)
+		case "dist.checkpoint.bytes":
+			rep.CheckpointBytes = m.Value
 		}
 	}
 	rep.ShardBusy = make([]time.Duration, rep.Shards)

@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -25,10 +27,64 @@ var (
 	// exchange timeout.
 	ErrExchangeTimeout = errors.New("dist: exchange timed out")
 	// ErrRetriesExhausted reports that a vertex kept failing past the
-	// runtime's retry budget or per-vertex deadline; it wraps the last
-	// attempt's error.
+	// runtime's retry budget or per-vertex deadline. Every occurrence is
+	// wrapped in a RetriesExhaustedError carrying the failing vertex,
+	// the attempt count and the root-cause fault.
 	ErrRetriesExhausted = errors.New("dist: vertex retries exhausted")
+
+	// errInputsLost is the sentinel under every lostInputsError; it is
+	// deliberately not retryable in place — re-running the vertex with
+	// the same lost inputs cannot succeed, only a cascading lineage
+	// recompute by the scheduler can.
+	errInputsLost = errors.New("dist: vertex inputs lost")
 )
+
+// RetriesExhaustedError is the actionable form of ErrRetriesExhausted:
+// which vertex gave up, after how many attempts (or cascades), and the
+// last attempt's root-cause error. errors.Is matches both
+// ErrRetriesExhausted and anything the cause wraps (e.g.
+// ErrShardFailed), so existing callers keep working; Report and the
+// serve layer surface the fields instead of a bare sentinel.
+type RetriesExhaustedError struct {
+	// Vertex is the failing vertex's ID.
+	Vertex int
+	// Attempts counts the executions (or cascading recomputes) taken.
+	Attempts int
+	// Deadline is the per-vertex recovery deadline that expired, zero
+	// when the retry budget (not the deadline) was exhausted.
+	Deadline time.Duration
+	// Cause is the last attempt's error.
+	Cause error
+}
+
+// Error renders the vertex, attempt count and root cause.
+func (e *RetriesExhaustedError) Error() string {
+	if e.Deadline > 0 {
+		return fmt.Sprintf("%v: vertex %d exceeded its %v recovery deadline after %d attempts: %v",
+			ErrRetriesExhausted, e.Vertex, e.Deadline, e.Attempts, e.Cause)
+	}
+	return fmt.Sprintf("%v: vertex %d failed %d times: %v",
+		ErrRetriesExhausted, e.Vertex, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the root cause to errors.Is/As.
+func (e *RetriesExhaustedError) Unwrap() []error { return []error{ErrRetriesExhausted, e.Cause} }
+
+// lostInputsError reports that a vertex attempt found one of its input
+// relations marked lost. It is raised inside the attempt but handled by
+// the scheduler, which walks lineage backwards and re-executes the
+// missing chain.
+type lostInputsError struct {
+	vertex int // the consuming vertex
+	arg    int // the first lost argument position
+}
+
+func (e *lostInputsError) Error() string {
+	return fmt.Sprintf("dist: vertex %d input %d was lost with its shard; cascading recompute required",
+		e.vertex, e.arg)
+}
+
+func (e *lostInputsError) Unwrap() error { return errInputsLost }
 
 // retryable reports whether an attempt error is transient: only shard
 // failures and exchange timeouts are worth re-executing a vertex for.
@@ -37,11 +93,13 @@ func retryable(err error) bool {
 }
 
 // lineage is the recovery record of one relation: which vertex produced
-// it under which physical operator, and how many attempts that took. Because
-// the scheduler ref-counts every relation until its last consumer has
-// *completed* (not merely started), a failed consumer's inputs are
-// always still resident — recomputing a vertex never requires rerunning
-// its ancestors, exactly the property RDD lineage buys Spark.
+// it under which physical operator, and how many attempts that took.
+// The scheduler ref-counts every relation until its last consumer has
+// *completed* (not merely started), so a failed consumer's direct
+// inputs are normally still resident and a single-hop retry suffices —
+// the property RDD lineage buys Spark. When a node loss takes the
+// resident inputs with it, the same records drive the cascading
+// recompute back to the nearest intact frontier.
 type lineage struct {
 	vertex   int    // producing vertex ID
 	impl     string // physical operator name from the plan ("load" for sources)
@@ -50,31 +108,24 @@ type lineage struct {
 
 // runGroup executes one recovery group (a vertex's fused plan nodes)
 // with recovery: transient failures (ErrShardFailed,
-// ErrExchangeTimeout) are retried with capped exponential backoff up to
-// the runtime's retry budget and per-vertex deadline; deterministic
-// inputs make every re-execution produce the same bits as a fault-free
-// run. The input snapshot is re-copied per attempt so a retry re-derives
-// the fused re-layouts from the original relations rather than a
-// half-transformed attempt state.
+// ErrExchangeTimeout) are retried with capped, jittered exponential
+// backoff up to the runtime's retry budget and per-vertex deadline;
+// deterministic inputs make every re-execution produce the same bits as
+// a fault-free run. The input snapshot is re-copied per attempt so a
+// retry re-derives the fused re-layouts from the original relations
+// rather than a half-transformed attempt state. Lost inputs are not
+// retried in place — the error escalates to the scheduler's cascade.
 func (r *run) runGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
 	start := time.Now()
 	vspan := r.tr.Start(r.span, "vertex").
 		SetInt("id", int64(gr.vertex)).SetStr("impl", gr.node.Name).
 		SetInt("node", int64(gr.node.ID)).SetStr("strategy", gr.node.Strategy)
 	defer func() {
-		r.vspan[gr.vertex].Store(nil)
 		r.vsec.Observe(time.Since(start).Seconds())
 		vspan.End()
 	}()
 	for attempt := 0; ; attempt++ {
-		r.setAttempt(gr.vertex, attempt)
-		aspan := r.tr.Start(vspan, "attempt").SetInt("n", int64(attempt))
-		if aspan != nil {
-			r.vspan[gr.vertex].Store(aspan) // exchanges of this attempt nest here
-		}
-		attemptIns := append([]*relation(nil), ins...)
-		rel, err := r.execGroup(gr, attemptIns, inputs)
-		aspan.End()
+		rel, err := r.runAttempt(gr, ins, inputs, vspan, attempt)
 		if err == nil {
 			r.recordLineage(gr, attempt+1)
 			vspan.SetInt("attempts", int64(attempt+1))
@@ -85,20 +136,22 @@ func (r *run) runGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor
 			// than whatever the teardown surfaced as.
 			return nil, fmt.Errorf("dist: vertex %d aborted: %w", gr.vertex, cerr)
 		}
+		var lost *lostInputsError
+		if errors.As(err, &lost) {
+			return nil, err // only the scheduler's cascade can fix this
+		}
 		if !retryable(err) {
 			return nil, err
 		}
 		if attempt >= r.rt.maxRetries {
-			return nil, fmt.Errorf("%w: vertex %d failed %d times: %w",
-				ErrRetriesExhausted, gr.vertex, attempt+1, err)
+			return nil, &RetriesExhaustedError{Vertex: gr.vertex, Attempts: attempt + 1, Cause: err}
 		}
 		if dl := r.rt.vertexDeadline; dl > 0 && time.Since(start) >= dl {
-			return nil, fmt.Errorf("%w: vertex %d exceeded its %v recovery deadline: %w",
-				ErrRetriesExhausted, gr.vertex, dl, err)
+			return nil, &RetriesExhaustedError{Vertex: gr.vertex, Attempts: attempt + 1, Deadline: dl, Cause: err}
 		}
 		r.recordRetry(gr.vertex)
 		bspan := r.tr.Start(vspan, "retry.backoff").SetInt("attempt", int64(attempt))
-		berr := r.sleepBackoff(attempt)
+		berr := r.sleepBackoff(gr.vertex, attempt)
 		bspan.End()
 		if berr != nil {
 			return nil, fmt.Errorf("dist: vertex %d aborted during retry backoff: %w", gr.vertex, berr)
@@ -106,13 +159,147 @@ func (r *run) runGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor
 	}
 }
 
-// sleepBackoff waits the capped exponential backoff for the given
-// attempt, returning early with the context's error on cancellation.
-func (r *run) sleepBackoff(attempt int) error {
-	d := r.rt.backoffBase << uint(attempt)
-	if d > r.rt.backoffCap || d <= 0 {
-		d = r.rt.backoffCap
+// runAttempt runs one execution attempt of a group. When speculation is
+// enabled and the run's vertex-duration histogram has enough
+// observations to derive a deadline, the attempt is raced against a
+// straggler timer: if the primary has not finished by the p99-derived
+// deadline, a speculative duplicate launches with rotated owner shards
+// and the first successful result wins — both attempts replay the same
+// deterministic kernels over the same immutable inputs, so winner and
+// loser are bit-identical and either result is correct. The loser is
+// cancelled and drained on the run's attempt WaitGroup so shutdown
+// never races a straggling task against queue close.
+func (r *run) runAttempt(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense,
+	vspan *obs.Span, attempt int) (*relation, error) {
+	deadline := r.specDeadline()
+	if deadline <= 0 {
+		aspan := r.tr.Start(vspan, "attempt").SetInt("n", int64(attempt))
+		defer aspan.End()
+		x := &exec{run: r, ctx: r.ctx, attempt: attempt, span: aspan}
+		return x.execGroup(gr, append([]*relation(nil), ins...), inputs)
 	}
+
+	type outcome struct {
+		rel  *relation
+		err  error
+		spec bool
+	}
+	// Capacity 2 so neither attempt ever blocks sending its result: a
+	// loser finishing after runAttempt returned must still exit.
+	resc := make(chan outcome, 2)
+	pctx, pcancel := context.WithCancel(r.ctx)
+	defer pcancel()
+	sctx, scancel := context.WithCancel(r.ctx)
+	defer scancel()
+	start := func(ctx context.Context, spec bool) {
+		r.specWG.Add(1)
+		go func() {
+			defer r.specWG.Done()
+			name, off := "attempt", 0
+			if spec {
+				name, off = "attempt.speculative", 1
+			}
+			aspan := r.tr.Start(vspan, name).SetInt("n", int64(attempt))
+			x := &exec{run: r, ctx: ctx, attempt: attempt, ownerOff: off, span: aspan}
+			rel, err := x.execGroup(gr, append([]*relation(nil), ins...), inputs)
+			aspan.End()
+			resc <- outcome{rel: rel, err: err, spec: spec}
+		}()
+	}
+	start(pctx, false)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	running, specLaunched := 1, false
+	var primaryErr, specErr error
+	for {
+		select {
+		case <-timer.C:
+			if !specLaunched {
+				specLaunched = true
+				running++
+				r.reg.Counter("dist.speculative.launches").Inc()
+				vspan.SetInt("speculated", 1)
+				start(sctx, true)
+			}
+		case out := <-resc:
+			running--
+			if out.err == nil {
+				if out.spec {
+					r.reg.Counter("dist.speculative.wins").Inc()
+					pcancel()
+				} else {
+					scancel()
+				}
+				// A still-running loser drains through the buffered
+				// channel and exits via specWG; its error is discarded.
+				return out.rel, nil
+			}
+			if out.spec {
+				specErr = out.err
+			} else {
+				primaryErr = out.err
+			}
+			if running > 0 {
+				continue // the other attempt may still succeed
+			}
+			if primaryErr != nil {
+				return nil, primaryErr
+			}
+			return nil, specErr
+		}
+	}
+}
+
+// specDeadline derives the straggler deadline for the next attempt from
+// the run's own vertex-duration histogram: Multiplier × p99, floored at
+// Floor. Zero means "do not speculate": speculation disabled, too few
+// observations yet, or the p99 landed in the histogram's overflow
+// bucket (no finite estimate).
+func (r *run) specDeadline() time.Duration {
+	sp := r.rt.spec
+	if sp == nil {
+		return 0
+	}
+	if r.vsec.Count() < int64(sp.MinObservations) {
+		return 0
+	}
+	q := r.vsec.Quantile(0.99)
+	if q <= 0 || math.IsInf(q, 1) {
+		return 0
+	}
+	d := time.Duration(q * sp.Multiplier * float64(time.Second))
+	if d < sp.Floor {
+		d = sp.Floor
+	}
+	return d
+}
+
+// backoffDelay returns the jittered pause before retry `attempt` of a
+// vertex: exponential growth from backoffBase capped at backoffCap,
+// then equal jitter — half the nominal delay is kept fixed and the
+// other half is scaled by a hash of (retry seed, vertex, attempt) — so
+// every wait stays at least half the nominal backoff while concurrent
+// retries decorrelate.
+func (rt *Runtime) backoffDelay(vertex, attempt int) time.Duration {
+	d := rt.backoffBase << uint(attempt)
+	if d > rt.backoffCap || d <= 0 {
+		d = rt.backoffCap
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(jitterFrac(rt.retrySeed, vertex, attempt)*float64(half))
+}
+
+// sleepBackoff waits the capped exponential backoff for the given
+// attempt with equal jitter: the wait is d/2 plus a deterministic
+// fraction of d/2 derived from (retry seed, vertex, attempt), so
+// simultaneous shard failures fan out instead of retrying in lockstep
+// while chaos runs stay reproducible under their fault seed. Returns
+// early with the context's error on cancellation.
+func (r *run) sleepBackoff(vertex, attempt int) error {
+	d := r.rt.backoffDelay(vertex, attempt)
 	if d <= 0 {
 		return r.ctx.Err()
 	}
@@ -126,19 +313,17 @@ func (r *run) sleepBackoff(attempt int) error {
 	}
 }
 
-// setAttempt records which execution attempt of a vertex is in flight,
-// so exchanges started on its behalf consult the fault plan with the
-// right attempt number. One vertex runs one attempt at a time.
-func (r *run) setAttempt(vertex, attempt int) {
-	r.att[vertex].Store(int32(attempt))
-}
-
-// attemptOf returns the vertex's in-flight attempt number.
-func (r *run) attemptOf(vertex int) int {
-	if vertex < 0 || vertex >= len(r.att) {
-		return 0
-	}
-	return int(r.att[vertex].Load())
+// jitterFrac hashes (seed, vertex, attempt) to a fraction in [0, 1)
+// with a splitmix64 finalizer: pure, order-independent and
+// schedule-independent, so the jitter a vertex's attempt draws never
+// depends on which other vertices retried first.
+func jitterFrac(seed int64, vertex, attempt int) float64 {
+	z := uint64(seed) ^ uint64(vertex)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
 }
 
 // recordRetry meters one recomputation of a vertex into the run's

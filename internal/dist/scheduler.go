@@ -2,13 +2,15 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"matopt/internal/core"
+	"matopt/internal/costmodel"
 	"matopt/internal/engine"
 	"matopt/internal/format"
 	"matopt/internal/obs"
@@ -74,8 +76,8 @@ func buildGroups(p *plan.Plan) ([]*planGroup, error) {
 // a task queue, the comms fabric, the lowered physical plan being
 // executed, the run's metrics registry (every meter and timer lands
 // there; the final Report is a view over it), the optional tracer, and
-// the recovery bookkeeping (per-vertex attempt counters and lineage
-// records).
+// the recovery bookkeeping (lineage records, cascade counters, in-flight
+// speculative attempts).
 type run struct {
 	rt      *Runtime
 	ctx     context.Context
@@ -84,22 +86,38 @@ type run struct {
 	fab     *fabric
 	tasks   []chan func()
 	workers sync.WaitGroup
+	specWG  sync.WaitGroup // in-flight attempt goroutines (primary + speculative)
 
-	reg   *obs.Registry              // per-run metrics; merged into obs.Default at report time
-	tr    *obs.Tracer                // nil when tracing is disabled
-	span  *obs.Span                  // the run's "dist.run" root span
-	vspan []atomic.Pointer[obs.Span] // per vertex: the in-flight attempt's span
-	qwait *obs.Histogram             // dist.queue.wait.seconds
-	vsec  *obs.Histogram             // dist.vertex.seconds
+	reg   *obs.Registry  // per-run metrics; merged into obs.Default at report time
+	tr    *obs.Tracer    // nil when tracing is disabled
+	span  *obs.Span      // the run's "dist.run" root span
+	qwait *obs.Histogram // dist.queue.wait.seconds
+	vsec  *obs.Histogram // dist.vertex.seconds — feeds the speculation deadline
 
-	att      []atomic.Int32  // in-flight execution attempt, per vertex
-	recMu    sync.Mutex      // guards lineages
-	lineages map[int]lineage // vertex ID → recovery record
+	casc     map[int]int // vertex ID → cascading recomputes taken (scheduler goroutine only)
+	recMu    sync.Mutex  // guards lineages
+	lineages map[int]lineage
+}
+
+// exec is one attempt's view of the run: the embedded run carries all
+// shared state (shards, fabric, registry), while the attempt-scoped
+// fields shadow it — ctx so a speculative loser can be cancelled without
+// touching the primary, span so exchanges nest under the right attempt,
+// attempt so fault matchers see the right number, and ownerOff so a
+// speculative duplicate computes on rotated owner shards (away from the
+// straggler that triggered it). Every operator and exchange primitive
+// takes *exec; promotion keeps the shared methods (on, parallel,
+// shards, shardOf, submit) reachable unchanged.
+type exec struct {
+	*run
+	ctx      context.Context
+	attempt  int
+	ownerOff int
+	span     *obs.Span
 }
 
 func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup) *run {
 	reg := obs.NewRegistry()
-	nv := len(p.Graph.Vertices)
 	r := &run{
 		rt:     rt,
 		ctx:    ctx,
@@ -109,10 +127,9 @@ func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup)
 		tr:     rt.tr,
 		fab:    &fabric{shards: rt.shards, reg: reg},
 		tasks:  make([]chan func(), rt.shards),
-		vspan:  make([]atomic.Pointer[obs.Span], nv),
 		qwait:  reg.Histogram("dist.queue.wait.seconds", obs.DefaultDurationBuckets()),
 		vsec:   reg.Histogram("dist.vertex.seconds", obs.DefaultDurationBuckets()),
-		att:    make([]atomic.Int32, nv),
+		casc:   make(map[int]int),
 	}
 	r.span = rt.tr.Start(rt.span, "dist.run").SetInt("shards", int64(rt.shards))
 	for s := 0; s < rt.shards; s++ {
@@ -135,20 +152,11 @@ func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup)
 	return r
 }
 
-// vspanOf returns the span of the vertex's in-flight attempt, under
-// which its exchanges nest; nil when tracing is off or the vertex is
-// out of range (a defensive case for meters registered outside a
-// vertex's run).
-func (r *run) vspanOf(vertex int) *obs.Span {
-	if vertex < 0 || vertex >= len(r.vspan) {
-		return nil
-	}
-	return r.vspan[vertex].Load()
-}
-
-// stop shuts the shard pools down and waits for every worker to exit,
-// so a finished (or cancelled) run leaks no goroutines.
+// stop shuts the run down leak-free: first wait for every attempt
+// goroutine — a cancelled speculative loser may still be submitting
+// tasks — then close the shard queues and wait for the workers.
 func (r *run) stop() {
+	r.specWG.Wait()
 	for _, ch := range r.tasks {
 		close(ch)
 	}
@@ -168,12 +176,14 @@ func (r *run) shardOf(k engine.Key) int {
 // ownerShard is the deterministic home of a vertex's single-tuple
 // output: spreading owners by vertex ID keeps independent single-chunk
 // chains on different shards, which is where the DAG parallelism of
-// single-format plans comes from.
-func (r *run) ownerShard(id int) int {
+// single-format plans comes from. A speculative attempt's ownerOff
+// rotates every owner so the duplicate's tasks land on different
+// workers than the straggling primary's.
+func (x *exec) ownerShard(id int) int {
 	if id < 0 {
 		id = -id
 	}
-	return id % r.shards()
+	return (id + x.ownerOff) % x.shards()
 }
 
 // submit queues fn on one shard's worker, metering how long the task
@@ -224,23 +234,82 @@ func (r *run) on(shard int, fn func() error) error {
 // place distributes freshly produced tuples: chunked-kind formats are
 // hash partitioned by key; single-kind formats live on the producing
 // vertex's owner shard.
-func (r *run) place(vertex int, f format.Format, s shape.Shape, density float64, tuples []engine.Tuple) *relation {
-	parts := make([][]engine.Tuple, r.shards())
+func (x *exec) place(vertex int, f format.Format, s shape.Shape, density float64, tuples []engine.Tuple) *relation {
+	parts := make([][]engine.Tuple, x.shards())
 	if f.Kind == format.Single || f.Kind == format.CSRSingle {
-		parts[r.ownerShard(vertex)] = tuples
+		parts[x.ownerShard(vertex)] = tuples
 	} else {
 		for _, t := range tuples {
-			d := r.shardOf(t.Key)
+			d := x.shardOf(t.Key)
 			parts[d] = append(parts[d], t)
 		}
 	}
 	return &relation{format: f, shape: s, density: density, parts: parts}
 }
 
+// checkpointPins re-derives the pin-for-recovery set from the plan's
+// pure per-node recompute/materialize costs under this runtime's
+// configured checkpoint multiple and memory budget. The plan itself
+// stores only knob-free per-node costs (Plan.Physical is memoized and
+// shared across cache hits), so two executors with different knobs can
+// pin differently off the same plan. Under a budget the greedy order is
+// deepest-first: a deep vertex fronts the longest recompute chain, so
+// pinning it truncates the worst cascades first.
+func (r *run) checkpointPins() map[int]bool {
+	rt := r.rt
+	if !rt.ckptOn {
+		return nil
+	}
+	retained := make(map[int]bool, len(r.pl.Retained))
+	for _, id := range r.pl.Retained {
+		retained[id] = true
+	}
+	var cands []*plan.Node
+	for _, n := range r.pl.Nodes {
+		if n.Kind != plan.KindCompute || retained[n.Vertex] {
+			continue
+		}
+		if costmodel.ShouldCheckpoint(n.RecomputeSeconds, n.MaterializeSeconds, rt.ckptMultiple) {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	pins := make(map[int]bool, len(cands))
+	if rt.ckptBudget <= 0 {
+		for _, n := range cands {
+			pins[n.Vertex] = true
+		}
+		return pins
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Depth != cands[j].Depth {
+			return cands[i].Depth > cands[j].Depth
+		}
+		if cands[i].RecomputeSeconds != cands[j].RecomputeSeconds {
+			return cands[i].RecomputeSeconds > cands[j].RecomputeSeconds
+		}
+		return cands[i].Vertex < cands[j].Vertex
+	})
+	var used int64
+	for _, n := range cands {
+		b := n.OutBytes()
+		if used+b > rt.ckptBudget {
+			continue
+		}
+		used += b
+		pins[n.Vertex] = true
+	}
+	return pins
+}
+
 // execute schedules the dataflow DAG: every recovery group whose inputs
 // are ready is launched concurrently; a completed group releases inputs
-// whose last consumer has now run (retained vertices are kept). Returns
-// the retained relations and the peak resident bytes.
+// whose last consumer has now run (retained and checkpoint-pinned
+// vertices are kept). A group that fails because its inputs were lost
+// triggers a cascading lineage recompute back to the nearest resident
+// frontier. Returns the retained relations and the peak resident bytes.
 func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64, error) {
 	refs := make(map[int]int, len(r.groups))
 	retain := make(map[int]bool)
@@ -251,6 +320,14 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 	}
 	for _, id := range r.pl.Retained {
 		retain[id] = true
+	}
+	pins := r.checkpointPins()
+	for id := range pins {
+		retain[id] = true
+	}
+	if len(pins) > 0 {
+		r.reg.Gauge("dist.checkpoint.vertices").Set(int64(len(pins)))
+		r.span.SetInt("checkpoints", int64(len(pins)))
 	}
 
 	type result struct {
@@ -310,6 +387,13 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		res := <-results
 		inFlight--
 		if res.err != nil {
+			var lie *lostInputsError
+			if failed == nil && r.ctx.Err() == nil && errors.As(res.err, &lie) {
+				if cerr := r.cascade(res.id, lie, refs, retain, rels, done, launched, &resident, &completed); cerr != nil {
+					failed = cerr
+				}
+				continue
+			}
 			if failed == nil {
 				failed = res.err
 			}
@@ -325,10 +409,21 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 		for _, dep := range r.groups[res.id].deps {
 			refs[dep]--
 			if refs[dep] == 0 && !retain[dep] {
-				resident -= rels[dep].bytes()
-				delete(rels, dep)
+				if rel, ok := rels[dep]; ok {
+					resident -= rel.bytes()
+					delete(rels, dep)
+				}
 			}
 		}
+	}
+	if len(pins) > 0 {
+		var ckptBytes int64
+		for id := range pins {
+			if rel, ok := rels[id]; ok {
+				ckptBytes += rel.bytes()
+			}
+		}
+		r.reg.Gauge("dist.checkpoint.bytes").SetMax(ckptBytes)
 	}
 	if failed != nil {
 		return nil, peak, failed
@@ -340,15 +435,88 @@ func (r *run) execute(inputs map[string]*tensor.Dense) (map[int]*relation, int64
 	return rels, peak, nil
 }
 
+// cascade recovers a vertex whose inputs were lost by walking the plan
+// DAG backwards to the nearest usable frontier — a dependency that is
+// done, still resident and not itself lost, or one still in flight —
+// and resetting everything between that frontier and the failed vertex
+// for re-execution. The normal ready/launch loop then re-runs the chain
+// in dependency order, re-deriving fused re-layouts per attempt from
+// the IR. Bookkeeping invariants: a reset vertex that had completed
+// pre-increments each dependency's ref count (it will decrement again
+// on re-completion), and the failed vertex itself still holds one
+// pending ref on each of its inputs, so no relation recomputed for the
+// cascade can be freed before the failed vertex consumes it. Cascades
+// per vertex are bounded by the runtime's retry budget.
+func (r *run) cascade(vertex int, cause *lostInputsError, refs map[int]int, retain map[int]bool,
+	rels map[int]*relation, done, launched map[int]bool, resident *int64, completed *int) error {
+	r.casc[vertex]++
+	if r.casc[vertex] > r.rt.maxRetries {
+		return &RetriesExhaustedError{Vertex: vertex, Attempts: r.casc[vertex], Cause: cause}
+	}
+	launched[vertex] = false
+	visited := make(map[int]bool)
+	var redo []int
+	var visit func(u int)
+	visit = func(u int) {
+		if visited[u] {
+			return
+		}
+		visited[u] = true
+		if u != vertex {
+			if rel, ok := rels[u]; ok && done[u] && !rel.isLost() {
+				return // usable frontier: resident and intact
+			}
+			if launched[u] && !done[u] {
+				return // in flight: its fresh value arrives through the normal path
+			}
+		}
+		for _, dep := range r.groups[u].deps {
+			visit(dep)
+		}
+		redo = append(redo, u)
+	}
+	visit(vertex)
+	depth := len(redo) - 1
+	cspan := r.tr.Start(r.span, "cascade.recompute").
+		SetInt("vertex", int64(vertex)).SetInt("depth", int64(depth))
+	r.reg.Counter("dist.cascades", obs.L("vertex", strconv.Itoa(vertex))).Inc()
+	r.reg.Gauge("dist.cascade.depth").SetMax(int64(depth))
+	for _, u := range redo {
+		if done[u] {
+			*completed--
+			for _, dep := range r.groups[u].deps {
+				refs[dep]++ // re-completion will decrement again
+			}
+		}
+		if rel, ok := rels[u]; ok {
+			*resident -= rel.bytes()
+			delete(rels, u)
+		}
+		done[u], launched[u] = false, false
+	}
+	cspan.End()
+	return nil
+}
+
 // execGroup runs one recovery group's plan nodes: the scan for sources,
 // otherwise the fused re-layout nodes followed by the compute node's
-// dist operator, verified against the plan's output format.
-func (r *run) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
-	if err := r.ctx.Err(); err != nil {
+// dist operator, verified against the plan's output format. An injected
+// node-loss fault additionally marks the group's input relations lost,
+// so the retry discovers the missing data and escalates to a cascade.
+func (x *exec) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+	if err := x.ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", gr.vertex, err)
 	}
-	if f := r.rt.faults.crash(gr.vertex, r.attemptOf(gr.vertex)); f != nil {
-		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, r.ownerShard(gr.vertex), ErrShardFailed)
+	if f := x.rt.faults.loses(gr.vertex, x.attempt); f != nil {
+		for _, in := range ins {
+			if in != nil {
+				in.markLost()
+			}
+		}
+		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, x.ownerShard(gr.vertex), ErrShardFailed)
+	}
+	if f := x.rt.faults.crash(gr.vertex, x.attempt); f != nil {
+		return nil, fmt.Errorf("dist: injected %v on shard %d: %w", *f, x.ownerShard(gr.vertex), ErrShardFailed)
 	}
 	n := gr.node
 	if n.Kind == plan.KindScan {
@@ -361,17 +529,17 @@ func (r *run) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tenso
 				n.Source, m.Rows, m.Cols, n.OutShape)
 		}
 		var rel *relation
-		err := r.on(r.ownerShard(gr.vertex), func() error {
-			tuples, s, density, err := engine.Chunk(m, n.OutFormat, r.rt.cluster.MaxTupleBytes)
+		err := x.on(x.ownerShard(gr.vertex), func() error {
+			tuples, s, density, err := engine.Chunk(m, n.OutFormat, x.rt.cluster.MaxTupleBytes)
 			if err != nil {
 				return fmt.Errorf("dist: loading %q: %w", n.Source, err)
 			}
-			rel = r.place(gr.vertex, n.OutFormat, s, density, tuples)
+			rel = x.place(gr.vertex, n.OutFormat, s, density, tuples)
 			return nil
 		})
 		return rel, err
 	}
-	exec, ok := distExecutors[n.Name]
+	ex, ok := distExecutors[n.Name]
 	if !ok {
 		return nil, fmt.Errorf("dist: no executor for implementation %q", n.Name)
 	}
@@ -379,15 +547,20 @@ func (r *run) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tenso
 		if ins[j] == nil {
 			return nil, fmt.Errorf("dist: vertex %d input %d was freed early", gr.vertex, j)
 		}
+		if ins[j].isLost() {
+			return nil, &lostInputsError{vertex: gr.vertex, arg: j}
+		}
+	}
+	for j := range ins {
 		if rn := gr.relayouts[j]; rn != nil {
 			var err error
-			ins[j], err = r.transform(gr.vertex, j, ins[j], rn.OutFormat)
+			ins[j], err = x.transform(gr.vertex, j, ins[j], rn.OutFormat)
 			if err != nil {
 				return nil, fmt.Errorf("dist: transforming input %d of vertex %d: %w", j, gr.vertex, err)
 			}
 		}
 	}
-	out, err := exec(r, n, ins)
+	out, err := ex(x, n, ins)
 	if err != nil {
 		return nil, fmt.Errorf("dist: executing vertex %d (%s): %w", gr.vertex, n.Name, err)
 	}

@@ -14,7 +14,7 @@ import (
 // sequential engine's Transform uses (so values stay bit-identical),
 // and the new chunks are scattered to their home shards. Gather and
 // scatter traffic is metered on one "transform" exchange.
-func (r *run) transform(vertex, arg int, rel *relation, target format.Format) (*relation, error) {
+func (r *exec) transform(vertex, arg int, rel *relation, target format.Format) (*relation, error) {
 	if target == rel.format {
 		return rel, nil
 	}

@@ -56,10 +56,20 @@ func FaultRecovery(shards int) Table {
 			dist.NewFaultPlan(dist.Fault{Kind: dist.FaultDropExchange, Vertex: mid})},
 		{"straggler shard (+200µs/task)",
 			dist.NewFaultPlan(dist.Fault{Kind: dist.FaultSlowShard, Shard: shards - 1, Delay: 200 * time.Microsecond})},
+		{fmt.Sprintf("node loss at v%d (cascading recompute)", mid),
+			dist.NewFaultPlan(dist.Fault{Kind: dist.FaultNodeLoss, Vertex: mid})},
 		{"random schedule (seed 7, 5 faults)", randomPlan(7, 5, ann, shards)},
 	} {
 		t.Rows = append(t.Rows, faultRow(s.name, cl, shards, s.plan, ann, w.inputs, want))
 	}
+	t.Rows = append(t.Rows, faultRow(
+		fmt.Sprintf("node loss at v%d + checkpointing", mid), cl, shards,
+		dist.NewFaultPlan(dist.Fault{Kind: dist.FaultNodeLoss, Vertex: mid}),
+		ann, w.inputs, want, dist.WithCheckpointing(0, 0)))
+	t.Rows = append(t.Rows, faultRow(
+		"straggler shard + speculation", cl, shards,
+		dist.NewFaultPlan(dist.Fault{Kind: dist.FaultSlowShard, Shard: shards - 1, Delay: 200 * time.Microsecond}),
+		ann, w.inputs, want, dist.WithSpeculation(dist.DefaultSpeculation())))
 	t.Rows = append(t.Rows, fallbackRow(cl, shards, ann, w.inputs, want))
 	return t
 }
@@ -73,8 +83,9 @@ func randomPlan(seed int64, n int, ann *core.Annotation, shards int) *dist.Fault
 }
 
 func faultRow(name string, cl costmodel.Cluster, shards int, plan *dist.FaultPlan,
-	ann *core.Annotation, inputs map[string]*tensor.Dense, want map[int]*tensor.Dense) []string {
-	rt, err := dist.New(cl, shards, dist.WithFaults(plan))
+	ann *core.Annotation, inputs map[string]*tensor.Dense, want map[int]*tensor.Dense,
+	extra ...dist.Option) []string {
+	rt, err := dist.New(cl, shards, append([]dist.Option{dist.WithFaults(plan)}, extra...)...)
 	if err != nil {
 		return []string{name, "-", "-", "-", "-", "FAIL: " + err.Error()}
 	}
@@ -84,8 +95,17 @@ func faultRow(name string, cl costmodel.Cluster, shards int, plan *dist.FaultPla
 			"-", "FAIL: " + err.Error()}
 	}
 	outcome := "recovered"
-	if rep.FaultsInjected == 0 && rep.Retries == 0 {
+	if rep.FaultsInjected == 0 && rep.Retries == 0 && rep.Cascades == 0 {
 		outcome = "clean"
+	}
+	if rep.Cascades > 0 {
+		outcome += fmt.Sprintf(", %d cascades (depth %d)", rep.Cascades, rep.MaxCascadeDepth)
+	}
+	if rep.CheckpointVertices > 0 {
+		outcome += fmt.Sprintf(", %d checkpoints", rep.CheckpointVertices)
+	}
+	if rep.SpeculativeLaunches > 0 {
+		outcome += fmt.Sprintf(", %d/%d speculative wins", rep.SpeculativeWins, rep.SpeculativeLaunches)
 	}
 	return []string{name,
 		fmt.Sprintf("%.1f", float64(rep.Wall)/1e6),

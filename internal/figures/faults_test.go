@@ -13,8 +13,8 @@ func TestFaultRecoveryShape(t *testing.T) {
 	if tab.Name != "faults" {
 		t.Fatalf("table name = %q, want faults", tab.Name)
 	}
-	if len(tab.Rows) != 6 {
-		t.Fatalf("want 6 schedules, got %d:\n%v", len(tab.Rows), tab)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("want 9 schedules, got %d:\n%v", len(tab.Rows), tab)
 	}
 	for _, row := range tab.Rows {
 		if len(row) != len(tab.Header) {
@@ -37,5 +37,13 @@ func TestFaultRecoveryShape(t *testing.T) {
 	// retry, one per vertex.
 	if tab.Rows[1][2] != tab.Rows[1][3] || tab.Rows[1][2] == "0" {
 		t.Fatalf("crash-all row should count matching faults and retries, got %v", tab.Rows[1])
+	}
+	// Node loss recovers by cascading recompute, and the checkpointed
+	// variant additionally reports its pinned vertices.
+	if got := tab.Rows[4][5]; !strings.Contains(got, "cascades") {
+		t.Fatalf("node-loss outcome = %q, want cascades", got)
+	}
+	if got := tab.Rows[6][5]; !strings.Contains(got, "cascades") || !strings.Contains(got, "checkpoints") {
+		t.Fatalf("node-loss+checkpoint outcome = %q, want cascades and checkpoints", got)
 	}
 }

@@ -7,8 +7,13 @@ import (
 	"matopt/internal/core"
 )
 
-// encodeVersion is the physical-plan wire format version.
-const encodeVersion = 1
+// encodeVersion is the physical-plan wire format version. Version 2
+// added the per-node checkpoint mark; version-1 payloads (no checkpoint
+// fields) are still accepted, with the marks re-derived by re-lowering.
+const (
+	encodeVersion    = 2
+	minEncodeVersion = 1
+)
 
 // planDTO is the serialized physical plan: the annotation in
 // core.EncodePlan's format (the authoritative decisions, from which the
@@ -34,6 +39,8 @@ type nodeDTO struct {
 	Format   string  `json:"format,omitempty"`
 	Strategy string  `json:"strategy"`
 	Cost     float64 `json:"cost"`
+	// Checkpoint is the lowering-time default checkpoint mark (v2+).
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // Encode serializes a lowered plan. The payload embeds core.EncodePlan's
@@ -59,7 +66,7 @@ func Encode(p *Plan, env *core.Env) ([]byte, error) {
 		d := nodeDTO{
 			ID: n.ID, Kind: n.Kind.String(), Vertex: n.Vertex, Arg: n.Arg,
 			Name: n.Name, Source: n.Source, Inputs: n.Inputs,
-			Strategy: n.Strategy, Cost: n.Cost,
+			Strategy: n.Strategy, Cost: n.Cost, Checkpoint: n.Checkpoint,
 		}
 		if n.Kind != KindFree {
 			d.Format = n.OutFormat.String()
@@ -81,7 +88,7 @@ func Decode(g *core.Graph, env *core.Env, data []byte) (*Plan, error) {
 	if err := json.Unmarshal(data, &dto); err != nil {
 		return nil, fmt.Errorf("plan: decoding: %w", err)
 	}
-	if dto.Version != encodeVersion {
+	if dto.Version < minEncodeVersion || dto.Version > encodeVersion {
 		return nil, fmt.Errorf("%w: unsupported plan version %d", ErrInvalidPlan, dto.Version)
 	}
 	if fp := core.Fingerprint(g, env); dto.Fingerprint != fp {
@@ -109,6 +116,12 @@ func Decode(g *core.Graph, env *core.Env, data []byte) (*Plan, error) {
 		if n.Kind != KindFree && d.Format != n.OutFormat.String() {
 			return nil, fmt.Errorf("%w: node %d format %q does not match lowered %v",
 				ErrInvalidPlan, i, d.Format, n.OutFormat)
+		}
+		// v1 payloads predate the checkpoint mark; cross-check it only
+		// when the payload's version carries one.
+		if dto.Version >= 2 && d.Checkpoint != n.Checkpoint {
+			return nil, fmt.Errorf("%w: node %d checkpoint mark %v does not match lowered %v",
+				ErrInvalidPlan, i, d.Checkpoint, n.Checkpoint)
 		}
 	}
 	return p, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"matopt/internal/core"
+	"matopt/internal/costmodel"
 	"matopt/internal/format"
 	"matopt/internal/impl"
 )
@@ -152,5 +153,57 @@ func LowerKeep(g *core.Graph, env *core.Env, ann *core.Annotation, keep []int) (
 		}
 	}
 	sort.Ints(p.Retained)
+	annotateRecovery(p, env, retain)
 	return p, nil
+}
+
+// annotateRecovery computes each vertex-producing node's recovery costs
+// and applies the default checkpoint placement: RecomputeSeconds is the
+// regenerate-from-sources cost — the node's own predicted cost, its
+// input re-layouts, and every ancestor cone member's, with shared
+// ancestors counted once (diamond-shaped lineage must not double-bill
+// the shared producer) — MaterializeSeconds is the cost-model price of
+// persisting the output instead, and Depth is the longest producer
+// chain. A non-retained compute node whose recompute cost exceeds
+// DefaultCheckpointMultiple × its materialization cost gets the
+// Checkpoint mark; vertices so marked are listed in Plan.Checkpoints.
+func annotateRecovery(p *Plan, env *core.Env, retain []bool) {
+	nv := len(p.Graph.Vertices)
+	// ownCost[v]: the producing node's cost plus its feeding re-layouts.
+	ownCost := make([]float64, nv)
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case KindScan, KindCompute, KindRelayout:
+			ownCost[n.Vertex] += n.Cost
+		}
+	}
+	// cone[v]: ancestor vertex set including v, in graph (topological)
+	// vertex order, so every dependency's cone is ready when needed.
+	cone := make([]map[int]bool, nv)
+	for _, v := range p.Graph.Vertices {
+		c := map[int]bool{v.ID: true}
+		depth := 0
+		for _, in := range v.Ins {
+			for u := range cone[in.ID] {
+				c[u] = true
+			}
+			d := p.Nodes[p.NodeOfVertex[in.ID]].Depth + 1
+			if d > depth {
+				depth = d
+			}
+		}
+		cone[v.ID] = c
+		n := p.Nodes[p.NodeOfVertex[v.ID]]
+		n.Depth = depth
+		for u := range c {
+			n.RecomputeSeconds += ownCost[u]
+		}
+		n.MaterializeSeconds = costmodel.MaterializeSeconds(env.Cluster, float64(n.OutBytes()))
+		if n.Kind == KindCompute && !retain[v.ID] &&
+			costmodel.ShouldCheckpoint(n.RecomputeSeconds, n.MaterializeSeconds, costmodel.DefaultCheckpointMultiple) {
+			n.Checkpoint = true
+			p.Checkpoints = append(p.Checkpoints, v.ID)
+		}
+	}
+	sort.Ints(p.Checkpoints)
 }

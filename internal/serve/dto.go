@@ -64,6 +64,14 @@ type ExecuteRequest struct {
 	// Fallback degrades a dist run to the sequential engine when its
 	// retries are exhausted.
 	Fallback bool `json:"fallback,omitempty"`
+	// Checkpoint enables cost-model-driven checkpoint placement on the
+	// dist engine; CheckpointBudget caps the pinned bytes (0 =
+	// unbounded).
+	Checkpoint       bool  `json:"checkpoint,omitempty"`
+	CheckpointBudget int64 `json:"checkpoint_budget,omitempty"`
+	// Speculate enables speculative straggler re-execution on the dist
+	// engine (the runtime's default profile).
+	Speculate bool `json:"speculate,omitempty"`
 	// DeadlineMS shortens the server's default request timeout.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Trace asks for the request's span tree in the response.
@@ -91,6 +99,18 @@ func (r ExecuteRequest) validate() error {
 	}
 	if r.MaxRetries < 0 {
 		return fmt.Errorf("max_retries must be non-negative, got %d", r.MaxRetries)
+	}
+	if r.Checkpoint && r.Engine != "dist" {
+		return fmt.Errorf("checkpoint requires engine dist, got %q", r.Engine)
+	}
+	if r.CheckpointBudget < 0 {
+		return fmt.Errorf("checkpoint_budget must be non-negative, got %d", r.CheckpointBudget)
+	}
+	if r.CheckpointBudget > 0 && !r.Checkpoint {
+		return fmt.Errorf("checkpoint_budget requires checkpoint")
+	}
+	if r.Speculate && r.Engine != "dist" {
+		return fmt.Errorf("speculate requires engine dist, got %q", r.Engine)
 	}
 	return nil
 }
@@ -157,6 +177,13 @@ type DistSummary struct {
 	// FaultsInjected and Retries record the recovery path.
 	FaultsInjected int64 `json:"faults_injected"`
 	Retries        int64 `json:"retries"`
+	// Cascades, SpeculativeLaunches/Wins and the checkpoint counters
+	// record the deeper recovery machinery (see dist.Report).
+	Cascades            int64 `json:"cascades,omitempty"`
+	SpeculativeLaunches int64 `json:"speculative_launches,omitempty"`
+	SpeculativeWins     int64 `json:"speculative_wins,omitempty"`
+	CheckpointVertices  int   `json:"checkpoint_vertices,omitempty"`
+	CheckpointBytes     int64 `json:"checkpoint_bytes,omitempty"`
 	// Degraded reports a fallback to the sequential engine, with its
 	// cause.
 	Degraded      bool   `json:"degraded"`

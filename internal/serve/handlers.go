@@ -253,6 +253,12 @@ func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer,
 			if req.Fallback {
 				xopts = append(xopts, matopt.WithFallback())
 			}
+			if req.Checkpoint {
+				xopts = append(xopts, matopt.WithCheckpointing(0, req.CheckpointBudget))
+			}
+			if req.Speculate {
+				xopts = append(xopts, matopt.WithSpeculation(matopt.DefaultSpeculation()))
+			}
 			if req.Faults > 0 {
 				seed := req.FaultSeed
 				if seed == 0 {
@@ -287,7 +293,12 @@ func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer,
 				Shards: rep.Shards, NetBytes: rep.NetBytes, Messages: rep.Messages,
 				PeakBytes: rep.PeakBytes, WallNS: rep.Wall.Nanoseconds(),
 				FaultsInjected: rep.FaultsInjected, Retries: rep.Retries,
-				Degraded: rep.Degraded, DegradedCause: rep.DegradedCause,
+				Cascades:            rep.Cascades,
+				SpeculativeLaunches: rep.SpeculativeLaunches,
+				SpeculativeWins:     rep.SpeculativeWins,
+				CheckpointVertices:  rep.CheckpointVertices,
+				CheckpointBytes:     rep.CheckpointBytes,
+				Degraded:            rep.Degraded, DegradedCause: rep.DegradedCause,
 			}
 		}
 	}

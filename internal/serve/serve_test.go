@@ -82,9 +82,10 @@ func TestExecuteEndpointEnginesAgree(t *testing.T) {
 		t.Fatal("output wire form does not round-trip")
 	}
 
-	// The dist engine under injected faults returns bit-identical
+	// The dist engine under injected faults — with the full recovery
+	// ladder armed (checkpoint pins, speculation) — returns bit-identical
 	// outputs and a recovery report.
-	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","shards":3,"faults":2,"fallback":true}`, &dist); code != 200 {
+	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","shards":3,"faults":2,"fallback":true,"checkpoint":true,"speculate":true}`, &dist); code != 200 {
 		t.Fatalf("dist execute status %d", code)
 	}
 	if dist.Dist == nil || dist.Dist.Shards != 3 {
@@ -152,6 +153,10 @@ func TestRequestValidation(t *testing.T) {
 		{"/execute", `{"workload":"chain","engine":"gpu"}`, 400},
 		{"/execute", `{"workload":"chain","faults":2}`, 400}, // faults need dist
 		{"/execute", `{"workload":"chain","shards":-1}`, 400},
+		{"/execute", `{"workload":"chain","checkpoint":true}`, 400}, // checkpoint needs dist
+		{"/execute", `{"workload":"chain","speculate":true}`, 400},  // speculation needs dist
+		{"/execute", `{"workload":"chain","engine":"dist","checkpoint":true,"checkpoint_budget":-1}`, 400},
+		{"/execute", `{"workload":"chain","engine":"dist","checkpoint_budget":1024}`, 400}, // budget needs checkpoint
 		{"/plan", `{"workload":"chain","sizeset":9}`, 400},
 	}
 	for _, c := range cases {

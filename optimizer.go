@@ -387,11 +387,31 @@ func WithFallback() ExecutorOption { return func(x *Executor) { x.fallback = tru
 func WithMaxRetries(n int) ExecutorOption { return func(x *Executor) { x.maxRetries = &n } }
 
 // WithFaults installs a deterministic fault-injection schedule on the
-// DistEngine — crashes, dropped or delayed exchanges, straggler shards
-// — for chaos testing recovery paths. Outputs remain bit-identical to
-// the sequential engine under every recoverable schedule. Ignored by
-// the sequential engine.
+// DistEngine — crashes, node losses, dropped or delayed exchanges,
+// straggler shards — for chaos testing recovery paths. Outputs remain
+// bit-identical to the sequential engine under every recoverable
+// schedule. Ignored by the sequential engine.
 func WithFaults(p *FaultPlan) ExecutorOption { return func(x *Executor) { x.faults = p } }
+
+// WithCheckpointing enables the DistEngine's cost-model-driven
+// checkpoint placement: intermediates whose recompute cost exceeds
+// multiple × their materialization cost stay resident for recovery,
+// truncating the lineage cascades a node loss can trigger. multiple ≤ 0
+// uses the cost model's default; budgetBytes ≤ 0 means unbounded, else
+// it caps the pinned bytes (deepest vertices pinned first). Ignored by
+// the sequential engine.
+func WithCheckpointing(multiple float64, budgetBytes int64) ExecutorOption {
+	return func(x *Executor) { x.ckptOn, x.ckptMultiple, x.ckptBudget = true, multiple, budgetBytes }
+}
+
+// WithSpeculation enables the DistEngine's speculative straggler
+// re-execution: a vertex attempt exceeding the run's own p99-derived
+// deadline gets a duplicate launched on other shards, and the first
+// result wins — bit-identically, since both attempts replay the same
+// deterministic kernels. Ignored by the sequential engine.
+func WithSpeculation(s Speculation) ExecutorOption {
+	return func(x *Executor) { x.spec = &s }
+}
 
 // WithTracing attaches a tracer to the Executor: every run opens an
 // "execute" span; a DistEngine run nests its "dist.run" span (with
@@ -419,7 +439,20 @@ const (
 	FaultDropExchange  = dist.FaultDropExchange
 	FaultDelayExchange = dist.FaultDelayExchange
 	FaultSlowShard     = dist.FaultSlowShard
+	FaultNodeLoss      = dist.FaultNodeLoss
 )
+
+// Speculation configures the DistEngine's straggler re-execution; see
+// WithSpeculation and dist.Speculation.
+type Speculation = dist.Speculation
+
+// DefaultSpeculation is a conservative speculation profile.
+func DefaultSpeculation() Speculation { return dist.DefaultSpeculation() }
+
+// RetriesExhaustedError carries the failing vertex, attempt count and
+// root-cause fault behind an ErrRetriesExhausted; errors.As extracts it
+// from any dist-engine error.
+type RetriesExhaustedError = dist.RetriesExhaustedError
 
 // NewFaultPlan builds an explicit fault schedule.
 func NewFaultPlan(faults ...Fault) *FaultPlan { return dist.NewFaultPlan(faults...) }
@@ -448,6 +481,11 @@ type Executor struct {
 	maxRetries *int // nil = dist runtime default
 	faults     *FaultPlan
 	tracer     *Tracer
+
+	ckptOn       bool
+	ckptMultiple float64
+	ckptBudget   int64
+	spec         *Speculation
 
 	mu         sync.Mutex
 	lastReport *DistReport
@@ -492,6 +530,12 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 		opts := []dist.Option{dist.WithFaults(x.faults), dist.WithTracer(x.tracer, span)}
 		if x.maxRetries != nil {
 			opts = append(opts, dist.WithMaxRetries(*x.maxRetries))
+		}
+		if x.ckptOn {
+			opts = append(opts, dist.WithCheckpointing(x.ckptMultiple, x.ckptBudget))
+		}
+		if x.spec != nil {
+			opts = append(opts, dist.WithSpeculation(*x.spec))
 		}
 		rt, err := dist.New(x.cluster, x.shards, opts...)
 		if err != nil {
