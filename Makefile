@@ -24,13 +24,14 @@ test:
 	$(GO) test ./...
 
 # The optimizer's parallel Frontier expansion, the engine's
-# context-aware execution, the sharded dist runtime, the plan layer
-# (whose lowered IR is shared across concurrent engine runs), the
+# context-aware execution, the sharded dist runtime, the shared kernel
+# worker pool and the tensor/sparse kernels that fork onto it, the plan
+# layer (whose lowered IR is shared across concurrent engine runs), the
 # metrics registry / tracer they hammer concurrently, the public
 # package's singleflight coalescing, and the serving layer's admission
 # control and drain are the concurrency-bearing packages.
 race:
-	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/ ./internal/serve/
+	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/ ./internal/serve/ ./internal/pool/ ./internal/tensor/ ./internal/sparse/
 
 # The fault-injection sweep under the race detector: seeded crash /
 # drop / delay / straggler schedules, cascading node-loss recovery,
@@ -48,6 +49,7 @@ docs-check:
 	$(GO) run ./cmd/docscheck -dir .
 	$(GO) run ./cmd/docscheck -dir ./internal/plan
 	$(GO) run ./cmd/docscheck -dir ./internal/serve
+	$(GO) run ./cmd/docscheck -dir ./internal/pool
 
 # Runs every benchmark once and records the dist-vs-sequential
 # comparison in BENCH_dist.json (now with a span-derived phase_ns
@@ -63,6 +65,11 @@ docs-check:
 # BENCH_recovery.json records what a sink node loss costs with lineage
 # recompute alone next to the same loss under checkpoint pins, and the
 # memory the pins hold relative to the run's resident peak.
+# BENCH_kernels.json records the compute-kernel layer: naive vs
+# cache-blocked vs threaded GEMM per shape, a sparse SpMM point, and
+# the dist runtime end to end with kernels forced serial vs
+# auto-budgeted; on a multi-core host the benchmark fails if threaded
+# GEMM regresses below serial.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
@@ -77,3 +84,5 @@ bench:
 		-bench BenchmarkServeWarmOptimize -benchtime 200x ./internal/serve/
 	BENCH_RECOVERY_JSON=$(CURDIR)/BENCH_recovery.json $(GO) test -run '^$$' \
 		-bench BenchmarkRecovery -benchtime 1x ./internal/dist/
+	BENCH_KERNELS_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run '^$$' \
+		-bench BenchmarkKernels -benchtime 1x ./internal/dist/

@@ -9,6 +9,7 @@ type execConfig struct {
 	Shards      int
 	Scale       int64
 	Parallelism int
+	KernThreads int    // kernel threads per local compute (0 = auto, 1 = serial)
 	Faults      int    // number of seeded faults to inject (dist only)
 	FaultSeed   int64  // schedule seed
 	MaxRetries  int    // per-vertex retry budget
@@ -37,6 +38,9 @@ func (c execConfig) validate() error {
 	}
 	if c.Scale <= 0 {
 		return fmt.Errorf("-scale must be positive, got %d", c.Scale)
+	}
+	if c.KernThreads < 0 {
+		return fmt.Errorf("-kernel-threads must be non-negative, got %d", c.KernThreads)
 	}
 	switch c.Engine {
 	case "sim", "seq", "dist":

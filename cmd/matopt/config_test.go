@@ -30,12 +30,18 @@ func TestExecConfigValidate(t *testing.T) {
 		{"trace-out on seq", func(c *execConfig) { c.Engine = "seq"; c.TraceOut = "t.json" }, ""},
 		{"metrics on dist", func(c *execConfig) { c.Metrics = true }, ""},
 
+		{"zero kernel threads (auto)", func(c *execConfig) { c.KernThreads = 0 }, ""},
+		{"serial kernel threads", func(c *execConfig) { c.KernThreads = 1 }, ""},
+		{"many kernel threads", func(c *execConfig) { c.KernThreads = 64 }, ""},
+		{"kernel threads on seq", func(c *execConfig) { c.Engine = "seq"; c.KernThreads = 4 }, ""},
+
 		{"zero parallelism", func(c *execConfig) { c.Parallelism = 0 }, "-parallelism"},
 		{"negative parallelism", func(c *execConfig) { c.Parallelism = -3 }, "-parallelism"},
 		{"zero shards", func(c *execConfig) { c.Shards = 0 }, "-shards"},
 		{"negative shards", func(c *execConfig) { c.Shards = -1 }, "-shards"},
 		{"zero scale", func(c *execConfig) { c.Scale = 0 }, "-scale"},
 		{"negative scale", func(c *execConfig) { c.Scale = -100 }, "-scale"},
+		{"negative kernel threads", func(c *execConfig) { c.KernThreads = -1 }, "-kernel-threads must be non-negative"},
 		{"unknown engine", func(c *execConfig) { c.Engine = "mpi" }, "unknown engine"},
 		{"negative faults", func(c *execConfig) { c.Faults = -1 }, "-faults must be non-negative"},
 		{"negative fault seed", func(c *execConfig) { c.FaultSeed = -7 }, "-fault-seed"},

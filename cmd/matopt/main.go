@@ -83,6 +83,7 @@ func main() {
 	engSel := flag.String("engine", "sim", "sim (simulate at paper scale) | seq | dist (execute, scaled by -scale)")
 	shards := flag.Int("shards", dist.DefaultShards(), "dist engine shard count")
 	scale := flag.Int64("scale", 100, "divisor applied to workload dimensions before real execution")
+	kernThreads := flag.Int("kernel-threads", 0, "threads per local compute kernel (0 = auto-size to the machine, 1 = serial; bit-identical at every setting)")
 	faults := flag.Int("faults", 0, "number of seeded faults to inject into the dist run (0 = none)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	maxRetries := flag.Int("max-retries", dist.DefaultMaxRetries, "dist engine per-vertex retry budget")
@@ -100,7 +101,8 @@ func main() {
 
 	cfg := execConfig{
 		Engine: *engSel, Shards: *shards, Scale: *scale, Parallelism: *par,
-		Faults: *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
+		KernThreads: *kernThreads,
+		Faults:      *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
 		Fallback: *fallback, Checkpoint: *checkpoint, CkptBudget: *ckptBudget,
 		Speculate: *speculate, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
 		Explain: *explain, PlanOut: *planOut, PlanIn: *planIn,
@@ -370,6 +372,7 @@ func buildExecutable(wl string, hidden int64, sizeSet int, scale int64, rng *ran
 // run must recover (or, with -fallback, degrade) to the same bits.
 func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, phys *plan.Plan, inputs map[string]*tensor.Dense, tr *obs.Tracer, root *obs.Span) {
 	seq := engine.New(cl)
+	seq.KernelThreads = cfg.KernThreads
 	t0 := time.Now()
 	want, err := seq.RunPlanCollectCtx(ctx, phys, inputs)
 	if err != nil {
@@ -382,6 +385,9 @@ func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, phys *plan.P
 	}
 
 	opts := []dist.Option{dist.WithMaxRetries(cfg.MaxRetries)}
+	if cfg.KernThreads > 0 {
+		opts = append(opts, dist.WithKernelThreads(cfg.KernThreads))
+	}
 	if tr != nil {
 		opts = append(opts, dist.WithTracer(tr, root))
 	}

@@ -1,0 +1,175 @@
+package dist_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/format"
+	"matopt/internal/pool"
+	"matopt/internal/shape"
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// gemmPoint is one GEMM shape's three-way comparison: the naive
+// reference triple loop, the cache-blocked kernel forced serial, and
+// the blocked kernel with the whole machine.
+type gemmPoint struct {
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	N             int     `json:"n"`
+	NaiveNs       int64   `json:"naive_ns"`
+	SerialNs      int64   `json:"serial_ns"`      // blocked, Threads=1
+	ThreadedNs    int64   `json:"threaded_ns"`    // blocked, Threads=GOMAXPROCS
+	BlockSpeedup  float64 `json:"block_speedup"`  // naive / serial: pure cache blocking
+	ThreadSpeedup float64 `json:"thread_speedup"` // serial / threaded: pure parallelism
+}
+
+// kernelsBenchResult is the record `make bench` writes to
+// BENCH_kernels.json: the GEMM sweep, a sparse×dense point, and the
+// dist runtime end to end with kernels forced serial vs auto-budgeted.
+type kernelsBenchResult struct {
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	AutoThreads    int         `json:"auto_threads"` // pool.MaxThreads()
+	GEMM           []gemmPoint `json:"gemm"`
+	SpMMSerialNs   int64       `json:"spmm_serial_ns"`   // CSR×dense, Threads=1
+	SpMMThreadedNs int64       `json:"spmm_threaded_ns"` // CSR×dense, auto
+	DistSerialNs   int64       `json:"dist_serial_ns"`   // end-to-end, kernel-threads 1
+	DistAutoNs     int64       `json:"dist_auto_ns"`     // end-to-end, default budget
+}
+
+// naiveGEMM is the unblocked reference the blocked kernel is measured
+// against (and bit-compared against in the golden tests).
+func naiveGEMM(a, b *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[i*a.Cols+k]
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*b.Cols+j] += av * b.Data[k*b.Cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkKernels measures the compute-kernel layer three ways per
+// GEMM shape — naive reference, cache-blocked serial, blocked threaded
+// — plus a sparse SpMM point and the dist runtime end to end with
+// kernels forced serial vs auto-budgeted. When BENCH_KERNELS_JSON names
+// a file, the sweep is written there as JSON.
+//
+// On a multi-core host the benchmark is also a regression gate: the
+// threaded blocked GEMM must not run slower than the serial blocked
+// GEMM at the largest shape. On a single-core host (GOMAXPROCS=1) the
+// shared pool has no workers, every kernel is serial by construction,
+// and the gate is vacuous.
+func BenchmarkKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ m, k, n int }{
+		{128, 128, 128},
+		{256, 256, 256},
+		{512, 512, 512},
+	}
+	timeIt := func(f func()) int64 {
+		t0 := time.Now()
+		f()
+		return time.Since(t0).Nanoseconds()
+	}
+	res := kernelsBenchResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		AutoThreads: pool.MaxThreads(),
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		res.GEMM = res.GEMM[:0]
+		for _, s := range shapes {
+			a := tensor.RandNormal(rng, s.m, s.k)
+			c := tensor.RandNormal(rng, s.k, s.n)
+			p := gemmPoint{M: s.m, K: s.k, N: s.n}
+			p.NaiveNs = timeIt(func() { naiveGEMM(a, c) })
+			p.SerialNs = timeIt(func() { tensor.K{Threads: 1}.MatMul(a, c) })
+			p.ThreadedNs = timeIt(func() { tensor.Auto().MatMul(a, c) })
+			p.BlockSpeedup = float64(p.NaiveNs) / float64(p.SerialNs)
+			p.ThreadSpeedup = float64(p.SerialNs) / float64(p.ThreadedNs)
+			res.GEMM = append(res.GEMM, p)
+		}
+
+		sp := sparse.FromDense(tensor.RandSparse(rng, 2000, 2000, 0.01))
+		d := tensor.RandNormal(rng, 2000, 256)
+		res.SpMMSerialNs = timeIt(func() { sp.MulDenseK(tensor.K{Threads: 1}, d) })
+		res.SpMMThreadedNs = timeIt(func() { sp.MulDenseK(tensor.Auto(), d) })
+	}
+	b.StopTimer()
+
+	last := res.GEMM[len(res.GEMM)-1]
+	b.ReportMetric(float64(last.NaiveNs), "naive-ns")
+	b.ReportMetric(float64(last.SerialNs), "serial-ns")
+	b.ReportMetric(float64(last.ThreadedNs), "threaded-ns")
+	b.ReportMetric(last.BlockSpeedup, "block-speedup")
+	b.ReportMetric(last.ThreadSpeedup, "thread-speedup")
+
+	// The regression gate: with more than one core available, threading
+	// the blocked GEMM must help, never hurt, at the largest shape.
+	if runtime.GOMAXPROCS(0) > 1 && last.ThreadedNs > last.SerialNs {
+		b.Fatalf("threaded GEMM regressed below serial at %dx%dx%d: %d ns threaded vs %d ns serial",
+			last.M, last.K, last.N, last.ThreadedNs, last.SerialNs)
+	}
+
+	// End-to-end: the same dist workload the other benchmarks use, with
+	// kernels forced serial and with the default per-shard budget.
+	const shards = 4
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	timeDist := func(opts ...dist.Option) int64 {
+		rt, err := dist.New(cl, shards, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, _, err := rt.Run(context.Background(), ann, inputs); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0).Nanoseconds()
+	}
+	res.DistSerialNs = timeDist(dist.WithKernelThreads(1))
+	res.DistAutoNs = timeDist()
+
+	if path := os.Getenv("BENCH_KERNELS_JSON"); path != "" {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

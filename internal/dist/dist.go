@@ -62,6 +62,8 @@ type Runtime struct {
 	ckptBudget   int64
 	spec         *Speculation
 
+	kernelThreads int
+
 	tr   *obs.Tracer
 	span *obs.Span
 }
@@ -197,6 +199,18 @@ func WithSpeculation(s Speculation) Option {
 		}
 		rt.spec = &s
 	}
+}
+
+// WithKernelThreads bounds the threads each shard's local compute
+// kernels may use. ≤ 0 (the default) sizes the budget to the machine
+// divided by the shard count — pool.Budget(shards) = max(1,
+// GOMAXPROCS/shards) — so shard parallelism and kernel parallelism
+// compose without oversubscribing: the kernels run on the shared
+// GOMAXPROCS-bounded pool in internal/pool, and a shard that cannot get
+// a pool worker simply computes its chunk inline. Results are
+// bit-identical at every setting.
+func WithKernelThreads(n int) Option {
+	return func(rt *Runtime) { rt.kernelThreads = n }
 }
 
 // DefaultShards is the shard count used when the caller does not choose

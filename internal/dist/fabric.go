@@ -106,38 +106,75 @@ func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([]
 	}
 	drop, delay := r.rt.faults.exchangeFaults(m.vertex, m.label, r.attempt)
 	var lost atomic.Bool
-	prodDone := make(chan error, 1)
-	go func() {
-		prodDone <- r.parallel(func(s int) error {
-			if delay != nil && (delay.Shard == -1 || delay.Shard == s) {
-				if err := r.sleepCtx(delay.Delay); err != nil {
+	work := func(s int) error {
+		out, err := produce(s)
+		if err != nil {
+			return err
+		}
+		if drop != nil && (drop.Shard == -1 || drop.Shard == s) {
+			lost.Store(true)
+			return nil // the messages vanish in flight
+		}
+		for i, rm := range out {
+			if i%256 == 0 {
+				if err := r.ctx.Err(); err != nil {
 					return err
 				}
 			}
-			out, err := produce(s)
-			if err != nil {
-				return err
+			if rm.dst < 0 || rm.dst >= n {
+				return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
 			}
-			if drop != nil && (drop.Shard == -1 || drop.Shard == s) {
-				lost.Store(true)
-				return nil // the messages vanish in flight
+			if rm.dst != s {
+				m.count(rm.msg.tuple)
 			}
-			for i, rm := range out {
-				if i%256 == 0 {
-					if err := r.ctx.Err(); err != nil {
-						return err
-					}
-				}
-				if rm.dst < 0 || rm.dst >= n {
-					return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
-				}
-				if rm.dst != s {
-					m.count(rm.msg.tuple)
-				}
-				chans[rm.dst] <- rm.msg
+			chans[rm.dst] <- rm.msg
+		}
+		return nil
+	}
+	delayed := func(s int) bool {
+		return delay != nil && (delay.Shard == -1 || delay.Shard == s)
+	}
+	prodDone := make(chan error, 1)
+	go func() {
+		// A delayed exchange models a slow link, not a busy node: the
+		// stall must hold up this transfer without occupying the shard's
+		// worker, which stays free for other attempts' tasks — in
+		// particular a speculative duplicate of this very vertex, whose
+		// whole point is to dodge the stall. Delayed shards therefore
+		// wait out the injected delay (and then produce) on their own
+		// goroutine; healthy shards go through the worker as usual.
+		var dwg sync.WaitGroup
+		derrs := make([]error, n)
+		for s := 0; s < n; s++ {
+			if !delayed(s) {
+				continue
 			}
-			return nil
+			dwg.Add(1)
+			go func(s int) {
+				defer dwg.Done()
+				if err := r.sleepCtx(delay.Delay); err != nil {
+					derrs[s] = err
+					return
+				}
+				derrs[s] = work(s)
+			}(s)
+		}
+		perr := r.parallel(func(s int) error {
+			if delayed(s) {
+				return nil
+			}
+			return work(s)
 		})
+		dwg.Wait()
+		if perr == nil {
+			for _, err := range derrs {
+				if err != nil {
+					perr = err
+					break
+				}
+			}
+		}
+		prodDone <- perr
 	}()
 
 	var perr error

@@ -24,9 +24,12 @@ import (
 //     notice missing data by timing out, so a drop surfaces as
 //     ErrExchangeTimeout and is retryable.
 //   - FaultDelayExchange stalls one producing shard of an exchange for
-//     Delay before it emits — a slow link. If the delay exceeds the
-//     runtime's exchange timeout the exchange fails (and is retried);
-//     otherwise the run is merely slower and the output unchanged.
+//     Delay before it emits — a slow link, so the stall holds the
+//     transfer without occupying the shard's worker (that is
+//     FaultSlowShard's job); a speculative duplicate can run past it.
+//     If the delay exceeds the runtime's exchange timeout the exchange
+//     fails (and is retried); otherwise the run is merely slower and
+//     the output unchanged.
 //   - FaultSlowShard makes every task on one shard sleep Delay before
 //     running — a straggler node. Nothing fails; the schedule of the
 //     DAG shifts and the output must still be bit-identical.

@@ -2,6 +2,7 @@ package dist_test
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,47 +23,83 @@ import (
 // misaligns with every tile grid.
 var goldenShards = []int{1, 2, 7}
 
-// assertBitIdentical executes ann on the sequential engine and on the
-// dist runtime at every golden shard count, requiring every sink to be
-// bit-for-bit identical (math.Float64bits, not a tolerance).
+// goldenKernelThreads are the per-shard kernel budgets every workload is
+// checked at on top of the default (machine-divided) budget: forced
+// serial and an explicit multi-thread setting. Together with the serial
+// and auto sequential baselines this is the
+// serial-vs-blocked-vs-threaded matrix the kernel layer promises.
+var goldenKernelThreads = []int{1, 3}
+
+// compareSinks requires got to reproduce want bit for bit
+// (math.Float64bits, not a tolerance).
+func compareSinks(t *testing.T, name string, ann *core.Annotation, want, got map[int]*tensor.Dense) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d sinks, baseline produced %d", name, len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: sink %d missing", name, id)
+		}
+		if g.Rows != w.Rows || g.Cols != w.Cols {
+			t.Fatalf("%s: sink %d is %dx%d, want %dx%d", name, id, g.Rows, g.Cols, w.Rows, w.Cols)
+		}
+		for i := range w.Data {
+			if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+				t.Fatalf("%s: sink %d entry (%d,%d): got %v (bits %x) != want %v (bits %x)\nplan:\n%s",
+					name, id, i/w.Cols, i%w.Cols,
+					g.Data[i], math.Float64bits(g.Data[i]),
+					w.Data[i], math.Float64bits(w.Data[i]), ann.Describe())
+			}
+		}
+	}
+}
+
+// assertBitIdentical executes ann on the sequential engine (serial and
+// threaded kernels) and on the dist runtime at every golden shard count
+// and kernel-thread budget, requiring every sink to be bit-for-bit
+// identical to the fully serial baseline.
 func assertBitIdentical(t *testing.T, name string, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) {
 	t.Helper()
-	eng := engine.New(cl)
-	want, err := eng.RunCollect(ann, inputs)
+	// The baseline: sequential engine, kernels forced serial — the
+	// reference every blocked and threaded configuration must reproduce.
+	serial := engine.New(cl)
+	serial.KernelThreads = 1
+	want, err := serial.RunCollect(ann, inputs)
 	if err != nil {
-		t.Fatalf("%s: sequential run: %v", name, err)
+		t.Fatalf("%s: serial sequential run: %v", name, err)
 	}
+	// Sequential engine with auto (whole-machine) kernel threads.
+	auto := engine.New(cl)
+	got, err := auto.RunCollect(ann, inputs)
+	if err != nil {
+		t.Fatalf("%s: threaded sequential run: %v", name, err)
+	}
+	compareSinks(t, name+" seq-auto-kernels", ann, want, got)
 	for _, shards := range goldenShards {
-		rt, err := dist.New(cl, shards)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		got, rep, err := rt.Run(context.Background(), ann, inputs)
-		if err != nil {
-			t.Fatalf("%s @%d shards: dist run: %v", name, shards, err)
-		}
-		if rep == nil || rep.Shards != shards {
-			t.Fatalf("%s @%d shards: bad report %+v", name, shards, rep)
-		}
-		if len(got) != len(want) {
-			t.Fatalf("%s @%d shards: %d sinks, sequential produced %d", name, shards, len(got), len(want))
-		}
-		for id, w := range want {
-			g, ok := got[id]
-			if !ok {
-				t.Fatalf("%s @%d shards: sink %d missing", name, shards, id)
+		// -1 marks the default (machine-divided) kernel budget.
+		for _, kthreads := range append([]int{-1}, goldenKernelThreads...) {
+			var opts []dist.Option
+			if kthreads > 0 {
+				opts = append(opts, dist.WithKernelThreads(kthreads))
 			}
-			if g.Rows != w.Rows || g.Cols != w.Cols {
-				t.Fatalf("%s @%d shards: sink %d is %dx%d, want %dx%d", name, shards, id, g.Rows, g.Cols, w.Rows, w.Cols)
+			rt, err := dist.New(cl, shards, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
 			}
-			for i := range w.Data {
-				if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
-					t.Fatalf("%s @%d shards: sink %d entry (%d,%d): dist %v (bits %x) != sequential %v (bits %x)\nplan:\n%s",
-						name, shards, id, i/w.Cols, i%w.Cols,
-						g.Data[i], math.Float64bits(g.Data[i]),
-						w.Data[i], math.Float64bits(w.Data[i]), ann.Describe())
-				}
+			label := fmt.Sprintf("%s @%d shards kthreads=%d", name, shards, kthreads)
+			got, rep, err := rt.Run(context.Background(), ann, inputs)
+			if err != nil {
+				t.Fatalf("%s: dist run: %v", label, err)
 			}
+			if rep == nil || rep.Shards != shards {
+				t.Fatalf("%s: bad report %+v", label, rep)
+			}
+			if kthreads > 0 && rep.KernelThreads != kthreads {
+				t.Fatalf("%s: report says %d kernel threads", label, rep.KernelThreads)
+			}
+			compareSinks(t, label, ann, want, got)
 		}
 	}
 }

@@ -141,7 +141,7 @@ func dMMSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) 
 	}
 	var rel *relation
 	err = r.on(site, func() error {
-		out := tensor.MatMul(ta.Dense, tb.Dense)
+		out := r.kern().MatMul(ta.Dense, tb.Dense)
 		rel = r.singleRelAt(format.NewSingle(), n.OutShape, out.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
 		return nil
@@ -150,6 +150,7 @@ func dMMSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) 
 }
 
 func dMMBcastSingleColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
@@ -157,7 +158,7 @@ func dMMBcastSingleColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, 
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		for _, t := range sortedShard(ins[1], s) {
-			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.MatMul(as[s], t.Dense)})
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: kc.MatMul(as[s], t.Dense)})
 		}
 		return nil
 	})
@@ -168,6 +169,7 @@ func dMMBcastSingleColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, 
 }
 
 func dMMRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -175,7 +177,7 @@ func dMMRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, 
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		for _, t := range sortedShard(ins[0], s) {
-			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.MatMul(t.Dense, bs[s])})
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: kc.MatMul(t.Dense, bs[s])})
 		}
 		return nil
 	})
@@ -186,6 +188,7 @@ func dMMRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, 
 }
 
 func dMMRowStripColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	// Broadcast the smaller side; every (rowstrip, colstrip) pair is
 	// multiplied where the larger side's tuple lives, and each output
 	// tile is shuffled to its home shard.
@@ -210,7 +213,7 @@ func dMMRowStripColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, err
 				key := engine.Key{I: ta.Key.I, J: tb.Key.J}
 				out = append(out, routed{dst: r.shardOf(key), msg: message{
 					key:   key,
-					tuple: engine.Tuple{Key: key, Dense: tensor.MatMul(ta.Dense, tb.Dense)},
+					tuple: engine.Tuple{Key: key, Dense: kc.MatMul(ta.Dense, tb.Dense)},
 				}})
 			}
 		}
@@ -224,6 +227,7 @@ func dMMRowStripColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, err
 }
 
 func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	// Co-partition by contraction index: A's colstrip (0, k) joins B's
 	// rowstrip (k, 0) on shardOf((k, 0)) — B is already home there, so
 	// only A moves. Partial products then aggregate on the owner shard
@@ -254,7 +258,7 @@ func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 			if !ok {
 				return nil, fmt.Errorf("dist: co-partition join missed strip %d", ta.Key.J)
 			}
-			prod := tensor.MatMul(ta.Dense, tb)
+			prod := kc.MatMul(ta.Dense, tb)
 			out = append(out, routed{dst: owner, msg: message{
 				key: engine.Key{I: 0, J: 0}, seq: ta.Key.J,
 				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
@@ -282,12 +286,13 @@ func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 // order — shared by the shuffle and broadcast tile strategies.
 func tileTileProducts(r *exec, n *plan.Node, blk int64,
 	produce func(shard int, emit func(ta, tb engine.Tuple)) error) (*relation, error) {
+	kc := r.kern()
 	sh := r.fab.meterFor(n.Vertex, "shuffle", "shuffle(out)")
 	recv, err := r.exchange(sh, func(s int) ([]routed, error) {
 		var out []routed
 		err := produce(s, func(ta, tb engine.Tuple) {
 			key := engine.Key{I: ta.Key.I, J: tb.Key.J}
-			prod := tensor.MatMul(ta.Dense, tb.Dense)
+			prod := kc.MatMul(ta.Dense, tb.Dense)
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
 				key: key, seq: ta.Key.J,
 				tuple: engine.Tuple{Key: key, Dense: prod},
@@ -389,6 +394,7 @@ func dMMTileTileBcast(r *exec, n *plan.Node, ins []*relation) (*relation, error)
 }
 
 func dMMBcastSingleTile(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	as, err := r.broadcastSingleDense(n, ins[0], "broadcast(a)")
 	if err != nil {
 		return nil, err
@@ -401,7 +407,7 @@ func dMMBcastSingleTile(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 		for _, tb := range sortedShard(ins[1], s) {
 			c0 := int(tb.Key.I) * b
 			aSlice := a.Slice(0, a.Rows, c0, c0+tb.Dense.Rows)
-			prod := tensor.MatMul(aSlice, tb.Dense)
+			prod := kc.MatMul(aSlice, tb.Dense)
 			key := engine.Key{I: 0, J: tb.Key.J}
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
 				key: key, seq: tb.Key.I,
@@ -425,6 +431,7 @@ func dMMBcastSingleTile(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 }
 
 func dMMTileBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -437,7 +444,7 @@ func dMMTileBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 		for _, ta := range sortedShard(ins[0], s) {
 			r0 := int(ta.Key.J) * bk
 			bSlice := b.Slice(r0, r0+ta.Dense.Cols, 0, b.Cols)
-			prod := tensor.MatMul(ta.Dense, bSlice)
+			prod := kc.MatMul(ta.Dense, bSlice)
 			key := engine.Key{I: ta.Key.I, J: 0}
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
 				key: key, seq: ta.Key.J,
@@ -473,7 +480,7 @@ func dMMCSRSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 	}
 	var rel *relation
 	err = r.on(site, func() error {
-		out := ta.CSR.MulDense(tb.Dense)
+		out := ta.CSR.MulDenseK(r.kern(), tb.Dense)
 		rel = r.singleRelAt(format.NewSingle(), n.OutShape, out.Density(),
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: out}, site)
 		return nil
@@ -482,6 +489,7 @@ func dMMCSRSingleSingle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 }
 
 func dMMBcastCSRRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	if _, _, err := ins[0].singleCSR(); err != nil {
 		return nil, err
 	}
@@ -502,7 +510,7 @@ func dMMBcastCSRRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 		for _, tb := range sortedShard(ins[1], s) {
 			r0 := int(tb.Key.I) * h
 			aSlice := engine.CSRColSlice(a, r0, r0+tb.Dense.Rows)
-			prod := aSlice.MulDense(tb.Dense)
+			prod := aSlice.MulDenseK(kc, tb.Dense)
 			out = append(out, routed{dst: owner, msg: message{
 				key: engine.Key{I: 0, J: 0}, seq: tb.Key.I,
 				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
@@ -525,6 +533,7 @@ func dMMBcastCSRRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 }
 
 func dMMCSRRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(b)")
 	if err != nil {
 		return nil, err
@@ -532,7 +541,7 @@ func dMMCSRRowStripBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relatio
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		for _, ta := range sortedShard(ins[0], s) {
-			parts[s] = append(parts[s], engine.Tuple{Key: ta.Key, Dense: ta.CSR.MulDense(bs[s])})
+			parts[s] = append(parts[s], engine.Tuple{Key: ta.Key, Dense: ta.CSR.MulDenseK(kc, bs[s])})
 		}
 		return nil
 	})
@@ -593,14 +602,14 @@ func dMMBcastCOOSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error
 	return rel, err
 }
 
-func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
+func ewKernel(kc tensor.K, k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
 	switch k {
 	case op.Add:
-		return tensor.Add
+		return kc.Add
 	case op.Sub:
-		return tensor.Sub
+		return kc.Sub
 	case op.Hadamard:
-		return tensor.Hadamard
+		return kc.Hadamard
 	}
 	panic(fmt.Sprintf("dist: %v is not an elementwise op", k))
 }
@@ -616,7 +625,7 @@ func dEWSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	kern := ewKernel(n.Op.Kind)
+	kern := ewKernel(r.kern(), n.Op.Kind)
 	var rel *relation
 	err = r.on(site, func() error {
 		out := kern(ta.Dense, tb.Dense)
@@ -639,7 +648,7 @@ func dEWCoPart(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	kern := ewKernel(n.Op.Kind)
+	kern := ewKernel(r.kern(), n.Op.Kind)
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		bByKey := make(map[engine.Key]*tensor.Dense, len(rb[s]))
@@ -661,29 +670,29 @@ func dEWCoPart(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	return &relation{format: ins[0].format, shape: n.OutShape, density: 1, parts: parts}, nil
 }
 
-func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
+func mapKernel(kc tensor.K, o op.Op) func(*tensor.Dense) *tensor.Dense {
 	switch o.Kind {
 	case op.ReLU:
-		return tensor.ReLU
+		return kc.ReLU
 	case op.ReLUGrad:
-		return tensor.ReLUGrad
+		return kc.ReLUGrad
 	case op.Sigmoid:
-		return tensor.Sigmoid
+		return kc.Sigmoid
 	case op.Exp:
-		return tensor.Exp
+		return kc.Exp
 	case op.Neg:
-		return tensor.Neg
+		return kc.Neg
 	case op.Softmax:
-		return tensor.Softmax
+		return kc.Softmax
 	case op.ScalarMul:
 		s := o.Scalar
-		return func(m *tensor.Dense) *tensor.Dense { return tensor.Scale(m, s) }
+		return func(m *tensor.Dense) *tensor.Dense { return kc.Scale(m, s) }
 	}
 	panic(fmt.Sprintf("dist: %v is not a map op", o.Kind))
 }
 
 func dMap(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
-	kern := mapKernel(n.Op)
+	kern := mapKernel(r.kern(), n.Op)
 	parts := make([][]engine.Tuple, r.shards())
 	err := r.parallel(func(s int) error {
 		for _, t := range sortedShard(ins[0], s) {
@@ -706,6 +715,7 @@ func dMap(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 }
 
 func dAddBias(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
+	kc := r.kern()
 	bs, err := r.broadcastSingleDense(n, ins[1], "broadcast(bias)")
 	if err != nil {
 		return nil, err
@@ -713,7 +723,7 @@ func dAddBias(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	parts := make([][]engine.Tuple, r.shards())
 	err = r.parallel(func(s int) error {
 		for _, t := range sortedShard(ins[0], s) {
-			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: tensor.AddBias(t.Dense, bs[s])})
+			parts[s] = append(parts[s], engine.Tuple{Key: t.Key, Dense: kc.AddBias(t.Dense, bs[s])})
 		}
 		return nil
 	})
@@ -724,11 +734,11 @@ func dAddBias(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 }
 
 func dRowSums(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
-	return dLocalMap(r, n, ins[0], tensor.RowSums)
+	return dLocalMap(r, n, ins[0], r.kern().RowSums)
 }
 
 func dColSums(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
-	return dLocalMap(r, n, ins[0], tensor.ColSums)
+	return dLocalMap(r, n, ins[0], r.kern().ColSums)
 }
 
 // dLocalMap applies a per-tuple dense kernel shard-locally, keeping
@@ -749,6 +759,7 @@ func dLocalMap(r *exec, n *plan.Node, in *relation, kern func(*tensor.Dense) *te
 
 func dTransposeDense(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	in := ins[0]
+	kc := r.kern()
 	var outFmt format.Format
 	switch in.format.Kind {
 	case format.Single:
@@ -759,7 +770,7 @@ func dTransposeDense(r *exec, n *plan.Node, ins []*relation) (*relation, error) 
 		var rel *relation
 		err = r.on(holder, func() error {
 			rel = r.singleRelAt(format.NewSingle(), n.OutShape, in.density,
-				engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: tensor.Transpose(t.Dense)}, holder)
+				engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: r.kern().Transpose(t.Dense)}, holder)
 			return nil
 		})
 		return rel, err
@@ -780,7 +791,7 @@ func dTransposeDense(r *exec, n *plan.Node, ins []*relation) (*relation, error) 
 			nk := engine.Key{I: t.Key.J, J: t.Key.I}
 			out = append(out, routed{dst: r.shardOf(nk), msg: message{
 				key:   nk,
-				tuple: engine.Tuple{Key: nk, Dense: tensor.Transpose(t.Dense)},
+				tuple: engine.Tuple{Key: nk, Dense: kc.Transpose(t.Dense)},
 			}})
 		}
 		return out, nil
@@ -798,7 +809,7 @@ func dTransposeCSR(r *exec, n *plan.Node, ins []*relation) (*relation, error) {
 	}
 	var rel *relation
 	err = r.on(holder, func() error {
-		out := sparse.FromDense(tensor.Transpose(a.ToDense()))
+		out := sparse.FromDense(r.kern().Transpose(a.ToDense()))
 		rel = r.singleRelAt(format.NewCSRSingle(), n.OutShape, ins[0].density,
 			engine.Tuple{Key: engine.Key{I: 0, J: 0}, CSR: out}, holder)
 		return nil

@@ -136,8 +136,18 @@ func TestSpeculativeStragglerWin(t *testing.T) {
 				Kind: dist.FaultDelayExchange, Vertex: x.Vertex, Label: x.Label, Shard: -1,
 				Delay: 750 * time.Millisecond,
 			})
+			// The floor sits far above any healthy vertex (even under the
+			// race detector) and far below the stall: only the straggling
+			// vertex is ever raced, its primary reaches the exchange — and
+			// latches the once-only delay — long before the duplicate
+			// launches, and the duplicate then wins by hundreds of
+			// milliseconds. A hair-trigger floor would instead speculate
+			// every vertex: an upstream win's rotated placement can make
+			// the targeted exchange unnecessary, and the straggler's own
+			// duplicate can reach the exchange first and absorb the delay
+			// itself.
 			rep := runFaulted(t, "spec-straggler", cl, shards, plan, ann, inputs, want,
-				dist.WithSpeculation(dist.Speculation{MinObservations: 1, Multiplier: 1, Floor: time.Millisecond}))
+				dist.WithSpeculation(dist.Speculation{MinObservations: 1, Multiplier: 1, Floor: 250 * time.Millisecond}))
 			if rep.FaultsInjected != 1 {
 				t.Fatalf("straggler @%d shards: %d faults injected, want 1", shards, rep.FaultsInjected)
 			}

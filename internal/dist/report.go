@@ -40,6 +40,9 @@ type Report struct {
 	Degraded        bool        // run fell back to the sequential engine
 	DegradedCause   string      // the dist failure that forced the fallback
 
+	KernelThreads int           // kernel threads each shard's local compute could use
+	KernelTime    time.Duration // summed wall time inside local compute kernels
+
 	Cascades            int64       // cascading lineage recomputes triggered
 	CascadesByVertex    map[int]int // failing vertex ID → cascades (nil when none)
 	MaxCascadeDepth     int         // deepest ancestor chain re-executed by one cascade
@@ -74,6 +77,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "dist run: %d shards, wall %v, peak %d B resident\n", r.Shards, r.Wall.Round(time.Microsecond), r.PeakBytes)
 	fmt.Fprintf(&b, "  fabric: %d B in %d messages across %d exchanges\n", r.NetBytes, r.Messages, len(r.Exchanges))
 	fmt.Fprintf(&b, "  busiest shard busy %v of %v total\n", r.BusiestShard().Round(time.Microsecond), r.TotalBusy().Round(time.Microsecond))
+	if r.KernelTime > 0 {
+		fmt.Fprintf(&b, "  kernels: %v inside compute kernels (%d threads/shard)\n",
+			r.KernelTime.Round(time.Microsecond), r.KernelThreads)
+	}
 	if r.FaultsInjected > 0 || r.Retries > 0 {
 		fmt.Fprintf(&b, "  recovery: %d faults injected, %d vertex retries", r.FaultsInjected, r.Retries)
 		if len(r.RetriesByVertex) > 0 {
@@ -162,6 +169,10 @@ func reportFromRegistry(snap []obs.Metric) *Report {
 			rep.Wall = time.Duration(m.Value)
 		case "dist.faults_injected":
 			rep.FaultsInjected = m.Value
+		case "dist.kernel.threads":
+			rep.KernelThreads = int(m.Value)
+		case "dist.kernel.ns":
+			rep.KernelTime = time.Duration(m.Value)
 		case "dist.exchange.bytes":
 			x := xrow(m)
 			x.Bytes += m.Value

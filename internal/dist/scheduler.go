@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matopt/internal/core"
@@ -15,6 +16,7 @@ import (
 	"matopt/internal/format"
 	"matopt/internal/obs"
 	"matopt/internal/plan"
+	"matopt/internal/pool"
 	"matopt/internal/shape"
 	"matopt/internal/tensor"
 )
@@ -94,6 +96,9 @@ type run struct {
 	qwait *obs.Histogram // dist.queue.wait.seconds
 	vsec  *obs.Histogram // dist.vertex.seconds — feeds the speculation deadline
 
+	kthreads int          // kernel threads per shard (resolved: explicit or pool.Budget)
+	kernNS   *obs.Counter // dist.kernel.ns — wall time inside local compute kernels
+
 	casc     map[int]int // vertex ID → cascading recomputes taken (scheduler goroutine only)
 	recMu    sync.Mutex  // guards lineages
 	lineages map[int]lineage
@@ -114,6 +119,20 @@ type exec struct {
 	attempt  int
 	ownerOff int
 	span     *obs.Span
+	kernAcc  atomic.Int64 // kernel ns accumulated by this attempt, for its span
+}
+
+// kern returns the kernel context this attempt's local compute runs
+// under: the run's per-shard thread budget (so shard × kernel
+// parallelism never oversubscribes the machine), with a timer that
+// meters kernel wall time into the run registry (dist.kernel.ns) and
+// the attempt's kernel_ns span attribute — traces therefore show kernel
+// time against the exchange spans directly.
+func (x *exec) kern() tensor.K {
+	return tensor.K{Threads: x.kthreads, Timer: func(ns int64) {
+		x.kernNS.Add(ns)
+		x.kernAcc.Add(ns)
+	}}
 }
 
 func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup) *run {
@@ -131,7 +150,14 @@ func newRun(rt *Runtime, ctx context.Context, p *plan.Plan, groups []*planGroup)
 		vsec:   reg.Histogram("dist.vertex.seconds", obs.DefaultDurationBuckets()),
 		casc:   make(map[int]int),
 	}
-	r.span = rt.tr.Start(rt.span, "dist.run").SetInt("shards", int64(rt.shards))
+	r.kthreads = rt.kernelThreads
+	if r.kthreads <= 0 {
+		r.kthreads = pool.Budget(rt.shards)
+	}
+	r.kernNS = reg.Counter("dist.kernel.ns")
+	r.span = rt.tr.Start(rt.span, "dist.run").
+		SetInt("shards", int64(rt.shards)).
+		SetInt("kernel_threads", int64(r.kthreads))
 	for s := 0; s < rt.shards; s++ {
 		r.tasks[s] = make(chan func(), 16)
 		straggle := rt.faults.slow(s)
@@ -504,6 +530,11 @@ func (r *run) cascade(vertex int, cause *lostInputsError, refs map[int]int, reta
 // node-loss fault additionally marks the group's input relations lost,
 // so the retry discovers the missing data and escalates to a cascade.
 func (x *exec) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tensor.Dense) (*relation, error) {
+	defer func() {
+		if ns := x.kernAcc.Load(); ns > 0 {
+			x.span.SetInt("kernel_ns", ns)
+		}
+	}()
 	if err := x.ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dist: execution aborted before vertex %d: %w", gr.vertex, err)
 	}
@@ -578,6 +609,7 @@ func (x *exec) execGroup(gr *planGroup, ins []*relation, inputs map[string]*tens
 // to degrade reports everything it metered.
 func (r *run) report(peak int64, wall time.Duration) *Report {
 	r.reg.Gauge("dist.shards").Set(int64(r.shards()))
+	r.reg.Gauge("dist.kernel.threads").Set(int64(r.kthreads))
 	r.reg.Gauge("dist.peak_bytes").SetMax(peak)
 	r.reg.Gauge("dist.wall_ns").SetMax(int64(wall))
 	r.reg.Gauge("dist.faults_injected").Set(r.rt.faults.Injected())

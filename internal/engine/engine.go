@@ -96,6 +96,13 @@ type Stats struct {
 type Engine struct {
 	Cluster costmodel.Cluster
 
+	// KernelThreads bounds the threads each local compute kernel may
+	// use (they run on the shared pool in internal/pool, so the process
+	// never exceeds GOMAXPROCS kernel threads in total). ≤ 0 means
+	// auto: use the whole machine. 1 forces serial kernels. Results are
+	// bit-identical at every setting.
+	KernelThreads int
+
 	netBytes   atomic.Int64
 	tuples     atomic.Int64
 	flops      atomic.Int64
@@ -104,6 +111,14 @@ type Engine struct {
 
 // New returns an engine with the given cluster profile.
 func New(cl costmodel.Cluster) *Engine { return &Engine{Cluster: cl} }
+
+// kern returns the kernel context executors run local compute under.
+func (e *Engine) kern() tensor.K {
+	if e.KernelThreads > 0 {
+		return tensor.K{Threads: e.KernelThreads}
+	}
+	return tensor.Auto()
+}
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {

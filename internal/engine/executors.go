@@ -87,7 +87,7 @@ func execMMSingleSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relatio
 	}
 	e.chargeNet(min64(a.Bytes(), b.Bytes()))
 	e.chargeFlops(mmFlops(a, b))
-	out := tensor.MatMul(a, b)
+	out := e.kern().MatMul(a, b)
 	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
 }
 
@@ -100,7 +100,7 @@ func execMMBcastSingleColStrip(e *Engine, o op.Op, outShape shape.Shape, ins []*
 	var out []Tuple
 	for _, t := range allOf(ins[1]) {
 		e.chargeFlops(mmFlops(a, t.Dense))
-		out = append(out, Tuple{Key: t.Key, Dense: tensor.MatMul(a, t.Dense)})
+		out = append(out, Tuple{Key: t.Key, Dense: e.kern().MatMul(a, t.Dense)})
 	}
 	return e.place(ins[1].Format, outShape, 1, out), nil
 }
@@ -114,7 +114,7 @@ func execMMRowStripBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*
 	var out []Tuple
 	for _, t := range allOf(ins[0]) {
 		e.chargeFlops(mmFlops(t.Dense, b))
-		out = append(out, Tuple{Key: t.Key, Dense: tensor.MatMul(t.Dense, b)})
+		out = append(out, Tuple{Key: t.Key, Dense: e.kern().MatMul(t.Dense, b)})
 	}
 	return e.place(ins[0].Format, outShape, 1, out), nil
 }
@@ -130,7 +130,7 @@ func execMMRowStripColStrip(e *Engine, o op.Op, outShape shape.Shape, ins []*Rel
 	for _, ta := range as {
 		for _, tb := range bs {
 			e.chargeFlops(mmFlops(ta.Dense, tb.Dense))
-			out = append(out, Tuple{Key: Key{ta.Key.I, tb.Key.J}, Dense: tensor.MatMul(ta.Dense, tb.Dense)})
+			out = append(out, Tuple{Key: Key{ta.Key.I, tb.Key.J}, Dense: e.kern().MatMul(ta.Dense, tb.Dense)})
 		}
 	}
 	e.chargeInter(outShape.Bytes() / int64(e.workers()))
@@ -138,6 +138,7 @@ func execMMRowStripColStrip(e *Engine, o op.Op, outShape shape.Shape, ins []*Rel
 }
 
 func execMMColStripRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kc := e.kern()
 	as, bs := allOf(ins[0]), allOf(ins[1])
 	bByKey := make(map[int64]*tensor.Dense, len(bs))
 	for _, t := range bs {
@@ -154,7 +155,7 @@ func execMMColStripRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*
 		// Materialize the partial product and fold it with AddInPlace —
 		// the same operation sequence the dist runtime's group-by-SUM
 		// reduce replays, keeping the two engines bit-identical.
-		tensor.AddInPlace(acc, tensor.MatMul(ta.Dense, tb))
+		kc.AddInPlace(acc, kc.MatMul(ta.Dense, tb))
 	}
 	e.chargeInter(acc.Bytes())
 	e.chargeNet(acc.Bytes()) // tree reduction of partials
@@ -165,6 +166,7 @@ func execMMColStripRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*
 // strategies: the arithmetic is identical, the strategies differ only in
 // movement, which is charged per variant below.
 func execMMTileTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kc := e.kern()
 	bSize := ins[0].Format.Block
 	as, bs := allOf(ins[0]), allOf(ins[1])
 	bByRow := make(map[int64][]Tuple)
@@ -177,10 +179,10 @@ func execMMTileTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (
 		for _, tb := range bByRow[ta.Key.J] {
 			k := Key{ta.Key.I, tb.Key.J}
 			e.chargeFlops(mmFlops(ta.Dense, tb.Dense))
-			prod := tensor.MatMul(ta.Dense, tb.Dense)
+			prod := kc.MatMul(ta.Dense, tb.Dense)
 			e.chargeInter(prod.Bytes())
 			if cur, ok := acc[k]; ok {
-				tensor.AddInPlace(cur, prod)
+				kc.AddInPlace(cur, prod)
 			} else {
 				acc[k] = prod
 			}
@@ -194,6 +196,7 @@ func execMMTileTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (
 }
 
 func execMMBcastSingleTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kc := e.kern()
 	a, err := singleDense(ins[0])
 	if err != nil {
 		return nil, err
@@ -205,9 +208,9 @@ func execMMBcastSingleTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Rela
 		c0 := int(tb.Key.I) * b
 		aSlice := a.Slice(0, a.Rows, c0, c0+tb.Dense.Rows)
 		e.chargeFlops(mmFlops(aSlice, tb.Dense))
-		prod := tensor.MatMul(aSlice, tb.Dense)
+		prod := kc.MatMul(aSlice, tb.Dense)
 		if cur, ok := acc[tb.Key.J]; ok {
-			tensor.AddInPlace(cur, prod)
+			kc.AddInPlace(cur, prod)
 		} else {
 			acc[tb.Key.J] = prod
 		}
@@ -220,6 +223,7 @@ func execMMBcastSingleTile(e *Engine, o op.Op, outShape shape.Shape, ins []*Rela
 }
 
 func execMMTileBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kc := e.kern()
 	b, err := singleDense(ins[1])
 	if err != nil {
 		return nil, err
@@ -231,9 +235,9 @@ func execMMTileBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Rela
 		r0 := int(ta.Key.J) * bk
 		bSlice := b.Slice(r0, r0+ta.Dense.Cols, 0, b.Cols)
 		e.chargeFlops(mmFlops(ta.Dense, bSlice))
-		prod := tensor.MatMul(ta.Dense, bSlice)
+		prod := kc.MatMul(ta.Dense, bSlice)
 		if cur, ok := acc[ta.Key.I]; ok {
-			tensor.AddInPlace(cur, prod)
+			kc.AddInPlace(cur, prod)
 		} else {
 			acc[ta.Key.I] = prod
 		}
@@ -264,7 +268,7 @@ func execMMCSRSingleSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Rela
 	}
 	e.chargeNet(min64(a.Bytes(), b.Bytes()))
 	e.chargeFlops(2 * int64(a.NNZ()) * int64(b.Cols))
-	out := a.MulDense(b)
+	out := a.MulDenseK(e.kern(), b)
 	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
 }
 
@@ -292,6 +296,7 @@ func CSRColSlice(m *sparse.CSR, c0, c1 int) *sparse.CSR {
 }
 
 func execMMBcastCSRRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
+	kc := e.kern()
 	a, err := singleCSR(ins[0])
 	if err != nil {
 		return nil, err
@@ -303,7 +308,7 @@ func execMMBcastCSRRowStripAgg(e *Engine, o op.Op, outShape shape.Shape, ins []*
 		r0 := int(tb.Key.I) * h
 		aSlice := CSRColSlice(a, r0, r0+tb.Dense.Rows)
 		e.chargeFlops(2 * int64(aSlice.NNZ()) * int64(tb.Dense.Cols))
-		tensor.AddInPlace(acc, aSlice.MulDense(tb.Dense))
+		kc.AddInPlace(acc, aSlice.MulDenseK(kc, tb.Dense))
 	}
 	e.chargeNet(acc.Bytes()) // reduce partials
 	return e.place(format.NewSingle(), outShape, acc.Density(), []Tuple{{Key: Key{0, 0}, Dense: acc}}), nil
@@ -318,7 +323,7 @@ func execMMCSRRowStripBcastSingle(e *Engine, o op.Op, outShape shape.Shape, ins 
 	var out []Tuple
 	for _, ta := range allOf(ins[0]) {
 		e.chargeFlops(2 * int64(ta.CSR.NNZ()) * int64(b.Cols))
-		out = append(out, Tuple{Key: ta.Key, Dense: ta.CSR.MulDense(b)})
+		out = append(out, Tuple{Key: ta.Key, Dense: ta.CSR.MulDenseK(e.kern(), b)})
 	}
 	return e.place(format.NewRowStrip(ins[0].Format.Block), outShape, 1, out), nil
 }
@@ -348,14 +353,14 @@ func execMMBcastCOOSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relat
 	return e.place(format.NewSingle(), outShape, acc.Density(), []Tuple{{Key: Key{0, 0}, Dense: acc}}), nil
 }
 
-func ewKernel(k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
+func ewKernel(kc tensor.K, k op.Kind) func(a, b *tensor.Dense) *tensor.Dense {
 	switch k {
 	case op.Add:
-		return tensor.Add
+		return kc.Add
 	case op.Sub:
-		return tensor.Sub
+		return kc.Sub
 	case op.Hadamard:
-		return tensor.Hadamard
+		return kc.Hadamard
 	}
 	panic(fmt.Sprintf("engine: %v is not an elementwise op", k))
 }
@@ -371,7 +376,7 @@ func execEWSingle(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*R
 	}
 	e.chargeNet(min64(a.Bytes(), b.Bytes()))
 	e.chargeFlops(int64(outShape.Elems()))
-	out := ewKernel(o.Kind)(a, b)
+	out := ewKernel(e.kern(), o.Kind)(a, b)
 	return e.place(format.NewSingle(), outShape, out.Density(), []Tuple{{Key: Key{0, 0}, Dense: out}}), nil
 }
 
@@ -382,7 +387,7 @@ func execEWCoPart(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*R
 	}
 	e.chargeNet(min64(ins[0].Bytes(), ins[1].Bytes()) / int64(e.workers()))
 	e.chargeFlops(int64(outShape.Elems()))
-	kern := ewKernel(o.Kind)
+	kern := ewKernel(e.kern(), o.Kind)
 	var out []Tuple
 	for _, ta := range allOf(ins[0]) {
 		tb, ok := bByKey[ta.Key]
@@ -394,29 +399,29 @@ func execEWCoPart(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*R
 	return e.place(ins[0].Format, outShape, 1, out), nil
 }
 
-func mapKernel(o op.Op) func(*tensor.Dense) *tensor.Dense {
+func mapKernel(kc tensor.K, o op.Op) func(*tensor.Dense) *tensor.Dense {
 	switch o.Kind {
 	case op.ReLU:
-		return tensor.ReLU
+		return kc.ReLU
 	case op.ReLUGrad:
-		return tensor.ReLUGrad
+		return kc.ReLUGrad
 	case op.Sigmoid:
-		return tensor.Sigmoid
+		return kc.Sigmoid
 	case op.Exp:
-		return tensor.Exp
+		return kc.Exp
 	case op.Neg:
-		return tensor.Neg
+		return kc.Neg
 	case op.Softmax:
-		return tensor.Softmax
+		return kc.Softmax
 	case op.ScalarMul:
 		s := o.Scalar
-		return func(m *tensor.Dense) *tensor.Dense { return tensor.Scale(m, s) }
+		return func(m *tensor.Dense) *tensor.Dense { return kc.Scale(m, s) }
 	}
 	panic(fmt.Sprintf("engine: %v is not a map op", o.Kind))
 }
 
 func execMap(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Relation, error) {
-	kern := mapKernel(o)
+	kern := mapKernel(e.kern(), o)
 	var out []Tuple
 	for _, t := range allOf(ins[0]) {
 		switch {
@@ -443,7 +448,7 @@ func execAddBias(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Re
 	var out []Tuple
 	for _, t := range allOf(ins[0]) {
 		e.chargeFlops(int64(len(t.Dense.Data)))
-		out = append(out, Tuple{Key: t.Key, Dense: tensor.AddBias(t.Dense, bias)})
+		out = append(out, Tuple{Key: t.Key, Dense: e.kern().AddBias(t.Dense, bias)})
 	}
 	return e.place(ins[0].Format, outShape, 1, out), nil
 }
@@ -452,7 +457,7 @@ func execRowSums(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Re
 	var out []Tuple
 	for _, t := range allOf(ins[0]) {
 		e.chargeFlops(int64(len(t.Dense.Data)))
-		out = append(out, Tuple{Key: t.Key, Dense: tensor.RowSums(t.Dense)})
+		out = append(out, Tuple{Key: t.Key, Dense: e.kern().RowSums(t.Dense)})
 	}
 	return e.place(ins[0].Format, outShape, 1, out), nil
 }
@@ -461,7 +466,7 @@ func execColSums(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation) (*Re
 	var out []Tuple
 	for _, t := range allOf(ins[0]) {
 		e.chargeFlops(int64(len(t.Dense.Data)))
-		out = append(out, Tuple{Key: t.Key, Dense: tensor.ColSums(t.Dense)})
+		out = append(out, Tuple{Key: t.Key, Dense: e.kern().ColSums(t.Dense)})
 	}
 	return e.place(ins[0].Format, outShape, 1, out), nil
 }
@@ -485,7 +490,7 @@ func execTransposeDense(e *Engine, o op.Op, outShape shape.Shape, ins []*Relatio
 	var out []Tuple
 	for _, t := range allOf(in) {
 		e.chargeFlops(int64(len(t.Dense.Data)))
-		out = append(out, Tuple{Key: Key{t.Key.J, t.Key.I}, Dense: tensor.Transpose(t.Dense)})
+		out = append(out, Tuple{Key: Key{t.Key.J, t.Key.I}, Dense: e.kern().Transpose(t.Dense)})
 	}
 	return e.place(outFmt, outShape, in.Density, out), nil
 }
@@ -496,7 +501,7 @@ func execTransposeCSR(e *Engine, o op.Op, outShape shape.Shape, ins []*Relation)
 		return nil, err
 	}
 	e.chargeFlops(2 * int64(a.NNZ()))
-	out := sparse.FromDense(tensor.Transpose(a.ToDense()))
+	out := sparse.FromDense(e.kern().Transpose(a.ToDense()))
 	return e.place(format.NewCSRSingle(), outShape, ins[0].Density, []Tuple{{Key: Key{0, 0}, CSR: out}}), nil
 }
 

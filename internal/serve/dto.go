@@ -72,6 +72,10 @@ type ExecuteRequest struct {
 	// Speculate enables speculative straggler re-execution on the dist
 	// engine (the runtime's default profile).
 	Speculate bool `json:"speculate,omitempty"`
+	// KernelThreads bounds the threads each local compute kernel may
+	// use (0 = auto-size to the machine; 1 = serial kernels). Results
+	// are bit-identical at every setting.
+	KernelThreads int `json:"kernel_threads,omitempty"`
 	// DeadlineMS shortens the server's default request timeout.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Trace asks for the request's span tree in the response.
@@ -111,6 +115,9 @@ func (r ExecuteRequest) validate() error {
 	}
 	if r.Speculate && r.Engine != "dist" {
 		return fmt.Errorf("speculate requires engine dist, got %q", r.Engine)
+	}
+	if r.KernelThreads < 0 {
+		return fmt.Errorf("kernel_threads must be non-negative, got %d", r.KernelThreads)
 	}
 	return nil
 }

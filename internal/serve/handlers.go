@@ -245,6 +245,9 @@ func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer,
 		}
 	case "seq", "dist":
 		xopts := []matopt.ExecutorOption{matopt.WithTracing(tr)}
+		if req.KernelThreads > 0 {
+			xopts = append(xopts, matopt.WithKernelThreads(req.KernelThreads))
+		}
 		if engine == "dist" {
 			xopts = append(xopts, matopt.WithEngineKind(matopt.DistEngine), matopt.WithShards(req.Shards))
 			if req.MaxRetries > 0 {

@@ -85,7 +85,7 @@ func TestExecuteEndpointEnginesAgree(t *testing.T) {
 	// The dist engine under injected faults — with the full recovery
 	// ladder armed (checkpoint pins, speculation) — returns bit-identical
 	// outputs and a recovery report.
-	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","shards":3,"faults":2,"fallback":true,"checkpoint":true,"speculate":true}`, &dist); code != 200 {
+	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","shards":3,"faults":2,"fallback":true,"checkpoint":true,"speculate":true,"kernel_threads":2}`, &dist); code != 200 {
 		t.Fatalf("dist execute status %d", code)
 	}
 	if dist.Dist == nil || dist.Dist.Shards != 3 {
@@ -157,6 +157,7 @@ func TestRequestValidation(t *testing.T) {
 		{"/execute", `{"workload":"chain","speculate":true}`, 400},  // speculation needs dist
 		{"/execute", `{"workload":"chain","engine":"dist","checkpoint":true,"checkpoint_budget":-1}`, 400},
 		{"/execute", `{"workload":"chain","engine":"dist","checkpoint_budget":1024}`, 400}, // budget needs checkpoint
+		{"/execute", `{"workload":"chain","kernel_threads":-1}`, 400},
 		{"/plan", `{"workload":"chain","sizeset":9}`, 400},
 	}
 	for _, c := range cases {

@@ -1,38 +1,83 @@
 package sparse
 
 import (
-	"fmt"
+	"time"
 
 	"matopt/internal/tensor"
 )
 
-// MulDense returns the dense product a×b for CSR a and dense b. The
-// output of a sparse-data × dense-model multiply is dense (§7 of the
-// paper), so the result is materialized densely.
-func (m *CSR) MulDense(b *tensor.Dense) *tensor.Dense {
-	if m.Cols != b.Rows {
-		panic(fmt.Sprintf("sparse: MulDense %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+// shapePanic panics with a typed *tensor.ShapeError for a sparse kernel.
+func shapePanic(kernel, want string, dims ...string) {
+	panic(&tensor.ShapeError{Kernel: "sparse." + kernel, Want: want, Dims: dims})
+}
+
+// kernDone reports a kernel's wall time to the context's timer, if one
+// is attached. Use as `defer kernDone(kc, time.Now())`.
+func kernDone(kc tensor.K, t0 time.Time) {
+	if kc.Timer != nil {
+		kc.Timer(time.Since(t0).Nanoseconds())
 	}
+}
+
+// avgRowWork estimates the scalar operations one CSR row contributes to
+// a product with width output columns — the pool grain is sized from it
+// so sparse kernels keep the same serial-size cutoff as the dense ones.
+func (m *CSR) avgRowWork(width int) int {
+	if m.Rows == 0 {
+		return 1
+	}
+	return 2 * (m.NNZ()/m.Rows + 1) * width
+}
+
+// MulDense returns the dense product a×b for CSR a and dense b,
+// serially. The output of a sparse-data × dense-model multiply is dense
+// (§7 of the paper), so the result is materialized densely.
+func (m *CSR) MulDense(b *tensor.Dense) *tensor.Dense { return m.MulDenseK(tensor.K{}, b) }
+
+// MulDenseK is MulDense under a kernel context: output rows are
+// partitioned into contiguous chunks (a CSR row is owned by exactly one
+// chunk, and its accumulation order over stored entries is unchanged),
+// so any thread count is bit-identical to serial.
+func (m *CSR) MulDenseK(kc tensor.K, b *tensor.Dense) *tensor.Dense {
+	if m.Cols != b.Rows {
+		shapePanic("MulDense", "inner dimensions must agree (a.Cols == b.Rows)",
+			tensor.Dim("a", m.Rows, m.Cols), tensor.Dim("b", b.Rows, b.Cols))
+	}
+	defer kernDone(kc, time.Now())
 	out := tensor.NewDense(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			av := m.Val[k]
-			brow := b.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	kc.Par(m.Rows, m.avgRowWork(b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				av := m.Val[k]
+				brow := b.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // TransposeMulDense returns aᵀ×b for CSR a and dense b, without
 // materializing aᵀ — the access pattern scatter-adds each sparse row.
 func (m *CSR) TransposeMulDense(b *tensor.Dense) *tensor.Dense {
+	return m.TransposeMulDenseK(tensor.K{}, b)
+}
+
+// TransposeMulDenseK is TransposeMulDense under a kernel context. It
+// runs serially regardless of the thread budget: the kernel
+// scatter-adds into output rows indexed by ColIdx, so output ownership
+// follows the (unpredictable) sparsity pattern rather than a row range
+// — there is no partition that is both disjoint and
+// accumulation-order-preserving. Only the context's timer is honored.
+func (m *CSR) TransposeMulDenseK(kc tensor.K, b *tensor.Dense) *tensor.Dense {
 	if m.Rows != b.Rows {
-		panic(fmt.Sprintf("sparse: TransposeMulDense %dx%d ᵀ× %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+		shapePanic("TransposeMulDense", "row counts must agree (aᵀ×b needs a.Rows == b.Rows)",
+			tensor.Dim("a", m.Rows, m.Cols), tensor.Dim("b", b.Rows, b.Cols))
 	}
+	defer kernDone(kc, time.Now())
 	out := tensor.NewDense(m.Cols, b.Cols)
 	for i := 0; i < m.Rows; i++ {
 		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
@@ -47,40 +92,79 @@ func (m *CSR) TransposeMulDense(b *tensor.Dense) *tensor.Dense {
 	return out
 }
 
-// Mul returns the sparse product a×b for two CSR matrices, using the
-// classical Gustavson row-merge algorithm.
-func (m *CSR) Mul(b *CSR) *CSR {
+// Mul returns the sparse product a×b for two CSR matrices, serially,
+// using the classical Gustavson row-merge algorithm.
+func (m *CSR) Mul(b *CSR) *CSR { return m.MulK(tensor.K{}, b) }
+
+// MulK is Mul under a kernel context. Output rows are split into
+// contiguous chunks; each chunk runs the serial Gustavson row loop into
+// its own accumulator and emits a private (colIdx, val) segment, and the
+// segments are concatenated in chunk order — so the assembled CSR is
+// byte-identical to the serial result for any thread count.
+func (m *CSR) MulK(kc tensor.K, b *CSR) *CSR {
 	if m.Cols != b.Rows {
-		panic(fmt.Sprintf("sparse: Mul %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+		shapePanic("Mul", "inner dimensions must agree (a.Cols == b.Rows)",
+			tensor.Dim("a", m.Rows, m.Cols), tensor.Dim("b", b.Rows, b.Cols))
 	}
-	acc := make(map[int]float64)
+	defer kernDone(kc, time.Now())
+	// Work per row ≈ 2 · nnz(a)/rows · nnz(b)/rows flops through the
+	// accumulator map (map ops dominate, hence the extra factor).
+	workPerRow := 1
+	if m.Rows > 0 && b.Rows > 0 {
+		workPerRow = 8 * (m.NNZ()/m.Rows + 1) * (b.NNZ()/b.Rows + 1)
+	}
+	nch := kc.NumChunks(m.Rows, workPerRow)
+	type segment struct {
+		rowNNZ []int // entries per output row in this chunk
+		colIdx []int
+		val    []float64
+	}
+	segs := make([]segment, nch)
+	kc.ParChunks(m.Rows, workPerRow, func(chunk, lo, hi int) {
+		acc := make(map[int]float64)
+		cols := make([]int, 0, 64)
+		seg := segment{rowNNZ: make([]int, 0, hi-lo)}
+		for i := lo; i < hi; i++ {
+			for k := range acc {
+				delete(acc, k)
+			}
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				av := m.Val[k]
+				r := m.ColIdx[k]
+				for kb := b.RowPtr[r]; kb < b.RowPtr[r+1]; kb++ {
+					acc[b.ColIdx[kb]] += av * b.Val[kb]
+				}
+			}
+			cols = cols[:0]
+			for c, v := range acc {
+				if v != 0 {
+					cols = append(cols, c)
+				}
+			}
+			insertionSort(cols)
+			for _, c := range cols {
+				seg.colIdx = append(seg.colIdx, c)
+				seg.val = append(seg.val, acc[c])
+			}
+			seg.rowNNZ = append(seg.rowNNZ, len(cols))
+		}
+		segs[chunk] = seg
+	})
 	rowPtr := make([]int, m.Rows+1)
-	var colIdx []int
-	var val []float64
-	cols := make([]int, 0, 64)
-	for i := 0; i < m.Rows; i++ {
-		for k := range acc {
-			delete(acc, k)
+	var total int
+	for _, seg := range segs {
+		total += len(seg.val)
+	}
+	colIdx := make([]int, 0, total)
+	val := make([]float64, 0, total)
+	row := 0
+	for _, seg := range segs {
+		for _, nnz := range seg.rowNNZ {
+			rowPtr[row+1] = rowPtr[row] + nnz
+			row++
 		}
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			av := m.Val[k]
-			r := m.ColIdx[k]
-			for kb := b.RowPtr[r]; kb < b.RowPtr[r+1]; kb++ {
-				acc[b.ColIdx[kb]] += av * b.Val[kb]
-			}
-		}
-		cols = cols[:0]
-		for c, v := range acc {
-			if v != 0 {
-				cols = append(cols, c)
-			}
-		}
-		insertionSort(cols)
-		for _, c := range cols {
-			colIdx = append(colIdx, c)
-			val = append(val, acc[c])
-		}
-		rowPtr[i+1] = len(val)
+		colIdx = append(colIdx, seg.colIdx...)
+		val = append(val, seg.val...)
 	}
 	return &CSR{Rows: m.Rows, Cols: b.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 }

@@ -1,44 +1,108 @@
 package tensor
 
-import "fmt"
+// GEMM blocking parameters. The kernel packs b into kc×nc panels: one
+// panel (mmKC·mmNC doubles = 256 KiB) sits in L2 while it is reused
+// across every output row of the chunk, and the four accumulator rows
+// the micro-kernel holds (4·mmNC doubles = 4 KiB) stay in L1 across the
+// whole k sweep of a panel.
+const (
+	mmKC = 256 // k extent of a packed b panel
+	mmNC = 128 // j extent of a packed b panel
+)
 
-// matmul block size; 64 doubles keeps three tiles well inside L1/L2.
-const mmBlock = 64
+// MatMul returns a×b using the cache-blocked kernel, serially.
+// Use K.MatMul to run the same kernel with a thread budget — the result
+// is bit-identical either way.
+func MatMul(a, b *Dense) *Dense { return K{}.MatMul(a, b) }
 
-// MatMul returns a×b using a blocked i-k-j kernel.
-func MatMul(a, b *Dense) *Dense {
+// MatMulAdd computes dst += a×b serially. dst must be a.Rows × b.Cols.
+func MatMulAdd(dst, a, b *Dense) { K{}.MatMulAdd(dst, a, b) }
+
+// MatMul returns a×b using the cache-blocked, panel-packed kernel,
+// parallelized over contiguous output-row ranges.
+func (k K) MatMul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		shapePanic("MatMul", "inner dimensions must agree (a.Cols == b.Rows)",
+			Dim("a", a.Rows, a.Cols), Dim("b", b.Rows, b.Cols))
 	}
 	out := NewDense(a.Rows, b.Cols)
-	MatMulAdd(out, a, b)
+	k.MatMulAdd(out, a, b)
 	return out
 }
 
-// MatMulAdd computes dst += a×b. dst must be a.Rows × b.Cols.
-func MatMulAdd(dst, a, b *Dense) {
+// MatMulAdd computes dst += a×b with the cache-blocked, panel-packed
+// kernel. dst must be a.Rows × b.Cols. Output rows are partitioned into
+// contiguous chunks; each chunk accumulates its own rows with ascending
+// k order, so any thread count produces bits identical to the serial
+// kernel.
+func (k K) MatMulAdd(dst, a, b *Dense) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("tensor: MatMulAdd dimension mismatch")
+		shapePanic("MatMulAdd", "dst must be a.Rows×b.Cols with a.Cols == b.Rows",
+			Dim("dst", dst.Rows, dst.Cols), Dim("a", a.Rows, a.Cols), Dim("b", b.Rows, b.Cols))
 	}
-	n, k, m := a.Rows, a.Cols, b.Cols
-	for i0 := 0; i0 < n; i0 += mmBlock {
-		i1 := min(i0+mmBlock, n)
-		for k0 := 0; k0 < k; k0 += mmBlock {
-			k1 := min(k0+mmBlock, k)
-			for j0 := 0; j0 < m; j0 += mmBlock {
-				j1 := min(j0+mmBlock, m)
-				for i := i0; i < i1; i++ {
-					arow := a.Data[i*k : (i+1)*k]
-					drow := dst.Data[i*m : (i+1)*m]
-					for kk := k0; kk < k1; kk++ {
-						av := arow[kk]
-						if av == 0 {
-							continue
-						}
-						brow := b.Data[kk*m : (kk+1)*m]
-						for j := j0; j < j1; j++ {
-							drow[j] += av * brow[j]
-						}
+	defer k.end(k.begin())
+	n, kd, m := a.Rows, a.Cols, b.Cols
+	if n == 0 || kd == 0 || m == 0 {
+		return
+	}
+	k.parRange(n, grainFor(2*kd*m), func(lo, hi int) {
+		gemmRows(dst, a, b, lo, hi)
+	})
+}
+
+// gemmRows computes dst[lo:hi) += a[lo:hi) × b. Panels of b are packed
+// contiguously so the micro-kernel streams them with unit stride; rows
+// are processed four at a time to amortize each packed-panel load
+// across four accumulator rows.
+//
+// Determinism note: for every output element (i, j) the additions
+// happen in ascending k order — j panels are independent elements, and
+// within a j panel the k panels ascend — and there is deliberately no
+// skip of zero a-elements: a skipped `+= 0·b` is not a no-op for signed
+// zeros, so any data-dependent shortcut could make results depend on
+// which code path (4-row group vs. remainder row) a row lands in, which
+// shifts with the chunk boundary. Every path performs the identical
+// per-element operation sequence, so chunking cannot change bits.
+func gemmRows(dst, a, b *Dense, lo, hi int) {
+	kd, m := a.Cols, b.Cols
+	bp := make([]float64, mmKC*mmNC)
+	for j0 := 0; j0 < m; j0 += mmNC {
+		j1 := min(j0+mmNC, m)
+		w := j1 - j0
+		for k0 := 0; k0 < kd; k0 += mmKC {
+			k1 := min(k0+mmKC, kd)
+			for kk := k0; kk < k1; kk++ {
+				copy(bp[(kk-k0)*w:(kk-k0+1)*w], b.Data[kk*m+j0:kk*m+j1])
+			}
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				a0 := a.Data[i*kd : (i+1)*kd]
+				a1 := a.Data[(i+1)*kd : (i+2)*kd]
+				a2 := a.Data[(i+2)*kd : (i+3)*kd]
+				a3 := a.Data[(i+3)*kd : (i+4)*kd]
+				d0 := dst.Data[i*m+j0 : i*m+j1]
+				d1 := dst.Data[(i+1)*m+j0 : (i+1)*m+j1]
+				d2 := dst.Data[(i+2)*m+j0 : (i+2)*m+j1]
+				d3 := dst.Data[(i+3)*m+j0 : (i+3)*m+j1]
+				for kk := k0; kk < k1; kk++ {
+					prow := bp[(kk-k0)*w : (kk-k0+1)*w]
+					av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+					for j, bv := range prow {
+						d0[j] += av0 * bv
+						d1[j] += av1 * bv
+						d2[j] += av2 * bv
+						d3[j] += av3 * bv
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				arow := a.Data[i*kd : (i+1)*kd]
+				drow := dst.Data[i*m+j0 : i*m+j1]
+				for kk := k0; kk < k1; kk++ {
+					prow := bp[(kk-k0)*w : (kk-k0+1)*w]
+					av := arow[kk]
+					for j, bv := range prow {
+						drow[j] += av * bv
 					}
 				}
 			}
@@ -47,102 +111,168 @@ func MatMulAdd(dst, a, b *Dense) {
 }
 
 // Add returns a+b.
-func Add(a, b *Dense) *Dense { return zipNew(a, b, func(x, y float64) float64 { return x + y }) }
+func Add(a, b *Dense) *Dense { return K{}.Add(a, b) }
+
+// Add returns a+b, element-partitioned across the context's threads.
+func (k K) Add(a, b *Dense) *Dense {
+	return k.zipNew("Add", a, b, func(x, y float64) float64 { return x + y })
+}
 
 // Sub returns a−b.
-func Sub(a, b *Dense) *Dense { return zipNew(a, b, func(x, y float64) float64 { return x - y }) }
+func Sub(a, b *Dense) *Dense { return K{}.Sub(a, b) }
+
+// Sub returns a−b, element-partitioned across the context's threads.
+func (k K) Sub(a, b *Dense) *Dense {
+	return k.zipNew("Sub", a, b, func(x, y float64) float64 { return x - y })
+}
 
 // Hadamard returns the entrywise product a∘b.
-func Hadamard(a, b *Dense) *Dense {
-	return zipNew(a, b, func(x, y float64) float64 { return x * y })
+func Hadamard(a, b *Dense) *Dense { return K{}.Hadamard(a, b) }
+
+// Hadamard returns a∘b, element-partitioned across the context's threads.
+func (k K) Hadamard(a, b *Dense) *Dense {
+	return k.zipNew("Hadamard", a, b, func(x, y float64) float64 { return x * y })
 }
 
 // AddInPlace computes a += b.
-func AddInPlace(a, b *Dense) {
+func AddInPlace(a, b *Dense) { K{}.AddInPlace(a, b) }
+
+// AddInPlace computes a += b, element-partitioned across the context's
+// threads.
+func (k K) AddInPlace(a, b *Dense) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("tensor: AddInPlace dimension mismatch")
+		shapePanic("AddInPlace", "operands must have equal shapes",
+			Dim("a", a.Rows, a.Cols), Dim("b", b.Rows, b.Cols))
 	}
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	defer k.end(k.begin())
+	k.parRange(len(a.Data), grainFor(1), func(lo, hi int) {
+		ad, bd := a.Data[lo:hi], b.Data[lo:hi]
+		for i := range ad {
+			ad[i] += bd[i]
+		}
+	})
 }
 
-func zipNew(a, b *Dense, f func(x, y float64) float64) *Dense {
+// zipNew allocates the elementwise combination f(a, b). Elements are
+// independent, so any flat partition is bit-identical to serial.
+func (k K) zipNew(name string, a, b *Dense, f func(x, y float64) float64) *Dense {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: elementwise %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		shapePanic(name, "operands must have equal shapes",
+			Dim("a", a.Rows, a.Cols), Dim("b", b.Rows, b.Cols))
 	}
+	defer k.end(k.begin())
 	out := NewDense(a.Rows, a.Cols)
-	for i := range a.Data {
-		out.Data[i] = f(a.Data[i], b.Data[i])
-	}
+	k.parRange(len(a.Data), grainFor(1), func(lo, hi int) {
+		ad, bd, od := a.Data[lo:hi], b.Data[lo:hi], out.Data[lo:hi]
+		for i := range ad {
+			od[i] = f(ad[i], bd[i])
+		}
+	})
 	return out
 }
 
 // Transpose returns aᵀ using a cache-blocked swap.
-func Transpose(a *Dense) *Dense {
+func Transpose(a *Dense) *Dense { return K{}.Transpose(a) }
+
+// Transpose returns aᵀ, partitioned over output rows (input columns);
+// each chunk writes a disjoint slab of the output.
+func (k K) Transpose(a *Dense) *Dense {
+	defer k.end(k.begin())
 	out := NewDense(a.Cols, a.Rows)
 	const bs = 32
-	for i0 := 0; i0 < a.Rows; i0 += bs {
-		i1 := min(i0+bs, a.Rows)
-		for j0 := 0; j0 < a.Cols; j0 += bs {
-			j1 := min(j0+bs, a.Cols)
-			for i := i0; i < i1; i++ {
-				for j := j0; j < j1; j++ {
-					out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+	k.parRange(a.Cols, grainFor(a.Rows), func(lo, hi int) {
+		for i0 := 0; i0 < a.Rows; i0 += bs {
+			i1 := min(i0+bs, a.Rows)
+			for j0 := lo; j0 < hi; j0 += bs {
+				j1 := min(j0+bs, hi)
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Scale returns s·a.
-func Scale(a *Dense, s float64) *Dense {
+func Scale(a *Dense, s float64) *Dense { return K{}.Scale(a, s) }
+
+// Scale returns s·a, element-partitioned across the context's threads.
+func (k K) Scale(a *Dense, s float64) *Dense {
+	defer k.end(k.begin())
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = s * v
-	}
+	k.parRange(len(a.Data), grainFor(1), func(lo, hi int) {
+		ad, od := a.Data[lo:hi], out.Data[lo:hi]
+		for i, v := range ad {
+			od[i] = s * v
+		}
+	})
 	return out
 }
 
 // RowSums returns the column vector of row sums (Rows×1).
-func RowSums(a *Dense) *Dense {
+func RowSums(a *Dense) *Dense { return K{}.RowSums(a) }
+
+// RowSums returns the Rows×1 vector of row sums, row-partitioned; each
+// row's sum accumulates left to right exactly as in the serial kernel.
+func (k K) RowSums(a *Dense) *Dense {
+	defer k.end(k.begin())
 	out := NewDense(a.Rows, 1)
-	for i := 0; i < a.Rows; i++ {
-		var s float64
-		for _, v := range a.Data[i*a.Cols : (i+1)*a.Cols] {
-			s += v
+	k.parRange(a.Rows, grainFor(a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for _, v := range a.Data[i*a.Cols : (i+1)*a.Cols] {
+				s += v
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
 // ColSums returns the row vector of column sums (1×Cols).
-func ColSums(a *Dense) *Dense {
+func ColSums(a *Dense) *Dense { return K{}.ColSums(a) }
+
+// ColSums returns the 1×Cols vector of column sums, partitioned over
+// columns: every chunk owns a disjoint set of accumulators and adds
+// rows in ascending order, matching the serial kernel bit for bit.
+func (k K) ColSums(a *Dense) *Dense {
+	defer k.end(k.begin())
 	out := NewDense(1, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j, v := range row {
-			out.Data[j] += v
+	k.parRange(a.Cols, grainFor(a.Rows), func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := lo; j < hi; j++ {
+				out.Data[j] += row[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // AddBias returns a with the 1×Cols row vector bias added to every row.
-func AddBias(a, bias *Dense) *Dense {
+func AddBias(a, bias *Dense) *Dense { return K{}.AddBias(a, bias) }
+
+// AddBias returns a with the 1×Cols bias row added to every row,
+// row-partitioned across the context's threads.
+func (k K) AddBias(a, bias *Dense) *Dense {
 	if bias.Rows != 1 || bias.Cols != a.Cols {
-		panic(fmt.Sprintf("tensor: AddBias bias %dx%d on %dx%d", bias.Rows, bias.Cols, a.Rows, a.Cols))
+		shapePanic("AddBias", "bias must be 1×a.Cols",
+			Dim("a", a.Rows, a.Cols), Dim("bias", bias.Rows, bias.Cols))
 	}
+	defer k.end(k.begin())
 	out := NewDense(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
-		for j, v := range row {
-			orow[j] = v + bias.Data[j]
+	k.parRange(a.Rows, grainFor(a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+			for j, v := range row {
+				orow[j] = v + bias.Data[j]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -413,6 +413,17 @@ func WithSpeculation(s Speculation) ExecutorOption {
 	return func(x *Executor) { x.spec = &s }
 }
 
+// WithKernelThreads bounds the threads each local compute kernel may
+// use, on either engine. Kernels run on a shared GOMAXPROCS-bounded
+// worker pool, so the process never oversubscribes the machine no
+// matter how many runs or shards are active. n = 1 forces serial
+// kernels; n ≤ 0 (the default) picks automatically — the whole machine
+// for the sequential engine, and GOMAXPROCS divided by the shard count
+// (floor 1) per shard for the DistEngine, so shard parallelism and
+// kernel parallelism compose. Results are bit-identical at every
+// setting; see KERNELS.md for the determinism argument.
+func WithKernelThreads(n int) ExecutorOption { return func(x *Executor) { x.kernelThreads = n } }
+
 // WithTracing attaches a tracer to the Executor: every run opens an
 // "execute" span; a DistEngine run nests its "dist.run" span (with
 // per-vertex, per-attempt, per-exchange and retry children) underneath,
@@ -482,10 +493,11 @@ type Executor struct {
 	faults     *FaultPlan
 	tracer     *Tracer
 
-	ckptOn       bool
-	ckptMultiple float64
-	ckptBudget   int64
-	spec         *Speculation
+	ckptOn        bool
+	ckptMultiple  float64
+	ckptBudget    int64
+	spec          *Speculation
+	kernelThreads int
 
 	mu         sync.Mutex
 	lastReport *DistReport
@@ -501,6 +513,7 @@ func NewExecutor(cl Cluster, opts ...ExecutorOption) *Executor {
 	if x.shards <= 0 {
 		x.shards = dist.DefaultShards()
 	}
+	x.eng.KernelThreads = x.kernelThreads
 	return x
 }
 
@@ -536,6 +549,9 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 		}
 		if x.spec != nil {
 			opts = append(opts, dist.WithSpeculation(*x.spec))
+		}
+		if x.kernelThreads > 0 {
+			opts = append(opts, dist.WithKernelThreads(x.kernelThreads))
 		}
 		rt, err := dist.New(x.cluster, x.shards, opts...)
 		if err != nil {
