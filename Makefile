@@ -31,16 +31,19 @@ test:
 # package's singleflight coalescing, and the serving layer's admission
 # control and drain are the concurrency-bearing packages.
 race:
-	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/obs/ ./internal/plan/ ./internal/serve/ ./internal/pool/ ./internal/tensor/ ./internal/sparse/
+	$(GO) test -race . ./internal/core/ ./internal/engine/ ./internal/dist/ ./internal/netfabric/ ./internal/obs/ ./internal/plan/ ./internal/serve/ ./internal/pool/ ./internal/tensor/ ./internal/sparse/
 
 # The fault-injection sweep under the race detector: seeded crash /
 # drop / delay / straggler schedules, cascading node-loss recovery,
 # checkpoint-pinned reruns, speculative re-execution and the
 # cancellation / shutdown-gap checks must all recover bit-identically
-# and leak no goroutines.
+# and leak no goroutines. The ChaosNet rows inject network faults into
+# the TCP transport — a peer severing connections mid-exchange and a
+# worker departing mid-run (later dials refused) — and require the
+# same bit-identical recovery or typed degradation.
 chaos:
 	$(GO) test -race -run 'Chaos|NodeLoss|Checkpoint|Speculat|Delayed|Retries|Deadline|Shutdown|Cancel|RandomFaults' \
-		./internal/dist/
+		. ./internal/dist/
 
 # Every exported identifier in the public matopt package, the shared
 # physical-plan IR and the serving layer must carry a doc comment;
@@ -50,6 +53,7 @@ docs-check:
 	$(GO) run ./cmd/docscheck -dir ./internal/plan
 	$(GO) run ./cmd/docscheck -dir ./internal/serve
 	$(GO) run ./cmd/docscheck -dir ./internal/pool
+	$(GO) run ./cmd/docscheck -dir ./internal/netfabric
 
 # Runs every benchmark once and records the dist-vs-sequential
 # comparison in BENCH_dist.json (now with a span-derived phase_ns
@@ -69,7 +73,12 @@ docs-check:
 # cache-blocked vs threaded GEMM per shape, a sparse SpMM point, and
 # the dist runtime end to end with kernels forced serial vs
 # auto-budgeted; on a multi-core host the benchmark fails if threaded
-# GEMM regresses below serial.
+# GEMM regresses below serial (on a single-CPU host that gate is
+# skipped with a warning — there is no parallelism to measure — and
+# every record carries numcpu so a reader can tell).
+# BENCH_netfabric.json compares the dist exchanges over the in-process
+# chan transport and over loopback TCP through a worker server, with
+# the framed wire bytes next to the cost model's NetBytesCeiling.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	BENCH_DIST_JSON=$(CURDIR)/BENCH_dist.json $(GO) test -run '^$$' \
@@ -86,3 +95,5 @@ bench:
 		-bench BenchmarkRecovery -benchtime 1x ./internal/dist/
 	BENCH_KERNELS_JSON=$(CURDIR)/BENCH_kernels.json $(GO) test -run '^$$' \
 		-bench BenchmarkKernels -benchtime 1x ./internal/dist/
+	BENCH_NETFABRIC_JSON=$(CURDIR)/BENCH_netfabric.json $(GO) test -run '^$$' \
+		-bench BenchmarkNetfabric -benchtime 1x ./internal/dist/

@@ -1,6 +1,9 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // execConfig holds the execution-related flag values so their
 // validation is testable without invoking main.
@@ -17,6 +20,7 @@ type execConfig struct {
 	Checkpoint  bool   // cost-model-driven checkpoint placement (dist only)
 	CkptBudget  int64  // cap on checkpoint-pinned bytes (0 = unbounded)
 	Speculate   bool   // speculative straggler re-execution (dist only)
+	Peers       string // comma-separated worker addresses for the TCP transport ("" = in-process)
 	Trace       bool   // print the span tree after the run
 	TraceOut    string // write a Chrome trace_event file here ("" = off)
 	Metrics     bool   // print the metrics registry after the run
@@ -74,5 +78,26 @@ func (c execConfig) validate() error {
 	if c.PlanIn != "" && c.PlanOut != "" {
 		return fmt.Errorf("-plan-in and -plan-out are mutually exclusive")
 	}
+	if c.Peers != "" && c.Engine != "dist" {
+		return fmt.Errorf("-peers requires -engine dist, got -engine %s", c.Engine)
+	}
+	for _, p := range c.peerList() {
+		if p == "" {
+			return fmt.Errorf("-peers has an empty entry in %q", c.Peers)
+		}
+	}
 	return nil
+}
+
+// peerList splits the -peers flag into worker addresses (nil when the
+// flag is unset — the in-process chan transport).
+func (c execConfig) peerList() []string {
+	if c.Peers == "" {
+		return nil
+	}
+	parts := strings.Split(c.Peers, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

@@ -56,6 +56,12 @@ func TestExecConfigValidate(t *testing.T) {
 		{"negative checkpoint budget", func(c *execConfig) { c.Checkpoint = true; c.CkptBudget = -1 }, "-checkpoint-budget"},
 		{"budget without checkpoint", func(c *execConfig) { c.CkptBudget = 1024 }, "-checkpoint-budget requires -checkpoint"},
 		{"speculate on sim", func(c *execConfig) { c.Engine = "sim"; c.Speculate = true }, "-speculate requires -engine dist"},
+
+		{"peers on dist", func(c *execConfig) { c.Peers = "127.0.0.1:9431" }, ""},
+		{"peer list with local", func(c *execConfig) { c.Peers = "local,127.0.0.1:9431" }, ""},
+		{"peers on seq", func(c *execConfig) { c.Engine = "seq"; c.Peers = "127.0.0.1:9431" }, "-peers requires -engine dist"},
+		{"peers on sim", func(c *execConfig) { c.Engine = "sim"; c.Peers = "127.0.0.1:9431" }, "-peers requires -engine dist"},
+		{"empty peer entry", func(c *execConfig) { c.Peers = "127.0.0.1:9431,," }, "empty entry"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

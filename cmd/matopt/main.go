@@ -26,7 +26,13 @@
 // Perfetto; -metrics dumps the process metrics registry (plan-cache
 // hit rate, shuffle bytes, retry counts — DESIGN.md §11).
 //
+// -peers runs the dist engine's exchanges over real TCP: each entry is
+// a `matoptd -worker` address (or the literal "local" for in-process
+// hosting), and shard s lives on peer s mod len(peers). README's
+// "running a real cluster" walks through a two-process loopback run.
+//
 //	matopt -workload ffnn -engine dist -shards 8 -scale 500
+//	matopt -workload chain -engine dist -shards 4 -peers 127.0.0.1:9431
 //	matopt -workload chain -engine dist -shards 8 -faults 5 -fault-seed 7
 //	matopt -workload ffnn -engine dist -trace -metrics
 //	matopt -workload ffnn -engine dist -trace-out trace.json
@@ -61,6 +67,7 @@ import (
 	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/netfabric"
 	"matopt/internal/obs"
 	"matopt/internal/plan"
 	"matopt/internal/shape"
@@ -91,6 +98,7 @@ func main() {
 	checkpoint := flag.Bool("checkpoint", false, "pin cost-model-chosen intermediates resident for recovery (dist)")
 	ckptBudget := flag.Int64("checkpoint-budget", 0, "cap on checkpoint-pinned bytes, deepest vertices first (0 = unbounded)")
 	speculate := flag.Bool("speculate", false, "launch speculative duplicates of straggling dist vertices")
+	peers := flag.String("peers", "", "comma-separated matoptd -worker addresses for the dist TCP transport (\"local\" = in-process shard)")
 	trace := flag.Bool("trace", false, "print a span tree of the run (optimizer phases, dist vertices, exchanges)")
 	traceOut := flag.String("trace-out", "", "write the run's spans as a Chrome trace_event file to this path")
 	metrics := flag.Bool("metrics", false, "print the process metrics registry after the run")
@@ -104,7 +112,8 @@ func main() {
 		KernThreads: *kernThreads,
 		Faults:      *faults, FaultSeed: *faultSeed, MaxRetries: *maxRetries,
 		Fallback: *fallback, Checkpoint: *checkpoint, CkptBudget: *ckptBudget,
-		Speculate: *speculate, Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
+		Speculate: *speculate, Peers: *peers,
+		Trace: *trace, TraceOut: *traceOut, Metrics: *metrics,
 		Explain: *explain, PlanOut: *planOut, PlanIn: *planIn,
 	}
 	if err := cfg.validate(); err != nil {
@@ -396,6 +405,14 @@ func run(ctx context.Context, cfg execConfig, cl costmodel.Cluster, phys *plan.P
 	}
 	if cfg.Speculate {
 		opts = append(opts, dist.WithSpeculation(dist.DefaultSpeculation()))
+	}
+	if pl := cfg.peerList(); pl != nil {
+		tp, err := netfabric.NewTCP(pl)
+		if err != nil {
+			log.Fatalf("-peers: %v", err)
+		}
+		defer tp.Close()
+		opts = append(opts, dist.WithTransport(tp))
 	}
 	if cfg.Faults > 0 {
 		ids := make([]int, 0, len(phys.Graph.Vertices))

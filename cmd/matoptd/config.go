@@ -21,9 +21,20 @@ type daemonConfig struct {
 	ClusterWorkers int    // cost-model cluster size
 	PlanCache      int    // plan-cache capacity (0 = default)
 	Trace          bool   // attach a tracer to every request
+	Worker         bool   // run as a netfabric exchange worker instead of the HTTP daemon
+	Listen         string // worker-mode listen address
 }
 
 func (c daemonConfig) validate() error {
+	if c.Worker {
+		if c.Listen == "" {
+			return fmt.Errorf("-worker requires -listen")
+		}
+		return nil // worker mode ignores the HTTP daemon's flags
+	}
+	if c.Listen != "" {
+		return fmt.Errorf("-listen requires -worker")
+	}
 	if c.Addr == "" {
 		return fmt.Errorf("-addr must not be empty")
 	}

@@ -35,6 +35,8 @@ func TestValidateRejects(t *testing.T) {
 		{"zero cluster", func(c *daemonConfig) { c.ClusterWorkers = 0 }, "-cluster-workers"},
 		{"negative plan cache", func(c *daemonConfig) { c.PlanCache = -1 }, "-plan-cache"},
 		{"bad formats", func(c *daemonConfig) { c.Formats = "sparse" }, "format universe"},
+		{"worker without listen", func(c *daemonConfig) { c.Worker = true }, "-worker requires -listen"},
+		{"listen without worker", func(c *daemonConfig) { c.Listen = ":9431" }, "-listen requires -worker"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -48,6 +50,11 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := goodConfig().validate(); err != nil {
 		t.Fatalf("good config rejected: %v", err)
+	}
+	// Worker mode ignores the HTTP daemon's flags entirely.
+	worker := daemonConfig{Worker: true, Listen: "127.0.0.1:9431"}
+	if err := worker.validate(); err != nil {
+		t.Fatalf("worker config rejected: %v", err)
 	}
 }
 

@@ -28,6 +28,15 @@
 //
 //	matoptd -addr :8080 -workers 8 -cluster-workers 5
 //	curl -s localhost:8080/optimize -d '{"workload":"chain"}'
+//
+// With -worker the process is an exchange worker instead: it hosts the
+// dist engine's shuffle inboxes for remote shards over the netfabric
+// TCP transport, serving coordinators started with `matopt -peers` (or
+// a daemon handling "peers" execute requests). A worker holds no plan
+// state — it can join or leave between runs freely.
+//
+//	matoptd -worker -listen 127.0.0.1:9431
+//	matopt -workload chain -engine dist -shards 4 -peers 127.0.0.1:9431
 package main
 
 import (
@@ -35,12 +44,14 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"matopt/internal/netfabric"
 	"matopt/internal/serve"
 )
 
@@ -59,9 +70,15 @@ func main() {
 	flag.IntVar(&cfg.ClusterWorkers, "cluster-workers", 5, "cost-model cluster size (paper's r5d cluster)")
 	flag.IntVar(&cfg.PlanCache, "plan-cache", 0, "plan-cache capacity (0 = default)")
 	flag.BoolVar(&cfg.Trace, "trace", false, "attach a tracer to every request")
+	flag.BoolVar(&cfg.Worker, "worker", false, "run as a netfabric exchange worker (serves matopt -peers coordinators)")
+	flag.StringVar(&cfg.Listen, "listen", "", "worker-mode listen address (e.g. 127.0.0.1:9431)")
 	flag.Parse()
 	if err := cfg.validate(); err != nil {
 		log.Fatal(err)
+	}
+	if cfg.Worker {
+		runWorker(cfg.Listen)
+		return
 	}
 
 	srv := serve.New(cfg.serveConfig())
@@ -96,4 +113,35 @@ func main() {
 	}
 	<-errc // ListenAndServe has returned
 	log.Printf("drained and stopped in %v", time.Since(start).Round(time.Millisecond))
+}
+
+// runWorker hosts exchange inboxes on addr until SIGINT/SIGTERM, then
+// shuts down gracefully: stop accepting, sever live connections, wait
+// for every handler to exit.
+func runWorker(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("worker listen %s: %v", addr, err)
+	}
+	srv := netfabric.NewServer()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("worker serving exchanges on %s", ln.Addr())
+		errc <- srv.Serve(ln)
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("worker failed: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; closing worker")
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		log.Printf("worker close: %v", err)
+	}
+	<-errc // Serve has returned
+	log.Printf("worker stopped in %v", time.Since(start).Round(time.Millisecond))
 }

@@ -39,6 +39,7 @@ type gemmPoint struct {
 // dist runtime end to end with kernels forced serial vs auto-budgeted.
 type kernelsBenchResult struct {
 	GOMAXPROCS     int         `json:"gomaxprocs"`
+	NumCPU         int         `json:"numcpu"`
 	AutoThreads    int         `json:"auto_threads"` // pool.MaxThreads()
 	GEMM           []gemmPoint `json:"gemm"`
 	SpMMSerialNs   int64       `json:"spmm_serial_ns"`   // CSR×dense, Threads=1
@@ -87,6 +88,7 @@ func BenchmarkKernels(b *testing.B) {
 	}
 	res := kernelsBenchResult{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		AutoThreads: pool.MaxThreads(),
 	}
 	b.ResetTimer()
@@ -119,8 +121,13 @@ func BenchmarkKernels(b *testing.B) {
 	b.ReportMetric(last.ThreadSpeedup, "thread-speedup")
 
 	// The regression gate: with more than one core available, threading
-	// the blocked GEMM must help, never hurt, at the largest shape.
-	if runtime.GOMAXPROCS(0) > 1 && last.ThreadedNs > last.SerialNs {
+	// the blocked GEMM must help, never hurt, at the largest shape. On a
+	// single-CPU host there is no parallelism to measure — GOMAXPROCS
+	// may still be >1 — so the gate is skipped loudly rather than failed
+	// on scheduler noise.
+	if runtime.NumCPU() == 1 {
+		b.Logf("WARNING: single-CPU host (NumCPU=1): skipping the threaded>=serial GEMM gate; thread_speedup in BENCH_kernels.json is not meaningful")
+	} else if runtime.GOMAXPROCS(0) > 1 && last.ThreadedNs > last.SerialNs {
 		b.Fatalf("threaded GEMM regressed below serial at %dx%dx%d: %d ns threaded vs %d ns serial",
 			last.M, last.K, last.N, last.ThreadedNs, last.SerialNs)
 	}

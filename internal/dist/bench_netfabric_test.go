@@ -1,0 +1,157 @@
+package dist_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/netfabric"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/workload"
+)
+
+// netfabricBenchResult is the record `make bench` writes to
+// BENCH_netfabric.json: the same dist workload run over the in-process
+// chan transport and over loopback TCP through a worker server, plus
+// the wire accounting next to the cost model's traffic ceiling. TCPNs
+// includes framing, socket I/O and the (key, seq) re-sort; the gap to
+// ChanNs is the fabric's wire overhead at loopback latency.
+type netfabricBenchResult struct {
+	Workload   string `json:"workload"`
+	Shards     int    `json:"shards"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	ChanNs     int64  `json:"chan_ns"`
+	TCPNs      int64  `json:"tcp_ns"`
+	// NetBytes is the logical exchange volume, identical on both
+	// transports; WireBytes is the framed TCP volume (headers, keys,
+	// checksums included) and upper-bounds it.
+	NetBytes     int64 `json:"net_bytes"`
+	WireBytes    int64 `json:"wire_bytes"`
+	WireMessages int64 `json:"wire_messages"`
+	WireDials    int64 `json:"wire_dials"`
+	// NetBytesCeiling is the cost model's bound on total cross-link
+	// traffic for this plan (per-link NetBytes feature × links); the
+	// measured logical volume must sit under it (bound_test.go gates
+	// this), and the wire volume shows the framing overhead above it.
+	NetBytesCeiling float64 `json:"net_bytes_ceiling"`
+}
+
+// BenchmarkNetfabric times the dist runtime's exchanges over both
+// transports on the bench chain workload. When BENCH_NETFABRIC_JSON
+// names a file, the comparison is written there as JSON.
+func BenchmarkNetfabric(b *testing.B) {
+	const shards = 4
+	sz := workload.ChainSizes{
+		Name: "bench",
+		A:    shape.New(200, 600), B: shape.New(600, 1000),
+		C: shape.New(1000, 1), D: shape.New(1, 1000),
+		E: shape.New(1000, 200), F: shape.New(1000, 200),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := costmodel.LocalTest(shards)
+	env := core.NewEnv(cl, format.All())
+	ann, err := core.Optimize(g, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := engine.Simulate(ann, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := netfabric.NewServer()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			b.Errorf("worker Serve: %v", err)
+		}
+	}()
+
+	timeRun := func(tp netfabric.Transport) (int64, *dist.Report) {
+		rt, err := dist.New(cl, shards, dist.WithTransport(tp))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		_, rep, err := rt.Run(context.Background(), ann, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0).Nanoseconds(), rep
+	}
+
+	var chanTotal, tcpTotal int64
+	var tcpRep *dist.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chanNs, _ := timeRun(netfabric.Chan())
+		chanTotal += chanNs
+
+		tp, err := netfabric.NewTCP([]string{ln.Addr().String()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tcpNs int64
+		tcpNs, tcpRep = timeRun(tp)
+		if err := tp.Close(); err != nil {
+			b.Fatal(err)
+		}
+		tcpTotal += tcpNs
+	}
+	b.StopTimer()
+
+	chanNs := chanTotal / int64(b.N)
+	tcpNs := tcpTotal / int64(b.N)
+	b.ReportMetric(float64(chanNs), "chan-ns/op")
+	b.ReportMetric(float64(tcpNs), "tcp-ns/op")
+	b.ReportMetric(float64(tcpRep.WireBytes), "wire-bytes")
+
+	if path := os.Getenv("BENCH_NETFABRIC_JSON"); path != "" {
+		out, err := json.MarshalIndent(netfabricBenchResult{
+			Workload:        "matmul-chain (scaled)",
+			Shards:          shards,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			NumCPU:          runtime.NumCPU(),
+			ChanNs:          chanNs,
+			TCPNs:           tcpNs,
+			NetBytes:        tcpRep.NetBytes,
+			WireBytes:       tcpRep.WireBytes,
+			WireMessages:    tcpRep.WireMessages,
+			WireDials:       tcpRep.WireDials,
+			NetBytesCeiling: costmodel.NetBytesCeiling(sim.Features.NetBytes, shards),
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

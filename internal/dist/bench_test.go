@@ -28,6 +28,7 @@ type benchResult struct {
 	Workload   string           `json:"workload"`
 	Shards     int              `json:"shards"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"numcpu"`
 	SeqNs      int64            `json:"seq_ns"`
 	DistNs     int64            `json:"dist_ns"`
 	Speedup    float64          `json:"speedup"`
@@ -117,6 +118,7 @@ func BenchmarkDistVsSequential(b *testing.B) {
 			Workload:   "matmul-chain (scaled)",
 			Shards:     shards,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 			SeqNs:      seqNs,
 			DistNs:     distNs,
 			Speedup:    speedup,
@@ -142,6 +144,7 @@ type obsBenchResult struct {
 	Workload    string  `json:"workload"`
 	Shards      int     `json:"shards"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"numcpu"`
 	UntracedNs  int64   `json:"untraced_ns"`
 	TracedNs    int64   `json:"traced_ns"`
 	Spans       int     `json:"spans_per_run"`
@@ -220,6 +223,7 @@ func BenchmarkDistTracingOverhead(b *testing.B) {
 			Workload:    "matmul-chain (scaled)",
 			Shards:      shards,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 			UntracedNs:  untracedNs,
 			TracedNs:    tracedNs,
 			Spans:       spans,
@@ -242,6 +246,7 @@ type faultBenchResult struct {
 	Workload        string  `json:"workload"`
 	Shards          int     `json:"shards"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"numcpu"`
 	NoFaultNs       int64   `json:"nofault_ns"`       // nil FaultPlan: the PR-2-comparable number
 	EmptyPlanNs     int64   `json:"empty_plan_ns"`    // armed but empty plan: per-hook lookup cost
 	CrashRecoverNs  int64   `json:"crash_recover_ns"` // crash every vertex once, recover
@@ -327,6 +332,7 @@ func BenchmarkDistFaultOverhead(b *testing.B) {
 			Workload:        "matmul-chain (scaled)",
 			Shards:          shards,
 			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			NumCPU:          runtime.NumCPU(),
 			NoFaultNs:       noFaultNs,
 			EmptyPlanNs:     emptyNs,
 			CrashRecoverNs:  crashNs,
@@ -350,6 +356,7 @@ type recoveryBenchResult struct {
 	Workload           string  `json:"workload"`
 	Shards             int     `json:"shards"`
 	GOMAXPROCS         int     `json:"gomaxprocs"`
+	NumCPU             int     `json:"numcpu"`
 	CleanNs            int64   `json:"clean_ns"`              // no fault: the recovery-free baseline
 	CascadeNs          int64   `json:"cascade_ns"`            // sink node loss, lineage recompute only
 	CheckpointNs       int64   `json:"checkpoint_ns"`         // sink node loss with checkpoint pins
@@ -440,6 +447,7 @@ func BenchmarkRecovery(b *testing.B) {
 			Workload:           "matmul-chain (scaled)",
 			Shards:             shards,
 			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			NumCPU:             runtime.NumCPU(),
 			CleanNs:            cleanNs,
 			CascadeNs:          cascadeNs,
 			CheckpointNs:       ckptNs,

@@ -38,6 +38,7 @@ import (
 	"matopt/internal/costmodel"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/netfabric"
 	"matopt/internal/obs"
 	"matopt/internal/plan"
 	"matopt/internal/tensor"
@@ -63,6 +64,8 @@ type Runtime struct {
 	spec         *Speculation
 
 	kernelThreads int
+
+	transport netfabric.Transport
 
 	tr   *obs.Tracer
 	span *obs.Span
@@ -213,6 +216,24 @@ func WithKernelThreads(n int) Option {
 	return func(rt *Runtime) { rt.kernelThreads = n }
 }
 
+// WithTransport routes every exchange through t instead of the default
+// in-process channel transport (netfabric.Chan). With a TCP transport
+// the runtime's shards stay local goroutines but their exchange inboxes
+// live on the mapped worker peers, so every cross-shard payload incurs
+// real serialization, framing and socket costs — and wire failures
+// (refused dials, severed connections, I/O deadlines) surface as
+// ErrExchangeTimeout and ride the existing retry/cascade/fallback
+// ladder. Outputs are bit-identical across transports: the fabric's
+// (key, seq) sort erases arrival order. The caller owns t's lifecycle;
+// the runtime never closes it.
+func WithTransport(t netfabric.Transport) Option {
+	return func(rt *Runtime) {
+		if t != nil {
+			rt.transport = t
+		}
+	}
+}
+
 // DefaultShards is the shard count used when the caller does not choose
 // one: the process's GOMAXPROCS.
 func DefaultShards() int { return runtime.GOMAXPROCS(0) }
@@ -232,6 +253,7 @@ func New(cl costmodel.Cluster, shards int, opts ...Option) (*Runtime, error) {
 		backoffCap:      defaultBackoffCap,
 		vertexDeadline:  defaultVertexDeadline,
 		exchangeTimeout: defaultExchangeTimeout,
+		transport:       netfabric.Chan(),
 	}
 	for _, opt := range opts {
 		opt(rt)

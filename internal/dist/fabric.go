@@ -1,27 +1,26 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"matopt/internal/engine"
+	"matopt/internal/netfabric"
 	"matopt/internal/obs"
 	"matopt/internal/tensor"
 )
 
 // message is one tuple in flight plus its deterministic reduce
-// position: seq is the contraction index of a partial result, so the
+// position: Seq is the contraction index of a partial result, so the
 // receiving shard can sort contributions into the exact order the
-// sequential engine folds them in.
-type message struct {
-	key   engine.Key
-	seq   int64
-	tuple engine.Tuple
-}
+// sequential engine folds them in. The type lives in netfabric so
+// transports can frame it; the fabric's movement semantics are
+// unchanged.
+type message = netfabric.Message
 
 // routed is a message with an explicit destination shard.
 type routed struct {
@@ -72,37 +71,38 @@ func (f *fabric) meterFor(vertex int, kind, label string) *meter {
 
 // exchange is the fabric's one movement primitive: produce runs on every
 // shard as a pool task (so its compute is attributed to the shard) and
-// emits messages with explicit destinations; each destination shard's
-// buffered channel is drained by a dedicated collector goroutine, which
-// makes the pattern deadlock-free regardless of fan-in. Returns the
-// per-shard received messages sorted by (key, seq) — the deterministic
-// order every reduce replays.
+// emits messages with explicit destinations; deliveries go through the
+// run's Transport session — buffered channels in process by default, a
+// framed TCP stream to worker peers under WithTransport — and land in
+// per-shard inboxes. Returns the per-shard received messages sorted by
+// (key, seq) — the deterministic order every reduce replays, which is
+// what makes the output independent of the transport's arrival order.
 //
 // Failure semantics: a drop fault discards a producing shard's
 // messages in flight; since receivers cannot distinguish lost data from
 // slow data, the loss surfaces — like a genuine stall past the
 // runtime's exchange timeout — as ErrExchangeTimeout on the consuming
-// vertex, which the scheduler retries. On the timer-driven timeout path
-// the producers may still be running, so channel close and collector
-// shutdown are handed to a background drainer; the shard workers
-// themselves stay healthy for the retry.
+// vertex, which the scheduler retries. Wire failures (a refused dial, a
+// connection severed mid-exchange, an I/O deadline) are likewise
+// transient network weather, so they map onto the same
+// ErrExchangeTimeout and ride the retry → cascade → fallback ladder.
+// On the timer-driven timeout path the producers may still be running,
+// so session teardown is handed to a background drainer; the shard
+// workers themselves stay healthy for the retry.
 func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([][]message, error) {
+	tp := r.rt.transport
 	xspan := r.tr.Start(r.span, "exchange").
-		SetStr("kind", m.kind).SetStr("label", m.label).SetInt("vertex", int64(m.vertex))
+		SetStr("kind", m.kind).SetStr("label", m.label).SetInt("vertex", int64(m.vertex)).
+		SetStr("transport", tp.Name())
+	if pl, ok := tp.(interface{ PeerList() string }); ok {
+		xspan.SetStr("peers", pl.PeerList())
+	}
 	defer xspan.End()
 	n := r.shards()
-	chans := make([]chan message, n)
-	recv := make([][]message, n)
-	var collectors sync.WaitGroup
-	for s := 0; s < n; s++ {
-		chans[s] = make(chan message, 128)
-		collectors.Add(1)
-		go func(s int) {
-			defer collectors.Done()
-			for msg := range chans[s] {
-				recv[s] = append(recv[s], msg)
-			}
-		}(s)
+	id := netfabric.ExchangeID{Vertex: m.vertex, Kind: m.kind, Label: m.label, Attempt: r.attempt}
+	sess, err := tp.Open(r.ctx, r.reg, id, n)
+	if err != nil {
+		return nil, r.wireErr(m, "open", err)
 	}
 	drop, delay := r.rt.faults.exchangeFaults(m.vertex, m.label, r.attempt)
 	var lost atomic.Bool
@@ -125,9 +125,11 @@ func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([]
 				return fmt.Errorf("dist: message routed to shard %d of %d", rm.dst, n)
 			}
 			if rm.dst != s {
-				m.count(rm.msg.tuple)
+				m.count(rm.msg.Tuple)
 			}
-			chans[rm.dst] <- rm.msg
+			if err := sess.Send(rm.dst, rm.msg); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -188,26 +190,29 @@ func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([]
 	case perr = <-prodDone:
 	case <-timeoutCh:
 		// Producers are still running (a stalled link, a straggler
-		// mid-delay). Hand cleanup to a drainer that closes the
-		// channels once every producer has returned so the collectors
-		// terminate; the recv buffers are abandoned.
+		// mid-delay). Hand teardown to a drainer that abandons the
+		// session once every producer has returned; the recv buffers
+		// are dropped.
 		go func() {
 			<-prodDone
-			for _, ch := range chans {
-				close(ch)
-			}
+			sess.Abandon()
 		}()
 		return nil, fmt.Errorf("dist: exchange %q at vertex %d exceeded its %v timeout: %w",
 			m.label, m.vertex, r.rt.exchangeTimeout, ErrExchangeTimeout)
 	}
-	// Close only after every producer has returned; collectors then
-	// terminate having drained everything, even on error or cancel.
-	for _, ch := range chans {
-		close(ch)
-	}
-	collectors.Wait()
 	if perr != nil {
+		// Abandon only after every producer has returned (they just
+		// did); the session's buffers and connections are released even
+		// on error or cancel.
+		sess.Abandon()
+		if errors.Is(perr, netfabric.ErrWire) {
+			return nil, r.wireErr(m, "send", perr)
+		}
 		return nil, perr
+	}
+	recv, err := sess.Collect()
+	if err != nil {
+		return nil, r.wireErr(m, "collect", err)
 	}
 	if lost.Load() {
 		return nil, fmt.Errorf("dist: exchange %q at vertex %d lost messages (injected %v): %w",
@@ -217,6 +222,15 @@ func (r *exec) exchange(m *meter, produce func(shard int) ([]routed, error)) ([]
 		sortMessages(recv[s])
 	}
 	return recv, nil
+}
+
+// wireErr maps a transport failure onto ErrExchangeTimeout: from the
+// scheduler's point of view a dead wire and a silent one are the same
+// transient event, so the existing retry/cascade/fallback ladder
+// handles both without knowing transports exist.
+func (r *exec) wireErr(m *meter, stage string, err error) error {
+	return fmt.Errorf("dist: exchange %q at vertex %d %s failed on transport %q: %v: %w",
+		m.label, m.vertex, stage, r.rt.transport.Name(), err, ErrExchangeTimeout)
 }
 
 // sleepCtx waits d, returning early with the context's error when the
@@ -237,17 +251,7 @@ func (r *exec) sleepCtx(d time.Duration) error {
 
 // sortMessages orders a shard's received messages by (key, seq): the
 // reduce-replay order.
-func sortMessages(ms []message) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].key.I != ms[j].key.I {
-			return ms[i].key.I < ms[j].key.I
-		}
-		if ms[i].key.J != ms[j].key.J {
-			return ms[i].key.J < ms[j].key.J
-		}
-		return ms[i].seq < ms[j].seq
-	})
-}
+func sortMessages(ms []message) { netfabric.SortMessages(ms) }
 
 // broadcastTuples ships every tuple of rel to every shard and returns
 // each shard's copy in key order — the broadcast-join primitive.
@@ -256,7 +260,7 @@ func (r *exec) broadcastTuples(m *meter, rel *relation) ([][]engine.Tuple, error
 		var out []routed
 		for _, t := range rel.parts[s] {
 			for d := 0; d < r.shards(); d++ {
-				out = append(out, routed{dst: d, msg: message{key: t.Key, tuple: t}})
+				out = append(out, routed{dst: d, msg: message{Key: t.Key, Tuple: t}})
 			}
 		}
 		return out, nil
@@ -273,7 +277,7 @@ func (r *exec) gatherAt(m *meter, rel *relation, dst int) ([]engine.Tuple, error
 	recv, err := r.exchange(m, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range rel.parts[s] {
-			out = append(out, routed{dst: dst, msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: dst, msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})
@@ -290,7 +294,7 @@ func (r *exec) routeByKey(m *meter, rel *relation) ([][]engine.Tuple, error) {
 	recv, err := r.exchange(m, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range rel.parts[s] {
-			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})
@@ -309,7 +313,7 @@ func messageTuples(recv [][]message) [][]engine.Tuple {
 		}
 		ts := make([]engine.Tuple, len(ms))
 		for i, g := range ms {
-			ts[i] = g.tuple
+			ts[i] = g.Tuple
 		}
 		out[s] = ts
 	}
@@ -324,10 +328,10 @@ func messageTuples(recv [][]message) [][]engine.Tuple {
 func foldMessages(msgs []message) []engine.Tuple {
 	var out []engine.Tuple
 	for _, g := range msgs {
-		if n := len(out); n > 0 && out[n-1].Key == g.key {
-			tensor.AddInPlace(out[n-1].Dense, g.tuple.Dense)
+		if n := len(out); n > 0 && out[n-1].Key == g.Key {
+			tensor.AddInPlace(out[n-1].Dense, g.Tuple.Dense)
 		} else {
-			out = append(out, engine.Tuple{Key: g.key, Dense: g.tuple.Dense})
+			out = append(out, engine.Tuple{Key: g.Key, Dense: g.Tuple.Dense})
 		}
 	}
 	return out
@@ -337,6 +341,6 @@ func foldMessages(msgs []message) []engine.Tuple {
 // mirroring the sequential executors that start from tensor.NewDense.
 func foldInto(acc *tensor.Dense, msgs []message) {
 	for _, g := range msgs {
-		tensor.AddInPlace(acc, g.tuple.Dense)
+		tensor.AddInPlace(acc, g.Tuple.Dense)
 	}
 }

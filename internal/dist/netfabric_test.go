@@ -1,0 +1,268 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"matopt/internal/core"
+	"matopt/internal/costmodel"
+	"matopt/internal/dist"
+	"matopt/internal/engine"
+	"matopt/internal/format"
+	"matopt/internal/netfabric"
+	"matopt/internal/shape"
+	"matopt/internal/tensor"
+	"matopt/internal/testutil"
+	"matopt/internal/workload"
+)
+
+// startWorker runs an in-process netfabric worker on an ephemeral
+// loopback listener — the hermetic stand-in for a `matoptd -worker`
+// process; the wire path (framing, pooling, socket I/O) is identical.
+func startWorker(t *testing.T, opts ...netfabric.ServerOption) (*netfabric.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := netfabric.NewServer(opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("worker Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// tcpGoldenWorkload is the chain workload the TCP golden suite runs: it
+// exercises broadcast, shuffle and aggregation exchanges.
+func tcpGoldenWorkload(t *testing.T) (costmodel.Cluster, *core.Annotation, map[string]*tensor.Dense) {
+	t.Helper()
+	sz := workload.ChainSizes{
+		Name: "tcp-golden",
+		A:    shape.New(60, 150), B: shape.New(150, 250),
+		C: shape.New(250, 1), D: shape.New(1, 250),
+		E: shape.New(250, 60), F: shape.New(250, 60),
+	}
+	g, err := workload.MatMulChain(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.NewEnv(costmodel.LocalTest(3), format.All())
+	ann := optimize(t, g, env)
+	rng := rand.New(rand.NewSource(11))
+	mk := func(s shape.Shape) *tensor.Dense { return tensor.RandNormal(rng, int(s.Rows), int(s.Cols)) }
+	inputs := map[string]*tensor.Dense{
+		"A": mk(sz.A), "B": mk(sz.B), "C": mk(sz.C),
+		"D": mk(sz.D), "E": mk(sz.E), "F": mk(sz.F),
+	}
+	return env.Cluster, ann, inputs
+}
+
+// sequentialBaseline runs the serial sequential engine — the reference
+// every transport must reproduce bit for bit.
+func sequentialBaseline(t *testing.T, cl costmodel.Cluster, ann *core.Annotation, inputs map[string]*tensor.Dense) map[int]*tensor.Dense {
+	t.Helper()
+	serial := engine.New(cl)
+	serial.KernelThreads = 1
+	want, err := serial.RunCollect(ann, inputs)
+	if err != nil {
+		t.Fatalf("serial sequential run: %v", err)
+	}
+	return want
+}
+
+// TestGoldenTCPTransport is the tentpole's golden suite: at every
+// golden shard count, dist results over loopback TCP — through one
+// all-remote worker, through two workers (the multi-process topology),
+// and through a mixed local/remote peer map — must be bit-identical to
+// the in-process chan transport and the sequential engine.
+func TestGoldenTCPTransport(t *testing.T) {
+	cl, ann, inputs := tcpGoldenWorkload(t)
+	want := sequentialBaseline(t, cl, ann, inputs)
+
+	_, addr1 := startWorker(t)
+	_, addr2 := startWorker(t)
+	topologies := []struct {
+		name  string
+		peers []string
+	}{
+		{"one-worker", []string{addr1}},
+		{"two-workers", []string{addr1, addr2}},
+		{"mixed-local-remote", []string{netfabric.LocalPeer, addr1}},
+	}
+	for _, shards := range goldenShards {
+		// The chan-transport run this PR must not perturb.
+		rt, err := dist.New(cl, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chanGot, chanRep, err := rt.Run(context.Background(), ann, inputs)
+		if err != nil {
+			t.Fatalf("chan @%d shards: %v", shards, err)
+		}
+		if chanRep.Transport != "chan" {
+			t.Fatalf("chan report says transport %q", chanRep.Transport)
+		}
+		compareSinks(t, fmt.Sprintf("chan @%d shards", shards), ann, want, chanGot)
+
+		for _, topo := range topologies {
+			label := fmt.Sprintf("tcp/%s @%d shards", topo.name, shards)
+			tp, err := netfabric.NewTCP(topo.peers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := dist.New(cl, shards, dist.WithTransport(tp))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, rep, err := rt.Run(context.Background(), ann, inputs)
+			if cerr := tp.Close(); cerr != nil {
+				t.Fatalf("%s: transport close: %v", label, cerr)
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			compareSinks(t, label, ann, want, got)
+			if rep.Transport != "tcp" {
+				t.Fatalf("%s: report says transport %q", label, rep.Transport)
+			}
+			if topo.name == "one-worker" && shards > 1 {
+				// Every shard is remote-hosted: all exchange traffic
+				// crossed the wire, framed both directions. (A single
+				// shard runs no exchanges at all, so there is no wire
+				// traffic to assert on.)
+				if rep.WireBytes == 0 || rep.WireMessages == 0 || rep.WireDials == 0 {
+					t.Fatalf("%s: no wire traffic metered: %+v", label, rep)
+				}
+			}
+			// The fabric's logical exchange accounting must not depend
+			// on the transport underneath it.
+			if rep.NetBytes != chanRep.NetBytes || rep.Messages != chanRep.Messages {
+				t.Fatalf("%s: exchange meters diverge from chan transport: %d B/%d msgs vs %d B/%d msgs",
+					label, rep.NetBytes, rep.Messages, chanRep.NetBytes, chanRep.Messages)
+			}
+		}
+	}
+}
+
+// TestChaosNetSeveredConn severs one session's connection mid-exchange:
+// the consuming vertex must fail with ErrExchangeTimeout, retry over a
+// fresh dial, and finish bit-identical to the sequential engine.
+func TestChaosNetSeveredConn(t *testing.T) {
+	cl, ann, inputs := tcpGoldenWorkload(t)
+	want := sequentialBaseline(t, cl, ann, inputs)
+	for _, shards := range goldenShards {
+		label := fmt.Sprintf("severed @%d shards", shards)
+		_, addr := startWorker(t, netfabric.SeverSessions(2))
+		tp, err := netfabric.NewTCP([]string{addr}, netfabric.WithIOTimeout(5*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := dist.New(cl, shards, dist.WithTransport(tp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := rt.Run(context.Background(), ann, inputs)
+		if cerr := tp.Close(); cerr != nil {
+			t.Fatalf("%s: transport close: %v", label, cerr)
+		}
+		if err != nil {
+			t.Fatalf("%s: run failed despite retry budget: %v", label, err)
+		}
+		compareSinks(t, label, ann, want, got)
+		if shards > 1 {
+			// A single shard opens no sessions, so nothing severs; at
+			// every other count the fault must have fired and healed.
+			if rep.Retries == 0 {
+				t.Fatalf("%s: severed connection triggered no retries: %+v", label, rep)
+			}
+			if rep.WireReconnects == 0 {
+				t.Fatalf("%s: recovery did not re-dial: %+v", label, rep)
+			}
+		}
+	}
+}
+
+// TestChaosNetDialRefusedSurfacesExchangeTimeout kills the worker
+// mid-run (connections die, later dials are refused): every failure
+// must surface through the typed ErrExchangeTimeout ladder — never a
+// raw net error — and exhaust into RetriesExhaustedError.
+func TestChaosNetDialRefusedSurfacesExchangeTimeout(t *testing.T) {
+	cl, ann, inputs := tcpGoldenWorkload(t)
+	for _, shards := range goldenShards {
+		if shards == 1 {
+			continue // a single shard opens no sessions — no wire to kill
+		}
+		label := fmt.Sprintf("refused @%d shards", shards)
+		_, addr := startWorker(t, netfabric.CloseAfterSessions(1))
+		tp, err := netfabric.NewTCP([]string{addr}, netfabric.WithIOTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := dist.New(cl, shards,
+			dist.WithTransport(tp),
+			dist.WithRetryBackoff(time.Millisecond, 2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = rt.Run(context.Background(), ann, inputs)
+		if cerr := tp.Close(); cerr != nil {
+			t.Fatalf("%s: transport close: %v", label, cerr)
+		}
+		if err == nil {
+			t.Fatalf("%s: run succeeded with a dead worker", label)
+		}
+		if !errors.Is(err, dist.ErrExchangeTimeout) {
+			t.Fatalf("%s: wire failure not mapped to ErrExchangeTimeout: %v", label, err)
+		}
+		if !errors.Is(err, dist.ErrRetriesExhausted) {
+			t.Fatalf("%s: expected retries exhausted, got: %v", label, err)
+		}
+	}
+}
+
+// TestChaosNetShutdownLeakFree runs a full TCP-transport dist run —
+// including a failing one against a departed worker — then requires
+// the process back at its goroutine baseline once transport and worker
+// are closed: no read loops, collectors, or handlers may survive.
+func TestChaosNetShutdownLeakFree(t *testing.T) {
+	cl, ann, inputs := tcpGoldenWorkload(t)
+	testutil.CheckGoroutines(t, func() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := netfabric.NewServer()
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		tp, err := netfabric.NewTCP([]string{netfabric.LocalPeer, ln.Addr().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := dist.New(cl, 4, dist.WithTransport(tp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rt.Run(context.Background(), ann, inputs); err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("worker Serve: %v", err)
+		}
+	})
+}

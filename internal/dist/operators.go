@@ -212,8 +212,8 @@ func dMMRowStripColStrip(r *exec, n *plan.Node, ins []*relation) (*relation, err
 				}
 				key := engine.Key{I: ta.Key.I, J: tb.Key.J}
 				out = append(out, routed{dst: r.shardOf(key), msg: message{
-					key:   key,
-					tuple: engine.Tuple{Key: key, Dense: kc.MatMul(ta.Dense, tb.Dense)},
+					Key:   key,
+					Tuple: engine.Tuple{Key: key, Dense: kc.MatMul(ta.Dense, tb.Dense)},
 				}})
 			}
 		}
@@ -237,7 +237,7 @@ func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 		var out []routed
 		for _, t := range ins[0].parts[s] {
 			dst := r.shardOf(engine.Key{I: t.Key.J, J: 0})
-			out = append(out, routed{dst: dst, msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: dst, msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})
@@ -253,15 +253,15 @@ func dMMColStripRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 		}
 		var out []routed
 		for _, ma := range recvA[s] { // sorted: contraction index ascending
-			ta := ma.tuple
+			ta := ma.Tuple
 			tb, ok := bByKey[ta.Key.J]
 			if !ok {
 				return nil, fmt.Errorf("dist: co-partition join missed strip %d", ta.Key.J)
 			}
 			prod := kc.MatMul(ta.Dense, tb)
 			out = append(out, routed{dst: owner, msg: message{
-				key: engine.Key{I: 0, J: 0}, seq: ta.Key.J,
-				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
+				Key: engine.Key{I: 0, J: 0}, Seq: ta.Key.J,
+				Tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
 			}})
 		}
 		return out, nil
@@ -294,8 +294,8 @@ func tileTileProducts(r *exec, n *plan.Node, blk int64,
 			key := engine.Key{I: ta.Key.I, J: tb.Key.J}
 			prod := kc.MatMul(ta.Dense, tb.Dense)
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
-				key: key, seq: ta.Key.J,
-				tuple: engine.Tuple{Key: key, Dense: prod},
+				Key: key, Seq: ta.Key.J,
+				Tuple: engine.Tuple{Key: key, Dense: prod},
 			}})
 		})
 		return out, err
@@ -322,7 +322,7 @@ func dMMTileTileShuffle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 	recvA, err := r.exchange(shA, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range ins[0].parts[s] {
-			out = append(out, routed{dst: cOf(t.Key.J), msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: cOf(t.Key.J), msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})
@@ -333,7 +333,7 @@ func dMMTileTileShuffle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 	recvB, err := r.exchange(shB, func(s int) ([]routed, error) {
 		var out []routed
 		for _, t := range ins[1].parts[s] {
-			out = append(out, routed{dst: cOf(t.Key.I), msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: cOf(t.Key.I), msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})
@@ -343,11 +343,11 @@ func dMMTileTileShuffle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 	return tileTileProducts(r, n, ins[0].format.Block, func(s int, emit func(ta, tb engine.Tuple)) error {
 		bByRow := make(map[int64][]engine.Tuple)
 		for _, m := range recvB[s] { // sorted, so buckets stay key-ordered
-			bByRow[m.key.I] = append(bByRow[m.key.I], m.tuple)
+			bByRow[m.Key.I] = append(bByRow[m.Key.I], m.Tuple)
 		}
 		for _, ma := range recvA[s] {
-			for _, tb := range bByRow[ma.key.J] {
-				emit(ma.tuple, tb)
+			for _, tb := range bByRow[ma.Key.J] {
+				emit(ma.Tuple, tb)
 			}
 		}
 		return nil
@@ -410,8 +410,8 @@ func dMMBcastSingleTile(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 			prod := kc.MatMul(aSlice, tb.Dense)
 			key := engine.Key{I: 0, J: tb.Key.J}
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
-				key: key, seq: tb.Key.I,
-				tuple: engine.Tuple{Key: key, Dense: prod},
+				Key: key, Seq: tb.Key.I,
+				Tuple: engine.Tuple{Key: key, Dense: prod},
 			}})
 		}
 		return out, nil
@@ -447,8 +447,8 @@ func dMMTileBcastSingle(r *exec, n *plan.Node, ins []*relation) (*relation, erro
 			prod := kc.MatMul(ta.Dense, bSlice)
 			key := engine.Key{I: ta.Key.I, J: 0}
 			out = append(out, routed{dst: r.shardOf(key), msg: message{
-				key: key, seq: ta.Key.J,
-				tuple: engine.Tuple{Key: key, Dense: prod},
+				Key: key, Seq: ta.Key.J,
+				Tuple: engine.Tuple{Key: key, Dense: prod},
 			}})
 		}
 		return out, nil
@@ -512,8 +512,8 @@ func dMMBcastCSRRowStripAgg(r *exec, n *plan.Node, ins []*relation) (*relation, 
 			aSlice := engine.CSRColSlice(a, r0, r0+tb.Dense.Rows)
 			prod := aSlice.MulDenseK(kc, tb.Dense)
 			out = append(out, routed{dst: owner, msg: message{
-				key: engine.Key{I: 0, J: 0}, seq: tb.Key.I,
-				tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
+				Key: engine.Key{I: 0, J: 0}, Seq: tb.Key.I,
+				Tuple: engine.Tuple{Key: engine.Key{I: 0, J: 0}, Dense: prod},
 			}})
 		}
 		return out, nil
@@ -577,8 +577,8 @@ func dMMBcastCOOSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error
 				c.Data[j] = t.Val * bv
 			}
 			out = append(out, routed{dst: owner, msg: message{
-				key:   t.Key,
-				tuple: engine.Tuple{Key: t.Key, Dense: c},
+				Key:   t.Key,
+				Tuple: engine.Tuple{Key: t.Key, Dense: c},
 			}})
 		}
 		return out, nil
@@ -590,8 +590,8 @@ func dMMBcastCOOSingle(r *exec, n *plan.Node, ins []*relation) (*relation, error
 	err = r.on(owner, func() error {
 		acc := tensor.NewDense(int(n.OutShape.Rows), int(n.OutShape.Cols))
 		for _, g := range recv[owner] { // sorted by element coordinate
-			row := acc.Data[int(g.key.I)*acc.Cols : (int(g.key.I)+1)*acc.Cols]
-			for j, cv := range g.tuple.Dense.Data {
+			row := acc.Data[int(g.Key.I)*acc.Cols : (int(g.Key.I)+1)*acc.Cols]
+			for j, cv := range g.Tuple.Dense.Data {
 				row[j] += cv
 			}
 		}
@@ -790,8 +790,8 @@ func dTransposeDense(r *exec, n *plan.Node, ins []*relation) (*relation, error) 
 		for _, t := range sortedShard(in, s) {
 			nk := engine.Key{I: t.Key.J, J: t.Key.I}
 			out = append(out, routed{dst: r.shardOf(nk), msg: message{
-				key:   nk,
-				tuple: engine.Tuple{Key: nk, Dense: kc.Transpose(t.Dense)},
+				Key:   nk,
+				Tuple: engine.Tuple{Key: nk, Dense: kc.Transpose(t.Dense)},
 			}})
 		}
 		return out, nil

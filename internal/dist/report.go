@@ -43,6 +43,12 @@ type Report struct {
 	KernelThreads int           // kernel threads each shard's local compute could use
 	KernelTime    time.Duration // summed wall time inside local compute kernels
 
+	Transport      string // exchange transport that moved the run's data ("chan", "tcp")
+	WireBytes      int64  // framed bytes put on (and read off) real sockets, both directions
+	WireMessages   int64  // framed messages that crossed a socket, both directions
+	WireDials      int64  // connections dialed to worker peers
+	WireReconnects int64  // dials that replaced a connection discarded after a failure
+
 	Cascades            int64       // cascading lineage recomputes triggered
 	CascadesByVertex    map[int]int // failing vertex ID → cascades (nil when none)
 	MaxCascadeDepth     int         // deepest ancestor chain re-executed by one cascade
@@ -76,6 +82,10 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dist run: %d shards, wall %v, peak %d B resident\n", r.Shards, r.Wall.Round(time.Microsecond), r.PeakBytes)
 	fmt.Fprintf(&b, "  fabric: %d B in %d messages across %d exchanges\n", r.NetBytes, r.Messages, len(r.Exchanges))
+	if r.Transport != "" && r.Transport != "chan" {
+		fmt.Fprintf(&b, "  wire (%s): %d B in %d frames, %d dials (%d reconnects)\n",
+			r.Transport, r.WireBytes, r.WireMessages, r.WireDials, r.WireReconnects)
+	}
 	fmt.Fprintf(&b, "  busiest shard busy %v of %v total\n", r.BusiestShard().Round(time.Microsecond), r.TotalBusy().Round(time.Microsecond))
 	if r.KernelTime > 0 {
 		fmt.Fprintf(&b, "  kernels: %v inside compute kernels (%d threads/shard)\n",
@@ -181,6 +191,14 @@ func reportFromRegistry(snap []obs.Metric) *Report {
 			x := xrow(m)
 			x.Messages += m.Value
 			rep.Messages += m.Value
+		case "dist.wire.bytes":
+			rep.WireBytes += m.Value
+		case "dist.wire.messages":
+			rep.WireMessages += m.Value
+		case "dist.wire.dials":
+			rep.WireDials += m.Value
+		case "dist.wire.reconnects":
+			rep.WireReconnects += m.Value
 		case "dist.shard.busy_ns":
 			s, err := strconv.Atoi(label(m, "shard"))
 			if err == nil {

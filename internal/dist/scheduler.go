@@ -614,6 +614,7 @@ func (r *run) report(peak int64, wall time.Duration) *Report {
 	r.reg.Gauge("dist.wall_ns").SetMax(int64(wall))
 	r.reg.Gauge("dist.faults_injected").Set(r.rt.faults.Injected())
 	rep := reportFromRegistry(r.reg.Snapshot())
+	rep.Transport = r.rt.transport.Name()
 	obs.Default().Merge(r.reg)
 	return rep
 }

@@ -53,7 +53,7 @@ func (r *exec) transform(vertex, arg int, rel *relation, target format.Format) (
 		}
 		var out []routed
 		for _, t := range tuples {
-			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{key: t.Key, tuple: t}})
+			out = append(out, routed{dst: r.shardOf(t.Key), msg: message{Key: t.Key, Tuple: t}})
 		}
 		return out, nil
 	})

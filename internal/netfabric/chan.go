@@ -1,0 +1,76 @@
+package netfabric
+
+import (
+	"context"
+	"sync"
+
+	"matopt/internal/obs"
+)
+
+// chanTransport is the default in-process transport: every shard's inbox
+// is a buffered channel drained by a dedicated collector goroutine,
+// which makes the pattern deadlock-free regardless of fan-in. This is
+// the exact mechanism the dist fabric used before the Transport
+// interface was extracted — same buffer depth, same collector shape,
+// same close/drain shutdown — so behavior is unchanged byte for byte.
+type chanTransport struct{}
+
+// Chan returns the in-process channel transport, the dist runtime's
+// default. It holds no resources; Close is a no-op and one instance may
+// serve any number of runs concurrently.
+func Chan() Transport { return chanTransport{} }
+
+func (chanTransport) Name() string { return "chan" }
+
+func (chanTransport) Close() error { return nil }
+
+func (chanTransport) Open(_ context.Context, _ *obs.Registry, _ ExchangeID, shards int) (Session, error) {
+	s := &chanSession{
+		chans: make([]chan Message, shards),
+		recv:  make([][]Message, shards),
+	}
+	for i := 0; i < shards; i++ {
+		ch := make(chan Message, 128)
+		s.chans[i] = ch
+		s.collectors.Add(1)
+		go func(i int, ch <-chan Message) {
+			defer s.collectors.Done()
+			for m := range ch {
+				s.recv[i] = append(s.recv[i], m)
+			}
+		}(i, ch)
+	}
+	return s, nil
+}
+
+type chanSession struct {
+	chans      []chan Message
+	recv       [][]Message
+	collectors sync.WaitGroup
+}
+
+// Send blocks when dst's buffer is full (back-pressure) and never fails:
+// in-process delivery has no wire to break.
+func (s *chanSession) Send(dst int, m Message) error {
+	s.chans[dst] <- m
+	return nil
+}
+
+// Collect closes every inbox — producers must have returned — and waits
+// for the collectors to drain what remains, even on an error or cancel
+// path upstream.
+func (s *chanSession) Collect() ([][]Message, error) {
+	s.drain()
+	return s.recv, nil
+}
+
+// Abandon is Collect for the timed-out path: the buffers are drained so
+// the collectors terminate, then dropped.
+func (s *chanSession) Abandon() { s.drain() }
+
+func (s *chanSession) drain() {
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.collectors.Wait()
+}

@@ -1,0 +1,393 @@
+package netfabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"matopt/internal/sparse"
+	"matopt/internal/tensor"
+)
+
+// Wire framing. Every frame on a netfabric connection is
+//
+//	magic(2) | version(1) | type(1) | length(uint32 LE) | payload | crc32(uint32 LE)
+//
+// with the CRC (IEEE) taken over the payload bytes, so a truncated,
+// bit-flipped, or mis-framed stream is detected before any payload is
+// interpreted. The codec is versioned like the internal/plan plan
+// codec: writers stamp frameVersion, readers accept the
+// [minFrameVersion, frameVersion] range and reject anything else with
+// ErrBadFrame so an old coordinator talking to a new worker fails
+// loudly instead of misparsing.
+const (
+	frameVersion    = 1
+	minFrameVersion = 1
+
+	frameHeaderLen  = 8
+	frameTrailerLen = 4
+
+	// maxFramePayload bounds a single frame; a length field beyond it is
+	// rejected before any allocation, so a corrupt or hostile stream
+	// cannot ask the reader to allocate gigabytes.
+	maxFramePayload = 1 << 28
+)
+
+var frameMagic = [2]byte{'m', 'f'}
+
+// Frame types of the coordinator↔worker exchange protocol (tcp.go).
+const (
+	// frameOpen starts an exchange session: payload is the ExchangeID
+	// header plus the total shard count.
+	frameOpen = byte(iota + 1)
+	// frameMsg carries one routed message: payload is the destination
+	// shard plus an encoded Message.
+	frameMsg
+	// frameFin ends the send side of a session; the worker replies with
+	// the buffered inboxes.
+	frameFin
+	// frameInbox carries one buffered message back: payload is the
+	// owning shard plus an encoded Message.
+	frameInbox
+	// frameEOF ends the worker's inbox stream; the connection is then
+	// idle and reusable.
+	frameEOF
+)
+
+// writeFrame frames payload as typ and writes it to w in one Write call
+// (the caller coalesces via bufio). Returns the bytes put on the wire.
+func writeFrame(w io.Writer, typ byte, payload []byte) (int64, error) {
+	if len(payload) > maxFramePayload {
+		return 0, fmt.Errorf("%w: frame payload %d exceeds %d", ErrBadFrame, len(payload), maxFramePayload)
+	}
+	buf := make([]byte, frameHeaderLen+len(payload)+frameTrailerLen)
+	buf[0], buf[1] = frameMagic[0], frameMagic[1]
+	buf[2] = frameVersion
+	buf[3] = typ
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	crc := crc32.ChecksumIEEE(payload)
+	binary.LittleEndian.PutUint32(buf[frameHeaderLen+len(payload):], crc)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// readFrame reads one frame from r. Malformed frames — bad magic, a
+// version outside the accepted range, an oversized length, a checksum
+// mismatch — return an error wrapping ErrBadFrame; a cleanly closed
+// stream returns io.EOF; a stream cut mid-frame returns
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return 0, nil, fmt.Errorf("%w: bad magic %02x%02x", ErrBadFrame, hdr[0], hdr[1])
+	}
+	if hdr[2] < minFrameVersion || hdr[2] > frameVersion {
+		return 0, nil, fmt.Errorf("%w: version %d outside [%d, %d]", ErrBadFrame, hdr[2], minFrameVersion, frameVersion)
+	}
+	typ = hdr[3]
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d exceeds %d", ErrBadFrame, n, maxFramePayload)
+	}
+	body := make([]byte, int(n)+frameTrailerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	payload = body[:n]
+	want := binary.LittleEndian.Uint32(body[n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrBadFrame, got, want)
+	}
+	return typ, payload, nil
+}
+
+// Message payload layout (all integers int64 LE, floats as IEEE-754
+// bits LE):
+//
+//	msg key I, J | seq | tuple key I, J | payload kind(1) | payload
+//
+// with payload one of: nothing (payloadEmpty); rows, cols, rows*cols
+// floats (payloadDense); rows, cols, nnz, rows+1 row pointers, nnz
+// column indices, nnz floats (payloadCSR); one float (payloadVal).
+const (
+	payloadEmpty = byte(iota)
+	payloadDense
+	payloadCSR
+	payloadVal
+)
+
+// appendMessage serializes m onto buf and returns the extended slice.
+func appendMessage(buf []byte, m Message) []byte {
+	buf = appendInt64(buf, m.Key.I)
+	buf = appendInt64(buf, m.Key.J)
+	buf = appendInt64(buf, m.Seq)
+	buf = appendInt64(buf, m.Tuple.Key.I)
+	buf = appendInt64(buf, m.Tuple.Key.J)
+	switch {
+	case m.Tuple.Dense != nil:
+		d := m.Tuple.Dense
+		buf = append(buf, payloadDense)
+		buf = appendInt64(buf, int64(d.Rows))
+		buf = appendInt64(buf, int64(d.Cols))
+		for _, v := range d.Data {
+			buf = appendInt64(buf, int64(math.Float64bits(v)))
+		}
+	case m.Tuple.CSR != nil:
+		c := m.Tuple.CSR
+		buf = append(buf, payloadCSR)
+		buf = appendInt64(buf, int64(c.Rows))
+		buf = appendInt64(buf, int64(c.Cols))
+		buf = appendInt64(buf, int64(len(c.Val)))
+		for _, p := range c.RowPtr {
+			buf = appendInt64(buf, int64(p))
+		}
+		for _, ci := range c.ColIdx {
+			buf = appendInt64(buf, int64(ci))
+		}
+		for _, v := range c.Val {
+			buf = appendInt64(buf, int64(math.Float64bits(v)))
+		}
+	case m.Tuple.IsVal:
+		buf = append(buf, payloadVal)
+		buf = appendInt64(buf, int64(math.Float64bits(m.Tuple.Val)))
+	default:
+		buf = append(buf, payloadEmpty)
+	}
+	return buf
+}
+
+// decodeMessage parses one serialized Message, validating every
+// declared size against the remaining bytes before allocating, and the
+// CSR structure via sparse.NewCSR — a frame that passed the checksum
+// can still be semantically hostile, and must fail with ErrBadFrame
+// rather than panic. The whole payload must be consumed.
+func decodeMessage(b []byte) (Message, error) {
+	var m Message
+	c := cursor{b: b}
+	m.Key.I = c.int64()
+	m.Key.J = c.int64()
+	m.Seq = c.int64()
+	m.Tuple.Key.I = c.int64()
+	m.Tuple.Key.J = c.int64()
+	kind := c.byte()
+	if c.err != nil {
+		return Message{}, c.err
+	}
+	switch kind {
+	case payloadEmpty:
+	case payloadDense:
+		rows := c.dim()
+		cols := c.dim()
+		if c.err != nil {
+			return Message{}, c.err
+		}
+		n, err := c.need(rows * cols)
+		if err != nil {
+			return Message{}, err
+		}
+		d := &tensor.Dense{Rows: rows, Cols: cols, Data: make([]float64, n)}
+		for i := range d.Data {
+			d.Data[i] = math.Float64frombits(uint64(c.int64()))
+		}
+		m.Tuple.Dense = d
+	case payloadCSR:
+		rows := c.dim()
+		cols := c.dim()
+		nnz64 := c.int64()
+		if c.err != nil {
+			return Message{}, c.err
+		}
+		if nnz64 < 0 || nnz64 > maxFramePayload {
+			return Message{}, fmt.Errorf("%w: nnz %d outside [0, %d]", ErrBadFrame, nnz64, maxFramePayload)
+		}
+		nnz := int(nnz64)
+		if _, err := c.need(rows + 1 + 2*nnz); err != nil {
+			return Message{}, err
+		}
+		rowPtr := make([]int, rows+1)
+		for i := range rowPtr {
+			rowPtr[i] = int(c.int64())
+		}
+		colIdx := make([]int, nnz)
+		for i := range colIdx {
+			colIdx[i] = int(c.int64())
+		}
+		val := make([]float64, nnz)
+		for i := range val {
+			val[i] = math.Float64frombits(uint64(c.int64()))
+		}
+		if c.err != nil {
+			return Message{}, c.err
+		}
+		csr, err := sparse.NewCSR(rows, cols, rowPtr, colIdx, val)
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		m.Tuple.CSR = csr
+	case payloadVal:
+		m.Tuple.Val = math.Float64frombits(uint64(c.int64()))
+		m.Tuple.IsVal = true
+	default:
+		return Message{}, fmt.Errorf("%w: unknown payload kind %d", ErrBadFrame, kind)
+	}
+	if c.err != nil {
+		return Message{}, c.err
+	}
+	if len(c.b) != c.off {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(c.b)-c.off)
+	}
+	return m, nil
+}
+
+func appendInt64(buf []byte, v int64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(v))
+	return append(buf, w[:]...)
+}
+
+// cursor walks a payload, latching the first error so decode code reads
+// straight through without per-field checks.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) int64() int64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.err = fmt.Errorf("%w: truncated payload at offset %d", ErrBadFrame, c.off)
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+func (c *cursor) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.err = fmt.Errorf("%w: truncated payload at offset %d", ErrBadFrame, c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+// dim reads a matrix dimension: positive and small enough that a
+// product of two cannot overflow int.
+func (c *cursor) dim() int {
+	v := c.int64()
+	if c.err != nil {
+		return 0
+	}
+	if v <= 0 || v > maxFramePayload {
+		c.err = fmt.Errorf("%w: invalid dimension %d", ErrBadFrame, v)
+		return 0
+	}
+	return int(v)
+}
+
+// need checks that words 8-byte values actually remain in the payload —
+// the declared sizes are validated against the bytes on the wire before
+// any allocation is sized from them.
+func (c *cursor) need(words int) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	if words < 0 || c.off+8*words > len(c.b) {
+		return 0, fmt.Errorf("%w: declared size %d exceeds payload", ErrBadFrame, words)
+	}
+	return words, nil
+}
+
+// Header payloads of the session-control frames.
+
+// appendOpen serializes the OPEN header: exchange identity + shard count.
+func appendOpen(buf []byte, id ExchangeID, shards int) []byte {
+	buf = appendInt64(buf, int64(id.Vertex))
+	buf = appendInt64(buf, int64(id.Attempt))
+	buf = appendInt64(buf, int64(shards))
+	buf = appendString(buf, id.Kind)
+	buf = appendString(buf, id.Label)
+	return buf
+}
+
+func decodeOpen(b []byte) (id ExchangeID, shards int, err error) {
+	c := cursor{b: b}
+	id.Vertex = int(c.int64())
+	id.Attempt = int(c.int64())
+	n := c.int64()
+	id.Kind = c.string()
+	id.Label = c.string()
+	if c.err != nil {
+		return ExchangeID{}, 0, c.err
+	}
+	if n <= 0 || n > maxShards {
+		return ExchangeID{}, 0, fmt.Errorf("%w: shard count %d outside (0, %d]", ErrBadFrame, n, maxShards)
+	}
+	if len(c.b) != c.off {
+		return ExchangeID{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(c.b)-c.off)
+	}
+	return id, int(n), nil
+}
+
+// maxShards bounds the shard count a frame may declare; far above any
+// real topology, low enough that per-shard allocations stay sane.
+const maxShards = 1 << 16
+
+// appendShardMessage serializes a (shard, Message) pair — the payload
+// of both MSG (shard = destination) and INBOX (shard = owner) frames.
+func appendShardMessage(buf []byte, shard int, m Message) []byte {
+	buf = appendInt64(buf, int64(shard))
+	return appendMessage(buf, m)
+}
+
+func decodeShardMessage(b []byte) (int, Message, error) {
+	c := cursor{b: b}
+	shard := c.int64()
+	if c.err != nil {
+		return 0, Message{}, c.err
+	}
+	if shard < 0 || shard >= maxShards {
+		return 0, Message{}, fmt.Errorf("%w: shard %d outside [0, %d)", ErrBadFrame, shard, maxShards)
+	}
+	m, err := decodeMessage(b[c.off:])
+	if err != nil {
+		return 0, Message{}, err
+	}
+	return int(shard), m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendInt64(buf, int64(len(s)))
+	return append(buf, s...)
+}
+
+func (c *cursor) string() string {
+	n := c.int64()
+	if c.err != nil {
+		return ""
+	}
+	if n < 0 || n > 1<<16 || c.off+int(n) > len(c.b) {
+		c.err = fmt.Errorf("%w: invalid string length %d", ErrBadFrame, n)
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}

@@ -1,0 +1,147 @@
+package netfabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"matopt/internal/engine"
+)
+
+// seedFrames are the valid wire frames the fuzzer mutates from: one of
+// every frame type, covering every payload kind the codec knows. The
+// same bytes are checked in under testdata/fuzz/FuzzFrame so `go test
+// -fuzz=FuzzFrame` starts from a meaningful corpus.
+func seedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	add := func(typ byte, payload []byte) {
+		var buf bytes.Buffer
+		if _, err := writeFrame(&buf, typ, payload); err != nil {
+			tb.Fatalf("seed frame: %v", err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	add(frameOpen, appendOpen(nil, ExchangeID{Vertex: 3, Kind: "shuffle", Label: "shuffle(a)", Attempt: 1}, 7))
+	for i, m := range sampleMessages() {
+		add(frameMsg, appendShardMessage(nil, i, m))
+		add(frameInbox, appendShardMessage(nil, i, m))
+	}
+	add(frameFin, nil)
+	add(frameEOF, nil)
+	// And one deliberately corrupt frame so the reject path is seeded.
+	bad := append([]byte(nil), seeds[0]...)
+	bad[len(bad)-1] ^= 0xff
+	seeds = append(seeds, bad)
+	return seeds
+}
+
+// FuzzFrame feeds arbitrary bytes through the full wire read path:
+// frame parsing, then payload decoding per frame type. The codec must
+// never panic; failures must be the typed ErrBadFrame (or a plain io
+// short-read error), and anything that decodes must re-encode to the
+// exact bytes it came from — the codec is canonical, which is what lets
+// the golden tests compare wire traffic bit for bit.
+func FuzzFrame(f *testing.F) {
+	for _, seed := range seedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && err != io.EOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case frameOpen:
+			id, shards, err := decodeOpen(payload)
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("untyped open error: %v", err)
+				}
+				return
+			}
+			if got := appendOpen(nil, id, shards); !bytes.Equal(got, payload) {
+				t.Fatalf("open did not round-trip canonically:\n got %x\nwant %x", got, payload)
+			}
+		case frameMsg, frameInbox:
+			shard, m, err := decodeShardMessage(payload)
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("untyped message error: %v", err)
+				}
+				return
+			}
+			if got := appendShardMessage(nil, shard, m); !bytes.Equal(got, payload) {
+				t.Fatalf("message did not round-trip canonically:\n got %x\nwant %x", got, payload)
+			}
+		default:
+			// Control frames carry no payload worth decoding; reading
+			// them must simply not have panicked.
+		}
+	})
+}
+
+// FuzzMessageRoundTrip drives the message codec from the structured
+// side: any (key, seq, dense payload) the fabric could legally ship
+// must survive encode→decode bit-identically.
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), 2, 2, 1.5)
+	f.Add(int64(-9), int64(0), int64(-1), 1, 4, -0.0)
+	f.Fuzz(func(t *testing.T, ki, kj, seq int64, rows, cols int, fill float64) {
+		if rows <= 0 || cols <= 0 || rows > 64 || cols > 64 {
+			t.Skip()
+		}
+		m := Message{
+			Key:   engine.Key{I: ki, J: kj},
+			Seq:   seq,
+			Tuple: denseTuple(engine.Key{I: ki, J: kj}, rows, cols, fill),
+		}
+		got, err := decodeMessage(appendMessage(nil, m))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !messagesEqual(got, m) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, m)
+		}
+	})
+}
+
+// TestSeedCorpusInSync regenerates the checked-in seed corpus when
+// NETFABRIC_WRITE_CORPUS=1 and otherwise verifies it matches what
+// seedFrames produces, so the corpus under testdata/ can never rot.
+func TestSeedCorpusInSync(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrame")
+	seeds := seedFrames(t)
+	if os.Getenv("NETFABRIC_WRITE_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("seed corpus missing (regenerate with NETFABRIC_WRITE_CORPUS=1): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		if string(body) != want {
+			t.Fatalf("seed corpus %s out of sync; regenerate with NETFABRIC_WRITE_CORPUS=1", name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package netfabric
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the worker side of the TCP transport: it hosts the exchange
+// inboxes of remote shards. Each accepted connection serves sessions
+// back to back — OPEN, MSG frames buffered per shard, FIN, then the
+// inboxes stream back as INBOX frames ending in EOF, after which the
+// connection is idle again and the coordinator may pool it.
+//
+// cmd/matoptd runs one of these per worker process (-worker -listen);
+// tests run it in-process on a loopback listener, which exercises the
+// identical code path hermetically.
+type Server struct {
+	ioTimeout  time.Duration
+	sever      map[int64]bool
+	closeAfter int64
+	sessions   atomic.Int64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerIOTimeout bounds the server's reply writes (reads stay
+// unbounded: the gap between a session's frames is the coordinator's
+// produce time, which the server must not second-guess).
+func WithServerIOTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.ioTimeout = d
+		}
+	}
+}
+
+// SeverSessions injects a network fault for chaos testing: the n-th
+// session (1-based, counted across all connections) has its connection
+// severed right after OPEN — the coordinator sees a connection reset
+// mid-exchange.
+func SeverSessions(nums ...int) ServerOption {
+	return func(s *Server) {
+		for _, n := range nums {
+			s.sever[int64(n)] = true
+		}
+	}
+}
+
+// CloseAfterSessions injects a network fault for chaos testing: after
+// serving n sessions the server shuts down completely — every
+// connection (pooled ones included) dies and further dials are refused,
+// modelling a worker that leaves mid-run.
+func CloseAfterSessions(n int) ServerOption {
+	return func(s *Server) { s.closeAfter = int64(n) }
+}
+
+// NewServer builds a worker server; call Serve to run it.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		ioTimeout: DefaultIOTimeout,
+		sever:     make(map[int64]bool),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close, handling each on its own
+// goroutine. It owns ln and returns nil after a clean Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close already ran (or runs concurrently with startup): a
+		// clean shutdown, not an error.
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("netfabric: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netfabric: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound listen address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, severs every live connection, and waits for
+// all handlers to exit — after it returns the server has no goroutines
+// left, which the leak-checked shutdown test asserts.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) release(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle serves sessions on one connection until it closes or breaks.
+func (s *Server) handle(conn net.Conn) {
+	defer s.release(conn)
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	for {
+		if err := s.session(conn, br, bw); err != nil {
+			return
+		}
+	}
+}
+
+// session serves one OPEN…FIN→INBOX…EOF round trip. Any error —
+// including the coordinator closing an idle pooled connection, the
+// normal end of life — tears the connection down.
+func (s *Server) session(conn net.Conn, br io.Reader, bw *bufio.Writer) error {
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return err // io.EOF: pooled connection closed while idle
+	}
+	if typ != frameOpen {
+		return fmt.Errorf("%w: expected OPEN, got frame type %d", ErrBadFrame, typ)
+	}
+	_, shards, err := decodeOpen(payload)
+	if err != nil {
+		return err
+	}
+	num := s.sessions.Add(1)
+	if s.sever[num] {
+		conn.Close() // injected fault: reset mid-exchange
+		return errors.New("netfabric: session severed by fault injection")
+	}
+	inboxes := make([][]Message, shards)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return err
+		}
+		if typ == frameFin {
+			break
+		}
+		if typ != frameMsg {
+			return fmt.Errorf("%w: expected MSG or FIN, got frame type %d", ErrBadFrame, typ)
+		}
+		shard, m, err := decodeShardMessage(payload)
+		if err != nil {
+			return err
+		}
+		if shard >= shards {
+			return fmt.Errorf("%w: message for shard %d of %d", ErrBadFrame, shard, shards)
+		}
+		inboxes[shard] = append(inboxes[shard], m)
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+	for shard, msgs := range inboxes {
+		for _, m := range msgs {
+			if _, err := writeFrame(bw, frameInbox, appendShardMessage(nil, shard, m)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := writeFrame(bw, frameEOF, nil); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	if s.closeAfter > 0 && num >= s.closeAfter {
+		// Injected fault: the worker leaves the cluster. Close runs on
+		// its own goroutine (it waits for this handler); dropping the
+		// connection here makes the departure immediate.
+		go s.Close()
+		return errors.New("netfabric: worker departed by fault injection")
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package netfabric
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"matopt/internal/obs"
+)
+
+// LocalPeer is the peer-map entry meaning "this shard lives on the
+// coordinator": its messages never touch a socket (or the wire meters).
+const LocalPeer = "local"
+
+// DefaultIOTimeout bounds every socket operation — dial, frame write,
+// frame read — so a severed or stalled link always surfaces as an error
+// instead of wedging a shard's producer; the dist runtime then maps it
+// onto its exchange-timeout retry ladder.
+const DefaultIOTimeout = 30 * time.Second
+
+// connBufSize is the bufio depth on each side of a connection: writes
+// coalesce into it so an exchange of many small tuples reaches the
+// kernel in few large writes, flushed only when full or at FIN.
+const connBufSize = 64 << 10
+
+// TCP is the socket transport: shard s is hosted by peers[s % len(peers)],
+// where each entry is either a worker address ("127.0.0.1:7070") or
+// LocalPeer. Messages routed to a remote-hosted shard are framed to
+// that worker, buffered there, and streamed back at Collect into the
+// same per-shard inboxes the channel transport fills — the fabric's
+// (key, seq) sort then erases any arrival-order difference, keeping
+// outputs bit-identical across transports.
+//
+// Connections are pooled per peer and dialed lazily: a session checks
+// one out per peer at Open (dialing only when the pool is dry), and
+// returns it at a clean Collect. Failed or abandoned connections are
+// discarded; the next checkout's dial is counted as a reconnect.
+type TCP struct {
+	peers     []string
+	ioTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]*wireConn
+	broken map[string]int // discarded conns per peer, pending re-dial
+	closed bool
+}
+
+// TCPOption configures a TCP transport.
+type TCPOption func(*TCP)
+
+// WithIOTimeout overrides DefaultIOTimeout for every socket operation.
+func WithIOTimeout(d time.Duration) TCPOption {
+	return func(t *TCP) {
+		if d > 0 {
+			t.ioTimeout = d
+		}
+	}
+}
+
+// NewTCP builds the socket transport over the given peer map. At least
+// one peer is required; an all-LocalPeer map is legal (and pointless).
+func NewTCP(peers []string, opts ...TCPOption) (*TCP, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("netfabric: NewTCP requires at least one peer")
+	}
+	for _, p := range peers {
+		if strings.TrimSpace(p) == "" {
+			return nil, fmt.Errorf("netfabric: empty peer address")
+		}
+	}
+	t := &TCP{
+		peers:     append([]string(nil), peers...),
+		ioTimeout: DefaultIOTimeout,
+		idle:      make(map[string][]*wireConn),
+		broken:    make(map[string]int),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
+}
+
+// Name identifies the transport in reports and span tags.
+func (t *TCP) Name() string { return "tcp" }
+
+// PeerList renders the shard→peer map for span tags and reports.
+func (t *TCP) PeerList() string { return strings.Join(t.peers, ",") }
+
+func (t *TCP) peerOf(shard int) string { return t.peers[shard%len(t.peers)] }
+
+// Close discards every pooled connection and refuses further sessions.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, conns := range t.idle {
+		for _, c := range conns {
+			c.nc.Close()
+		}
+	}
+	t.idle = nil
+	return nil
+}
+
+// wireConn is one pooled connection with its coalescing buffers.
+type wireConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// checkout returns a pooled connection to addr, dialing when the pool
+// is dry. Dials (and re-dials replacing a discarded connection) are
+// metered per peer.
+func (t *TCP) checkout(ctx context.Context, reg *obs.Registry, addr string) (*wireConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conns := t.idle[addr]; len(conns) > 0 {
+		c := conns[len(conns)-1]
+		t.idle[addr] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	redial := t.broken[addr] > 0
+	if redial {
+		t.broken[addr]--
+	}
+	t.mu.Unlock()
+	d := net.Dialer{Timeout: t.ioTimeout}
+	reg.Counter("dist.wire.dials", obs.L("peer", addr)).Inc()
+	if redial {
+		reg.Counter("dist.wire.reconnects", obs.L("peer", addr)).Inc()
+	}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrWire, addr, err)
+	}
+	return &wireConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, connBufSize),
+		bw: bufio.NewWriterSize(nc, connBufSize),
+	}, nil
+}
+
+// checkin returns a connection to the pool after a clean session.
+func (t *TCP) checkin(addr string, c *wireConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.nc.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], c)
+}
+
+// discard closes a connection whose session failed or was abandoned;
+// the replacement dial will be counted as a reconnect.
+func (t *TCP) discard(addr string, c *wireConn) {
+	c.nc.Close()
+	t.mu.Lock()
+	t.broken[addr]++
+	t.mu.Unlock()
+}
+
+// Open checks out one connection per remote peer hosting a shard of
+// this exchange and announces the session with an OPEN frame. A refused
+// dial fails the open with an ErrWire-wrapped error — the dist runtime
+// retries the vertex like any exchange timeout.
+func (t *TCP) Open(ctx context.Context, reg *obs.Registry, id ExchangeID, shards int) (Session, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &tcpSession{
+		t:      t,
+		shards: shards,
+		local:  make([][]Message, shards),
+		links:  make(map[string]*peerLink),
+	}
+	for sh := 0; sh < shards; sh++ {
+		addr := t.peerOf(sh)
+		if addr == LocalPeer || s.links[addr] != nil {
+			continue
+		}
+		c, err := t.checkout(ctx, reg, addr)
+		if err != nil {
+			s.Abandon()
+			return nil, err
+		}
+		l := &peerLink{
+			addr:  addr,
+			conn:  c,
+			bytes: reg.Counter("dist.wire.bytes", obs.L("peer", addr)),
+			msgs:  reg.Counter("dist.wire.messages", obs.L("peer", addr)),
+		}
+		s.links[addr] = l
+		if err := l.write(t.ioTimeout, frameOpen, appendOpen(nil, id, shards)); err != nil {
+			s.Abandon()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// peerLink is one session's connection to one worker. Sends from
+// concurrent producers serialize on mu; the first wire error latches
+// and fails every later use of the link.
+type peerLink struct {
+	addr  string
+	bytes *obs.Counter
+	msgs  *obs.Counter
+
+	mu   sync.Mutex
+	conn *wireConn
+	err  error
+}
+
+// write frames and sends one frame under the link lock, metering the
+// wire bytes. The deadline covers the implicit bufio flush, so a
+// stalled socket surfaces here rather than wedging the producer.
+func (l *peerLink) write(ioTimeout time.Duration, typ byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(ioTimeout, typ, payload)
+}
+
+func (l *peerLink) writeLocked(ioTimeout time.Duration, typ byte, payload []byte) error {
+	if l.err != nil {
+		return l.err
+	}
+	l.conn.nc.SetWriteDeadline(time.Now().Add(ioTimeout))
+	n, err := writeFrame(l.conn.bw, typ, payload)
+	l.bytes.Add(n)
+	if err != nil {
+		return l.failLocked(fmt.Errorf("%w: write to %s: %v", ErrWire, l.addr, err))
+	}
+	return nil
+}
+
+// failLocked latches the link's first error and discards its connection.
+func (l *peerLink) failLocked(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+type tcpSession struct {
+	t      *TCP
+	shards int
+
+	localMu sync.Mutex
+	local   [][]Message
+
+	links map[string]*peerLink
+}
+
+// Send routes one message: coordinator-hosted shards append to an
+// in-memory inbox, remote-hosted shards get a MSG frame on their
+// peer's link.
+func (s *tcpSession) Send(dst int, m Message) error {
+	addr := s.t.peerOf(dst)
+	if addr == LocalPeer {
+		s.localMu.Lock()
+		s.local[dst] = append(s.local[dst], m)
+		s.localMu.Unlock()
+		return nil
+	}
+	l := s.links[addr]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writeLocked(s.t.ioTimeout, frameMsg, appendShardMessage(nil, dst, m)); err != nil {
+		return err
+	}
+	l.msgs.Inc()
+	return nil
+}
+
+// Collect finishes every link concurrently — FIN, flush, then stream
+// the worker's buffered inboxes back into recv. Distinct peers host
+// disjoint shards, so the per-link readers write disjoint recv slots.
+func (s *tcpSession) Collect() ([][]Message, error) {
+	recv := s.local
+	s.local = nil
+	var wg sync.WaitGroup
+	for _, l := range s.links {
+		wg.Add(1)
+		go func(l *peerLink) {
+			defer wg.Done()
+			s.collectLink(l, recv)
+		}(l)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, l := range s.links {
+		l.mu.Lock()
+		err, conn := l.err, l.conn
+		l.conn = nil
+		l.mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.t.checkin(l.addr, conn)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return recv, nil
+}
+
+func (s *tcpSession) collectLink(l *peerLink, recv [][]Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		if l.conn != nil {
+			s.t.discard(l.addr, l.conn)
+			l.conn = nil
+		}
+		return
+	}
+	fail := func(err error) {
+		s.t.discard(l.addr, l.conn)
+		l.conn = nil
+		l.failLocked(err)
+	}
+	if err := l.writeLocked(s.t.ioTimeout, frameFin, nil); err != nil {
+		fail(err)
+		return
+	}
+	l.conn.nc.SetWriteDeadline(time.Now().Add(s.t.ioTimeout))
+	if err := l.conn.bw.Flush(); err != nil {
+		fail(fmt.Errorf("%w: flush to %s: %v", ErrWire, l.addr, err))
+		return
+	}
+	for {
+		l.conn.nc.SetReadDeadline(time.Now().Add(s.t.ioTimeout))
+		typ, payload, err := readFrame(l.conn.br)
+		if err != nil {
+			fail(fmt.Errorf("%w: read from %s: %v", ErrWire, l.addr, err))
+			return
+		}
+		l.bytes.Add(int64(frameHeaderLen + len(payload) + frameTrailerLen))
+		switch typ {
+		case frameInbox:
+			shard, m, err := decodeShardMessage(payload)
+			if err != nil {
+				fail(fmt.Errorf("%w: from %s: %v", ErrWire, l.addr, err))
+				return
+			}
+			if shard >= s.shards || s.t.peerOf(shard) != l.addr {
+				fail(fmt.Errorf("%w: peer %s returned inbox for shard %d it does not host", ErrWire, l.addr, shard))
+				return
+			}
+			l.msgs.Inc()
+			recv[shard] = append(recv[shard], m)
+		case frameEOF:
+			l.conn.nc.SetReadDeadline(time.Time{})
+			return
+		default:
+			fail(fmt.Errorf("%w: peer %s sent unexpected frame type %d", ErrWire, l.addr, typ))
+			return
+		}
+	}
+}
+
+// Abandon discards every link's connection: mid-session state is
+// unknowable after a timeout, so nothing returns to the pool.
+func (s *tcpSession) Abandon() {
+	for _, l := range s.links {
+		l.mu.Lock()
+		if l.conn != nil {
+			s.t.discard(l.addr, l.conn)
+			l.conn = nil
+		}
+		l.failLocked(fmt.Errorf("%w: session abandoned", ErrWire))
+		l.mu.Unlock()
+	}
+	s.localMu.Lock()
+	s.local = nil
+	s.localMu.Unlock()
+}

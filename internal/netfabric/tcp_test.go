@@ -1,0 +1,350 @@
+package netfabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"matopt/internal/engine"
+	"matopt/internal/obs"
+	"matopt/internal/testutil"
+)
+
+// startServer runs a worker server on an ephemeral loopback listener
+// and returns its address; cleanup closes it.
+func startServer(t *testing.T, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func testID(attempt int) ExchangeID {
+	return ExchangeID{Vertex: 1, Kind: "shuffle", Label: "shuffle(t)", Attempt: attempt}
+}
+
+// TestTCPExchangeRoundTrip pushes messages for every shard through a
+// mixed local/remote peer map and checks each inbox holds exactly the
+// messages routed to it, bit-identical after the (key, seq) sort.
+func TestTCPExchangeRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	tp, err := NewTCP([]string{LocalPeer, addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	reg := obs.NewRegistry()
+	const shards = 5
+	sess, err := tp.Open(context.Background(), reg, testID(0), shards)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := make([][]Message, shards)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for src := 0; src < shards; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				dst := (src + i) % shards
+				k := engine.Key{I: int64(src), J: int64(i)}
+				m := Message{Key: k, Seq: int64(i), Tuple: denseTuple(k, 2, 3, float64(src*100+i))}
+				if err := sess.Send(dst, m); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+				mu.Lock()
+				want[dst] = append(want[dst], m)
+				mu.Unlock()
+			}
+		}(src)
+	}
+	wg.Wait()
+	got, err := sess.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	for s := 0; s < shards; s++ {
+		SortMessages(got[s])
+		SortMessages(want[s])
+		if len(got[s]) != len(want[s]) {
+			t.Fatalf("shard %d: got %d messages, want %d", s, len(got[s]), len(want[s]))
+		}
+		for i := range got[s] {
+			if !messagesEqual(got[s][i], want[s][i]) {
+				t.Fatalf("shard %d message %d differs", s, i)
+			}
+		}
+	}
+	if v := counterValue(reg, "dist.wire.dials"); v != 1 {
+		t.Fatalf("dials = %d, want 1", v)
+	}
+	if v := counterValue(reg, "dist.wire.bytes"); v == 0 {
+		t.Fatal("no wire bytes metered")
+	}
+}
+
+// TestTCPConnectionPooling runs sessions back to back and checks the
+// second reuses the first's connection instead of dialing again.
+func TestTCPConnectionPooling(t *testing.T) {
+	_, addr := startServer(t)
+	tp, err := NewTCP([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	reg := obs.NewRegistry()
+	for attempt := 0; attempt < 3; attempt++ {
+		sess, err := tp.Open(context.Background(), reg, testID(attempt), 2)
+		if err != nil {
+			t.Fatalf("Open %d: %v", attempt, err)
+		}
+		k := engine.Key{I: int64(attempt)}
+		if err := sess.Send(1, Message{Key: k, Tuple: denseTuple(k, 1, 1, 1)}); err != nil {
+			t.Fatalf("Send %d: %v", attempt, err)
+		}
+		recv, err := sess.Collect()
+		if err != nil {
+			t.Fatalf("Collect %d: %v", attempt, err)
+		}
+		if len(recv[1]) != 1 {
+			t.Fatalf("attempt %d: shard 1 got %d messages", attempt, len(recv[1]))
+		}
+	}
+	if v := counterValue(reg, "dist.wire.dials"); v != 1 {
+		t.Fatalf("dials = %d after 3 pooled sessions, want 1", v)
+	}
+	if v := counterValue(reg, "dist.wire.reconnects"); v != 0 {
+		t.Fatalf("reconnects = %d, want 0", v)
+	}
+}
+
+// TestTCPDialRefused opens against a peer that is not listening: the
+// session must fail with ErrWire, not hang or panic.
+func TestTCPDialRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here any more
+	tp, err := NewTCP([]string{addr}, WithIOTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	_, err = tp.Open(context.Background(), obs.NewRegistry(), testID(0), 2)
+	if !errors.Is(err, ErrWire) {
+		t.Fatalf("Open against dead peer: got %v, want ErrWire", err)
+	}
+}
+
+// TestTCPSeveredMidExchange has the server cut the connection right
+// after OPEN; the failure must surface as ErrWire from Collect (or an
+// earlier Send), and the next session must recover over a fresh dial,
+// counted as a reconnect.
+func TestTCPSeveredMidExchange(t *testing.T) {
+	_, addr := startServer(t, SeverSessions(1))
+	tp, err := NewTCP([]string{addr}, WithIOTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	reg := obs.NewRegistry()
+	sess, err := tp.Open(context.Background(), reg, testID(0), 2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	k := engine.Key{I: 1}
+	var sendErr error
+	for i := 0; i < 10_000 && sendErr == nil; i++ {
+		sendErr = sess.Send(1, Message{Key: k, Seq: int64(i), Tuple: denseTuple(k, 8, 8, 1)})
+	}
+	if sendErr != nil {
+		if !errors.Is(sendErr, ErrWire) {
+			t.Fatalf("Send on severed conn: got %v, want ErrWire", sendErr)
+		}
+		sess.Abandon()
+	} else if _, err := sess.Collect(); !errors.Is(err, ErrWire) {
+		t.Fatalf("Collect on severed conn: got %v, want ErrWire", err)
+	}
+
+	// Recovery: session 2 is not severed and must work over a new dial.
+	sess, err = tp.Open(context.Background(), reg, testID(1), 2)
+	if err != nil {
+		t.Fatalf("Open after sever: %v", err)
+	}
+	if err := sess.Send(1, Message{Key: k, Tuple: denseTuple(k, 1, 1, 2)}); err != nil {
+		t.Fatalf("Send after sever: %v", err)
+	}
+	recv, err := sess.Collect()
+	if err != nil {
+		t.Fatalf("Collect after sever: %v", err)
+	}
+	if len(recv[1]) != 1 {
+		t.Fatalf("shard 1 got %d messages after recovery", len(recv[1]))
+	}
+	if v := counterValue(reg, "dist.wire.reconnects"); v != 1 {
+		t.Fatalf("reconnects = %d, want 1", v)
+	}
+}
+
+// TestTCPAbandonDiscardsConnections abandons a healthy session and
+// checks the transport does not pool its connection (the next session
+// dials afresh).
+func TestTCPAbandonDiscardsConnections(t *testing.T) {
+	_, addr := startServer(t)
+	tp, err := NewTCP([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	reg := obs.NewRegistry()
+	sess, err := tp.Open(context.Background(), reg, testID(0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Abandon()
+	sess, err = tp.Open(context.Background(), reg, testID(1), 2)
+	if err != nil {
+		t.Fatalf("Open after abandon: %v", err)
+	}
+	if _, err := sess.Collect(); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if v := counterValue(reg, "dist.wire.dials"); v != 2 {
+		t.Fatalf("dials = %d, want 2 (abandoned conns must not be pooled)", v)
+	}
+}
+
+// TestServerShutdownLeakFree drives sessions, closes everything, and
+// requires the process back at its goroutine baseline: Server.Close
+// must tear down the accept loop and every connection handler, and
+// TCP.Close every pooled connection.
+func TestServerShutdownLeakFree(t *testing.T) {
+	testutil.CheckGoroutines(t, func() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer()
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		tp, err := NewTCP([]string{LocalPeer, ln.Addr().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for attempt := 0; attempt < 2; attempt++ {
+			sess, err := tp.Open(context.Background(), obs.NewRegistry(), testID(attempt), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < 4; d++ {
+				k := engine.Key{I: int64(d)}
+				if err := sess.Send(d, Message{Key: k, Tuple: denseTuple(k, 2, 2, 1)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sess.Collect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	})
+}
+
+// TestTCPClosedTransport checks use after Close fails typed.
+func TestTCPClosedTransport(t *testing.T) {
+	_, addr := startServer(t)
+	tp, err := NewTCP([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Close()
+	if _, err := tp.Open(context.Background(), nil, testID(0), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Open after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPConcurrentSessions exchanges on several sessions at once —
+// independent DAG vertices do this — each getting its own connection.
+func TestTCPConcurrentSessions(t *testing.T) {
+	_, addr := startServer(t)
+	tp, err := NewTCP([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	reg := obs.NewRegistry()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := tp.Open(context.Background(), reg, testID(i), 3)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for d := 0; d < 3; d++ {
+				k := engine.Key{I: int64(i), J: int64(d)}
+				if err := sess.Send(d, Message{Key: k, Tuple: denseTuple(k, 2, 2, float64(i))}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			recv, err := sess.Collect()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for d := 0; d < 3; d++ {
+				if len(recv[d]) != 1 {
+					errs[i] = fmt.Errorf("session %d shard %d: %d messages", i, d, len(recv[d]))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	var total int64
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			total += m.Value
+		}
+	}
+	return total
+}

@@ -30,6 +30,7 @@ type planBenchResult struct {
 	Workload   string `json:"workload"`
 	Shards     int    `json:"shards"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
 	Nodes      int    `json:"nodes"`
 	LowerNs    int64  `json:"lower_ns"`
 	ExplainNs  int64  `json:"explain_ns"`
@@ -125,6 +126,7 @@ func BenchmarkPlanLowering(b *testing.B) {
 			Workload:   "matmul-chain (scaled)",
 			Shards:     shards,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 			Nodes:      len(p.Nodes),
 			LowerNs:    lowerNs,
 			ExplainNs:  explainNs,

@@ -31,6 +31,7 @@ type serveBenchResult struct {
 	Clients       int     `json:"clients"`
 	Requests      int     `json:"requests"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"numcpu"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ns         int64   `json:"p50_ns"`
 	P99Ns         int64   `json:"p99_ns"`
@@ -136,6 +137,7 @@ func BenchmarkServeWarmOptimize(b *testing.B) {
 			Clients:       clients,
 			Requests:      b.N + clients*perClient + 1,
 			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			NumCPU:        runtime.NumCPU(),
 			ThroughputRPS: rps,
 			P50Ns:         p50.Nanoseconds(),
 			P99Ns:         p99.Nanoseconds(),

@@ -76,6 +76,10 @@ type ExecuteRequest struct {
 	// use (0 = auto-size to the machine; 1 = serial kernels). Results
 	// are bit-identical at every setting.
 	KernelThreads int `json:"kernel_threads,omitempty"`
+	// Peers maps dist shards onto worker processes: each entry is a
+	// `matoptd -worker` address (host:port) or the literal "local" for
+	// in-process hosting. Empty keeps the in-process chan transport.
+	Peers []string `json:"peers,omitempty"`
 	// DeadlineMS shortens the server's default request timeout.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Trace asks for the request's span tree in the response.
@@ -118,6 +122,14 @@ func (r ExecuteRequest) validate() error {
 	}
 	if r.KernelThreads < 0 {
 		return fmt.Errorf("kernel_threads must be non-negative, got %d", r.KernelThreads)
+	}
+	if len(r.Peers) > 0 && r.Engine != "dist" {
+		return fmt.Errorf("peers require engine dist, got %q", r.Engine)
+	}
+	for i, p := range r.Peers {
+		if p == "" {
+			return fmt.Errorf("peers[%d] is empty", i)
+		}
 	}
 	return nil
 }
@@ -191,6 +203,15 @@ type DistSummary struct {
 	SpeculativeWins     int64 `json:"speculative_wins,omitempty"`
 	CheckpointVertices  int   `json:"checkpoint_vertices,omitempty"`
 	CheckpointBytes     int64 `json:"checkpoint_bytes,omitempty"`
+	// Transport names the exchange transport the run used ("chan" or
+	// "tcp"); the Wire* counters meter the physical network fabric —
+	// framed bytes, frames, dials and reconnects — and stay zero on the
+	// in-process chan transport.
+	Transport      string `json:"transport,omitempty"`
+	WireBytes      int64  `json:"wire_bytes,omitempty"`
+	WireMessages   int64  `json:"wire_messages,omitempty"`
+	WireDials      int64  `json:"wire_dials,omitempty"`
+	WireReconnects int64  `json:"wire_reconnects,omitempty"`
 	// Degraded reports a fallback to the sequential engine, with its
 	// cause.
 	Degraded      bool   `json:"degraded"`

@@ -250,6 +250,9 @@ func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer,
 		}
 		if engine == "dist" {
 			xopts = append(xopts, matopt.WithEngineKind(matopt.DistEngine), matopt.WithShards(req.Shards))
+			if len(req.Peers) > 0 {
+				xopts = append(xopts, matopt.WithPeers(req.Peers...))
+			}
 			if req.MaxRetries > 0 {
 				xopts = append(xopts, matopt.WithMaxRetries(req.MaxRetries))
 			}
@@ -301,7 +304,10 @@ func (s *Server) handleExecute(ctx context.Context, body []byte, tr *obs.Tracer,
 				SpeculativeWins:     rep.SpeculativeWins,
 				CheckpointVertices:  rep.CheckpointVertices,
 				CheckpointBytes:     rep.CheckpointBytes,
-				Degraded:            rep.Degraded, DegradedCause: rep.DegradedCause,
+				Transport:           rep.Transport,
+				WireBytes:           rep.WireBytes, WireMessages: rep.WireMessages,
+				WireDials: rep.WireDials, WireReconnects: rep.WireReconnects,
+				Degraded: rep.Degraded, DegradedCause: rep.DegradedCause,
 			}
 		}
 	}

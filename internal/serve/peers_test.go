@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"matopt/internal/netfabric"
+)
+
+// TestExecutePeersOverTCP drives /execute with a peer map pointing at an
+// in-process netfabric worker: the dist run must shuffle over real TCP,
+// report the transport and wire meters, and return outputs bit-identical
+// to the sequential engine.
+func TestExecutePeersOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netfabric.NewServer()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("worker Serve: %v", err)
+		}
+	}()
+
+	s := New(testConfig(2, 8))
+	defer s.Drain(context.Background())
+
+	const spec = `"workload":"chain","scale":400`
+	var seq, dist ExecuteResponse
+	if code := post(t, s, "/execute", `{`+spec+`}`, &seq); code != 200 {
+		t.Fatalf("seq execute status %d", code)
+	}
+	body := `{` + spec + `,"engine":"dist","shards":3,"peers":["local","` + ln.Addr().String() + `"]}`
+	if code := post(t, s, "/execute", body, &dist); code != 200 {
+		t.Fatalf("dist-over-tcp execute status %d", code)
+	}
+	if dist.Dist == nil || dist.Dist.Transport != "tcp" {
+		t.Fatalf("dist summary lacks tcp transport: %+v", dist.Dist)
+	}
+	if dist.Dist.WireBytes == 0 || dist.Dist.WireMessages == 0 || dist.Dist.WireDials == 0 {
+		t.Fatalf("no wire traffic metered: %+v", dist.Dist)
+	}
+	if dist.Dist.Degraded {
+		t.Fatalf("healthy run degraded: %+v", dist.Dist)
+	}
+	if len(dist.Outputs) != len(seq.Outputs) {
+		t.Fatalf("engines disagree on output count: %d vs %d", len(dist.Outputs), len(seq.Outputs))
+	}
+	for i := range seq.Outputs {
+		if dist.Outputs[i].SHA256 != seq.Outputs[i].SHA256 || dist.Outputs[i].DataB64 != seq.Outputs[i].DataB64 {
+			t.Fatalf("vertex %d: tcp dist output differs from seq", seq.Outputs[i].Vertex)
+		}
+	}
+
+	// Peer maps are a dist-engine feature; other engines reject them.
+	if code := post(t, s, "/execute", `{`+spec+`,"peers":["local"]}`, nil); code != 400 {
+		t.Fatalf("peers without dist = %d, want 400", code)
+	}
+	if code := post(t, s, "/execute", `{`+spec+`,"engine":"dist","peers":[""]}`, nil); code != 400 {
+		t.Fatalf("empty peer entry = %d, want 400", code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"matopt/internal/dist"
 	"matopt/internal/engine"
 	"matopt/internal/format"
+	"matopt/internal/netfabric"
 	"matopt/internal/obs"
 	"matopt/internal/plan"
 	"matopt/internal/tensor"
@@ -424,6 +425,25 @@ func WithSpeculation(s Speculation) ExecutorOption {
 // setting; see KERNELS.md for the determinism argument.
 func WithKernelThreads(n int) ExecutorOption { return func(x *Executor) { x.kernelThreads = n } }
 
+// LocalPeer is the WithPeers entry meaning "host this shard on the
+// coordinator process itself" — its exchanges never touch a socket.
+const LocalPeer = netfabric.LocalPeer
+
+// WithPeers maps the DistEngine's shards onto worker processes: shard s
+// is hosted by peers[s % len(peers)], where each entry is either a
+// `matoptd -worker -listen` address ("10.0.0.7:7070") or LocalPeer.
+// With at least one remote peer every cross-shard exchange moves over a
+// real TCP connection — length-prefixed frames, per-peer pooled
+// connections, wire bytes metered onto DistReport — and wire failures
+// (refused dials, severed connections) ride the same retry ladder as
+// exchange timeouts, degrading to the sequential engine under
+// WithFallback. Results stay bit-identical to the in-process transport
+// and the sequential engine. An empty call (or none) keeps the default
+// in-process channel transport. Ignored by the sequential engine.
+func WithPeers(peers ...string) ExecutorOption {
+	return func(x *Executor) { x.peers = peers }
+}
+
 // WithTracing attaches a tracer to the Executor: every run opens an
 // "execute" span; a DistEngine run nests its "dist.run" span (with
 // per-vertex, per-attempt, per-exchange and retry children) underneath,
@@ -498,6 +518,7 @@ type Executor struct {
 	ckptBudget    int64
 	spec          *Speculation
 	kernelThreads int
+	peers         []string
 
 	mu         sync.Mutex
 	lastReport *DistReport
@@ -552,6 +573,17 @@ func (x *Executor) RunCtx(ctx context.Context, p *Plan, inputs map[string]*tenso
 		}
 		if x.kernelThreads > 0 {
 			opts = append(opts, dist.WithKernelThreads(x.kernelThreads))
+		}
+		if len(x.peers) > 0 {
+			// One transport per run: pooled connections live for the
+			// run's exchanges and are torn down with it, so a degraded
+			// or failed run never leaks sockets.
+			tp, err := netfabric.NewTCP(x.peers)
+			if err != nil {
+				return nil, err
+			}
+			defer tp.Close()
+			opts = append(opts, dist.WithTransport(tp))
 		}
 		rt, err := dist.New(x.cluster, x.shards, opts...)
 		if err != nil {
